@@ -1,0 +1,43 @@
+// Ablation A2 (§4): sensitivity of the simple-adapt policy to
+// Waiting-Threshold and n on the centralized TSP run. The paper: "The
+// constants Waiting-Threshold and n need to be varied to get the optimized
+// adaptation policy for a specific lock."
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace adx;
+  using workload::table;
+
+  const auto cities = static_cast<unsigned>(bench::arg_u64(argc, argv, "cities", 32));
+  const auto seed = bench::arg_u64(argc, argv, "seed", 9001);
+  const auto inst = tsp::instance::random_asymmetric(static_cast<int>(cities), seed);
+
+  std::printf("Ablation: simple-adapt Waiting-Threshold x n on centralized TSP\n"
+              "(%u cities, seed %llu, 10 processors, adaptive locks)\n\n",
+              cities, static_cast<unsigned long long>(seed));
+
+  // Blocking baseline for reference.
+  {
+    auto cfg = bench::tsp_cfg(tsp::variant::centralized, locks::lock_kind::blocking, 10);
+    const auto r = tsp::solve_parallel(inst, cfg);
+    std::printf("blocking-lock baseline: %.0f ms\n\n", r.elapsed.ms());
+  }
+
+  table t({"Waiting-Threshold", "n", "elapsed (ms)", "qlock mean wait (us)"});
+  for (const std::int64_t threshold : {1, 4, 12, 24}) {
+    for (const std::int64_t n : {5, 20, 60}) {
+      auto cfg = bench::tsp_cfg(tsp::variant::centralized, locks::lock_kind::adaptive, 10);
+      cfg.lock_params.adapt.waiting_threshold = threshold;
+      cfg.lock_params.adapt.n = n;
+      const auto r = tsp::solve_parallel(inst, cfg);
+      t.row({std::to_string(threshold), std::to_string(n),
+             table::num(r.elapsed.ms(), 0),
+             table::num(r.lock_reports[0].mean_wait_us, 0)});
+    }
+  }
+  t.print();
+  std::printf("\nexpected shape: tiny thresholds push the hot qlock to pure blocking "
+              "(slow); generous thresholds keep waiters spinning (fast here: one "
+              "thread per processor)\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Extension (§2-c, from [MS93]): centralized vs. distributed lock placement.
+// The same workload with the lock word local to the contending threads vs.
+// on a remote hot node, plus the MCS queue lock whose waiters spin locally —
+// the implementation-specific configurations the reconfigurable lock can
+// re-target.
+#include "bench_common.hpp"
+#include "workload/cs_workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace adx;
+  using workload::table;
+
+  const auto iters = bench::arg_u64(argc, argv, "iterations", 150);
+
+  std::printf("Extension: lock placement and waiting locality (8 threads on 8 "
+              "processors, CS 80 us)\n\n");
+
+  table t({"configuration", "elapsed (ms)", "mean wait (us)",
+           "remote reads", "local reads"});
+
+  struct variant_row {
+    const char* name;
+    locks::lock_kind kind;
+    sim::node_id home;
+  };
+  const variant_row rows[] = {
+      {"spin, word on contender node 0", locks::lock_kind::spin, 0},
+      {"spin, word on remote node 15", locks::lock_kind::spin, 15},
+      {"mcs, tail on remote node 15 (local spinning)", locks::lock_kind::mcs, 15},
+  };
+
+  for (const auto& v : rows) {
+    workload::cs_config cfg;
+    cfg.processors = 8;
+    cfg.threads = 8;
+    cfg.iterations = iters;
+    cfg.cs_length = sim::microseconds(80);
+    cfg.think_time = sim::microseconds(250);
+    cfg.kind = v.kind;
+    cfg.lock_home = v.home;
+    cfg.machine = sim::machine_config::butterfly_gp1000();
+
+    // Count traffic by running inside a dedicated runtime through the
+    // workload driver; the driver exposes only elapsed/wait, so re-derive
+    // traffic with a raw run.
+    ct::runtime rt(cfg.machine);
+    auto lk = locks::make_lock(cfg.kind, cfg.lock_home, cfg.cost);
+    for (unsigned th = 0; th < cfg.threads; ++th) {
+      rt.fork(th % cfg.processors, [&, th](ct::context& ctx) -> ct::task<void> {
+        for (std::uint64_t i = 0; i < cfg.iterations; ++i) {
+          co_await lk->lock(ctx);
+          co_await ctx.compute(cfg.cs_length);
+          co_await lk->unlock(ctx);
+          co_await ctx.compute(cfg.think_time + sim::microseconds(3.0 * th));
+        }
+      });
+    }
+    const auto run = rt.run_all();
+    const auto& counts = rt.mach().counts();
+    t.row({v.name, table::num(run.end_time.ms(), 1),
+           table::num(lk->stats().wait_time_us().mean(), 0),
+           std::to_string(counts.remote_reads), std::to_string(counts.local_reads)});
+  }
+  t.print();
+  std::printf("\nexpected shape: remote placement slows the TTAS spin lock; the MCS "
+              "queue lock hides the remote word behind local spinning\n");
+  return 0;
+}

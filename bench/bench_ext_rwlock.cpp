@@ -1,0 +1,48 @@
+// Extension (§7): closely-coupled adaptation applied to a second kernel
+// abstraction — the reader-writer lock. A phase-shifting read/write mix is
+// run against fixed grant biases and the adaptive bias.
+#include "apps/rw_phases.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace adx;
+  using workload::table;
+
+  apps::rw_phases_config base;
+  base.ops_per_phase = bench::arg_u64(argc, argv, "ops", 60);
+  base.phases = static_cast<unsigned>(bench::arg_u64(argc, argv, "phases", 6));
+  base.readers = 8;
+  base.writers = 4;
+  base.processors = 12;
+  base.read_work = sim::microseconds(120);
+  base.write_work = sim::microseconds(350);
+  base.think = sim::microseconds(60);
+
+  std::printf("Extension: adaptive reader-writer lock on a phase-shifting "
+              "workload\n(%u readers + %u writers, %u alternating read-mostly / "
+              "write-heavy phases)\n\n",
+              base.readers, base.writers, base.phases);
+
+  table t({"grant policy", "read-phase reader wait (us)",
+           "write-phase writer wait (us)", "elapsed (ms)", "bias reconfigs"});
+  for (auto m : {apps::rw_lock_mode::fixed_reader_pref,
+                 apps::rw_lock_mode::fixed_writer_pref,
+                 apps::rw_lock_mode::fixed_balanced, apps::rw_lock_mode::adaptive}) {
+    auto cfg = base;
+    cfg.mode = m;
+    const auto r = run_rw_phases(cfg);
+    t.row({to_string(m), table::num(r.read_phase_reader_wait_us, 0),
+           table::num(r.write_phase_writer_wait_us, 0), table::num(r.elapsed.ms(), 1),
+           std::to_string(r.bias_reconfigurations)});
+    if (r.exclusion_violated) {
+      std::printf("ERROR: exclusion violated under %s\n", to_string(m));
+      return 1;
+    }
+  }
+  t.print();
+  std::printf("\nmetrics are phase-matched: lookups are the service of read-mostly "
+              "phases, updates of write-heavy phases. Each fixed bias is good on "
+              "one column; the adaptive bias tracks the phase (Ψ reconfigurations) "
+              "to stay near the better fixed policy on both\n");
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 4: Locking pattern for QLOCK in the centralized TSP implementation
+// (paper: sustained high contention on the single shared work queue).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  adx::bench::print_pattern_figure(
+      "Figure 4: Locking pattern for QLOCK, centralized implementation",
+      adx::tsp::variant::centralized, /*qlock=*/true, argc, argv);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 5: Locking pattern for GLOB-ACT-LOCK in the centralized TSP
+// implementation (paper: moderate contention from active-count updates and
+// idle-searcher polling).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  adx::bench::print_pattern_figure(
+      "Figure 5: Locking pattern for GLOB-ACT-LOCK, centralized implementation",
+      adx::tsp::variant::centralized, /*qlock=*/false, argc, argv);
+  return 0;
+}

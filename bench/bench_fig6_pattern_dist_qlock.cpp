@@ -1,0 +1,11 @@
+// Figure 6: Locking pattern for QLOCK in the distributed TSP implementation
+// (paper: much lower contention than the centralized queue — per-processor
+// queues, ring stealing).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  adx::bench::print_pattern_figure(
+      "Figure 6: Locking pattern for QLOCK, distributed implementation",
+      adx::tsp::variant::distributed, /*qlock=*/true, argc, argv);
+  return 0;
+}

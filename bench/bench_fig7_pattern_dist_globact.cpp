@@ -1,0 +1,11 @@
+// Figure 7: Locking pattern for GLOB-ACT-LOCK in the distributed TSP
+// implementation (paper: bursts of contention as searchers run dry and poll
+// the active-slave count).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  adx::bench::print_pattern_figure(
+      "Figure 7: Locking pattern for GLOB-ACT-LOCK, distributed implementation",
+      adx::tsp::variant::distributed, /*qlock=*/false, argc, argv);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 8: Locking pattern for QLOCK in the distributed TSP implementation
+// with load balancing (paper: lower than centralized; more qlock traffic
+// than plain distributed because of the per-iteration neighbour transfer,
+// but spread across the per-processor locks).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  adx::bench::print_pattern_figure(
+      "Figure 8: Locking pattern for QLOCK, distributed + load balancing",
+      adx::tsp::variant::distributed_lb, /*qlock=*/true, argc, argv);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 9: Locking pattern for GLOB-ACT-LOCK in the distributed TSP
+// implementation with load balancing.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  adx::bench::print_pattern_figure(
+      "Figure 9: Locking pattern for GLOB-ACT-LOCK, distributed + load balancing",
+      adx::tsp::variant::distributed_lb, /*qlock=*/false, argc, argv);
+  return 0;
+}

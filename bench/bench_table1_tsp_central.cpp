@@ -1,0 +1,13 @@
+// Table 1: Performance of the Centralized TSP implementation, blocking lock
+// vs. adaptive lock (paper: sequential 20666 ms, blocking 3207 ms, adaptive
+// 2636 ms, 17.8% improvement, ~6.5x speedup).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  adx::bench::print_tsp_table(
+      "Table 1: Centralized TSP implementation, blocking vs. adaptive lock",
+      adx::tsp::variant::centralized,
+      /*paper_blocking_ms=*/3207, /*paper_adaptive_ms=*/2636,
+      /*paper_improvement=*/0.178, /*paper_sequential_ms=*/20666, argc, argv);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Table 2: Performance of the Distributed TSP implementation (no load
+// balancing), blocking vs. adaptive lock (paper: blocking 2973 ms, adaptive
+// 2596 ms, 12.7% improvement).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  adx::bench::print_tsp_table(
+      "Table 2: Distributed TSP implementation, blocking vs. adaptive lock",
+      adx::tsp::variant::distributed,
+      /*paper_blocking_ms=*/2973, /*paper_adaptive_ms=*/2596,
+      /*paper_improvement=*/0.127, /*paper_sequential_ms=*/0, argc, argv);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Table 4: Cost of the Lock operation for different locks, local vs. remote
+// (paper: atomior 30.73/33.86, spin 40.79/41.10, backoff 40.79/41.15,
+// blocking 88.59/91.73, adaptive 40.79/41.17 microseconds).
+#include "bench_common.hpp"
+
+int main(int, char**) {
+  using adx::locks::lock_kind;
+  using adx::workload::table;
+
+  struct row {
+    lock_kind kind;
+    const char* name;
+    double paper_local;
+    double paper_remote;
+  };
+  const row rows[] = {
+      {lock_kind::atomior, "atomior", 30.73, 33.86},
+      {lock_kind::spin, "spin-lock", 40.79, 41.10},
+      {lock_kind::backoff, "spin-with-backoff", 40.79, 41.15},
+      {lock_kind::blocking, "blocking-lock", 88.59, 91.73},
+      {lock_kind::adaptive, "adaptive lock", 40.79, 41.17},
+  };
+
+  std::printf("Table 4: Cost of the Lock operation for different locks (us)\n"
+              "(uncontended acquisition; lock word local vs. remote)\n\n");
+  table t({"lock type", "paper local", "meas. local", "paper remote", "meas. remote"});
+  for (const auto& r : rows) {
+    const auto local = adx::bench::time_lock_ops(r.kind, false);
+    const auto remote = adx::bench::time_lock_ops(r.kind, true);
+    t.row({r.name, table::num(r.paper_local), table::num(local.lock_us),
+           table::num(r.paper_remote), table::num(remote.lock_us)});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Table 6: Cost of successive Unlock and Lock operation on an already
+// "locked" lock — the locking cycle, release-to-acquire with a waiter
+// present (paper: spin 45.13/47.89, backoff 320.36/356.95, blocking
+// 510.55/563.79 microseconds).
+#include "bench_common.hpp"
+
+int main(int, char**) {
+  using namespace adx;
+  using workload::table;
+
+  struct row {
+    locks::lock_kind kind;
+    const char* name;
+    double paper_local;
+    double paper_remote;
+  };
+  const row rows[] = {
+      {locks::lock_kind::spin, "spin", 45.13, 47.89},
+      {locks::lock_kind::backoff, "spin-with-backoff", 320.36, 356.95},
+      {locks::lock_kind::blocking, "blocking-lock", 510.55, 563.79},
+  };
+
+  std::printf("Table 6: Locking cycle (unlock then lock on a busy lock), static "
+              "locks (us)\n\n");
+  table t({"lock type", "paper local", "meas. local", "paper remote", "meas. remote"});
+  for (const auto& r : rows) {
+    const auto make = [&](ct::runtime&, sim::node_id home) {
+      return locks::make_lock(r.kind, home,
+                              locks::lock_cost_model::butterfly_cthreads());
+    };
+    t.row({r.name, table::num(r.paper_local),
+           table::num(bench::time_cycle_us(make, false)), table::num(r.paper_remote),
+           table::num(bench::time_cycle_us(make, true))});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Table 7: Locking cycle of the adaptive lock pinned to a configuration
+// (paper: configured as spin 90.21/101.38, configured as blocking
+// 565.16/625.63 microseconds). The adaptive lock's cycle spans the static
+// extremes depending on its current configuration.
+#include "bench_common.hpp"
+
+int main(int, char**) {
+  using namespace adx;
+  using workload::table;
+
+  struct row {
+    const char* name;
+    locks::waiting_policy policy;
+    double paper_local;
+    double paper_remote;
+  };
+  const row rows[] = {
+      {"configured as spin", locks::waiting_policy::pure_spin(4096), 90.21, 101.38},
+      {"configured as blocking", locks::waiting_policy::pure_sleep(), 565.16, 625.63},
+  };
+
+  std::printf("Table 7: Locking cycle of the adaptive lock by configuration (us)\n"
+              "(adaptation disabled for the measurement: the policy is pinned)\n\n");
+  table t({"configured as", "paper local", "meas. local", "paper remote",
+           "meas. remote"});
+  for (const auto& r : rows) {
+    const auto make = [&](ct::runtime&, sim::node_id home) {
+      // A reconfigurable lock pinned to the configuration (no monitor/policy
+      // feedback, exactly like an adaptive lock between adaptations).
+      return std::make_unique<locks::reconfigurable_lock>(
+          home, locks::lock_cost_model::butterfly_cthreads(), r.policy);
+    };
+    t.row({r.name, table::num(r.paper_local),
+           table::num(bench::time_cycle_us(make, false)), table::num(r.paper_remote),
+           table::num(bench::time_cycle_us(make, true))});
+  }
+  t.print();
+  return 0;
+}

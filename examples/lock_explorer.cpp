@@ -1,0 +1,63 @@
+// Lock explorer: compare every lock kind in the library on one contention
+// scenario and print a ranked table.
+//
+//   $ ./lock_explorer [threads] [processors] [cs_us] [think_us] [iters]
+//   $ ./lock_explorer 10 10 150 400 200
+#include <cstdio>
+#include <cstdlib>
+
+#include "workload/cs_workload.hpp"
+#include "workload/report.hpp"
+
+using namespace adx;
+
+int main(int argc, char** argv) {
+  workload::cs_config base;
+  base.threads = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 10;
+  base.processors = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 10;
+  base.cs_length = sim::microseconds(argc > 3 ? std::atof(argv[3]) : 150);
+  base.think_time = sim::microseconds(argc > 4 ? std::atof(argv[4]) : 400);
+  base.iterations = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 200;
+
+  std::printf("critical-section workload: %u threads on %u processors, "
+              "CS %.0f us, think %.0f us, %llu iterations/thread\n\n",
+              base.threads, base.processors, base.cs_length.us(), base.think_time.us(),
+              static_cast<unsigned long long>(base.iterations));
+
+  workload::table t({"lock", "elapsed (ms)", "contended", "mean wait (us)", "blocks",
+                     "spin iters", "peak waiting"});
+
+  const locks::lock_kind kinds[] = {
+      locks::lock_kind::atomior, locks::lock_kind::spin,
+      locks::lock_kind::backoff, locks::lock_kind::ticket,
+      locks::lock_kind::mcs,     locks::lock_kind::blocking,
+      locks::lock_kind::combined, locks::lock_kind::advisory,
+      locks::lock_kind::reconfigurable, locks::lock_kind::adaptive,
+  };
+  for (const auto kind : kinds) {
+    // Pure spinners livelock when threads outnumber processors (a real
+    // property, not a bug): skip them in that regime.
+    const bool spins_only = kind == locks::lock_kind::atomior ||
+                            kind == locks::lock_kind::spin ||
+                            kind == locks::lock_kind::backoff ||
+                            kind == locks::lock_kind::ticket ||
+                            kind == locks::lock_kind::mcs ||
+                            kind == locks::lock_kind::advisory;
+    if (spins_only && base.threads > base.processors) {
+      t.row({locks::to_string(kind), "(skipped: would spin-livelock)", "", "", "", "", ""});
+      continue;
+    }
+    auto cfg = base;
+    cfg.kind = kind;
+    // Adaptation constants tuned as §4 prescribes (see bench_abl_threshold
+    // for what happens when they are not).
+    cfg.params.adapt = {12, 20, 400, 2};
+    const auto r = run_cs_workload(cfg);
+    t.row({locks::to_string(kind), workload::table::num(r.elapsed.ms(), 2),
+           workload::table::pct(r.contention_ratio),
+           workload::table::num(r.mean_wait_us, 1), std::to_string(r.blocks),
+           std::to_string(r.spin_iterations), std::to_string(r.peak_waiting)});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "apps/kvstore.hpp"
+
+#include <stdexcept>
+
+#include "ct/context.hpp"
+#include "ct/runtime.hpp"
+#include "locks/reconfigurable_lock.hpp"
+
+namespace adx::apps {
+
+kv_result run_kv_workload(const kv_config& cfg) {
+  if (cfg.processors == 0 || cfg.processors > cfg.machine.nodes) {
+    throw std::invalid_argument("kvstore: processors out of range");
+  }
+  if (cfg.threads == 0 || cfg.buckets == 0) {
+    throw std::invalid_argument("kvstore: need threads and buckets");
+  }
+
+  ct::runtime rt(cfg.machine);
+  std::vector<std::unique_ptr<locks::lock_object>> locks_;
+  std::vector<std::unique_ptr<ct::svar<std::int64_t>>> cells;
+  locks_.reserve(cfg.buckets);
+  for (unsigned b = 0; b < cfg.buckets; ++b) {
+    const sim::node_id home = b % cfg.machine.nodes;
+    locks_.push_back(locks::make_lock(cfg.kind, home, cfg.cost, cfg.params));
+    cells.push_back(std::make_unique<ct::svar<std::int64_t>>(home, 0));
+  }
+
+  // Pre-drawn per-thread operation streams: bucket choices and jitter, so
+  // scheduling cannot perturb the random sequence.
+  sim::rng r(cfg.seed);
+  std::vector<std::vector<unsigned>> targets(cfg.threads);
+  std::vector<std::vector<double>> jitter(cfg.threads);
+  for (unsigned t = 0; t < cfg.threads; ++t) {
+    targets[t].reserve(cfg.ops_per_thread);
+    jitter[t].reserve(cfg.ops_per_thread);
+    for (std::uint64_t i = 0; i < cfg.ops_per_thread; ++i) {
+      const bool hot = r.uniform01() < cfg.hot_fraction;
+      targets[t].push_back(
+          hot ? 0u
+              : 1u + static_cast<unsigned>(r.below(cfg.buckets > 1 ? cfg.buckets - 1 : 1)));
+      jitter[t].push_back(0.6 + 0.8 * r.uniform01());
+    }
+  }
+
+  for (unsigned t = 0; t < cfg.threads; ++t) {
+    rt.fork(t % cfg.processors, [&, t](ct::context& ctx) -> ct::task<void> {
+      for (std::uint64_t i = 0; i < cfg.ops_per_thread; ++i) {
+        const unsigned b = targets[t][i];
+        co_await locks_[b]->lock(ctx);
+        const auto v = co_await ctx.read(*cells[b]);
+        co_await ctx.compute(cfg.op_work);
+        co_await ctx.write(*cells[b], v + 1);
+        co_await locks_[b]->unlock(ctx);
+        co_await ctx.sleep_for(sim::nanoseconds(static_cast<std::int64_t>(
+            static_cast<double>(cfg.think.ns) * jitter[t][i])));
+      }
+    });
+  }
+
+  const auto run = rt.run_all(cfg.max_events);
+
+  kv_result res;
+  res.elapsed = run.end_time;
+  for (unsigned b = 0; b < cfg.buckets; ++b) {
+    res.total_ops += static_cast<std::uint64_t>(cells[b]->raw());
+  }
+  const double secs = static_cast<double>(res.elapsed.ns) / 1e9;
+  res.throughput = secs > 0 ? static_cast<double>(res.total_ops) / secs : 0.0;
+
+  const auto& hot = locks_[0]->stats();
+  res.hot_requests = hot.requests();
+  res.hot_contention = hot.contention_ratio();
+  res.hot_mean_wait_us = hot.wait_time_us().mean();
+  res.hot_blocks = hot.blocks();
+  res.hot_spins = hot.spin_iterations();
+  res.hot_peak_waiting = hot.peak_waiting();
+
+  double cold_wait_sum = 0;
+  std::uint64_t cold_wait_n = 0;
+  std::uint64_t cold_contended = 0;
+  for (unsigned b = 1; b < cfg.buckets; ++b) {
+    const auto& s = locks_[b]->stats();
+    res.cold_requests += s.requests();
+    cold_contended += s.contended();
+    res.cold_blocks += s.blocks();
+    cold_wait_sum += s.wait_time_us().sum();
+    cold_wait_n += s.wait_time_us().count();
+  }
+  res.cold_contention =
+      res.cold_requests
+          ? static_cast<double>(cold_contended) / static_cast<double>(res.cold_requests)
+          : 0.0;
+  res.cold_mean_wait_us =
+      cold_wait_n ? cold_wait_sum / static_cast<double>(cold_wait_n) : 0.0;
+
+  if (auto* a0 = dynamic_cast<locks::reconfigurable_lock*>(locks_[0].get())) {
+    res.hot_final_spin = a0->current_policy().spin_time;
+  }
+  if (cfg.buckets > 1) {
+    if (auto* a1 = dynamic_cast<locks::reconfigurable_lock*>(locks_[1].get())) {
+      res.cold_final_spin = a1->current_policy().spin_time;
+    }
+  }
+  return res;
+}
+
+}  // namespace adx::apps

@@ -1,0 +1,72 @@
+// The "massively parallel application" of the paper's future work (§4, §7):
+// "For massively parallel applications we expect the gain to be even higher
+// because the effect of blocking vs. spinning (useful processing vs. wasted
+// processor cycles) is more pronounced."
+//
+// A shared key-value store: B buckets, each guarded by its own lock, homed
+// round-robin across the machine. Many more threads than processors perform
+// update operations; a configurable fraction of operations hits bucket 0
+// (the hot spot), the rest spread uniformly. The result is exactly the
+// environment adaptive locks are built for:
+//   * the hot bucket sees deep waiting under multiprogramming — the right
+//     policy is blocking (spinning steals cycles from runnable peers);
+//   * the cold buckets see no contention — the right policy is the
+//     lowest-latency pure spin;
+// and no single static lock choice is right for both.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "locks/factory.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/stats.hpp"
+
+namespace adx::apps {
+
+struct kv_config {
+  unsigned processors = 16;
+  unsigned threads = 64;  ///< several runnable threads per processor
+  std::uint64_t ops_per_thread = 100;
+  unsigned buckets = 32;
+  /// Probability that an operation targets bucket 0.
+  double hot_fraction = 0.6;
+  sim::vdur op_work = sim::microseconds(40);   ///< critical-section work
+  sim::vdur think = sim::microseconds(150);    ///< between operations (sleeps)
+
+  locks::lock_kind kind = locks::lock_kind::adaptive;
+  locks::lock_params params{};
+  locks::lock_cost_model cost = locks::lock_cost_model::butterfly_cthreads();
+  sim::machine_config machine = sim::machine_config::butterfly_gp1000();
+  std::uint64_t seed = 1993;
+  std::uint64_t max_events = 400'000'000ULL;
+};
+
+struct kv_result {
+  sim::vtime elapsed{};
+  std::uint64_t total_ops{0};
+  double throughput{0.0};  ///< operations per virtual second
+
+  // Hot-bucket lock behaviour.
+  std::uint64_t hot_requests{0};
+  double hot_contention{0.0};
+  double hot_mean_wait_us{0.0};
+  std::uint64_t hot_blocks{0};
+  std::uint64_t hot_spins{0};
+  std::int64_t hot_peak_waiting{0};
+
+  // Aggregate over the cold buckets.
+  std::uint64_t cold_requests{0};
+  double cold_contention{0.0};
+  double cold_mean_wait_us{0.0};
+  std::uint64_t cold_blocks{0};
+
+  /// For adaptive locks: final spin-time of the hot and a sample cold bucket
+  /// (shows the per-lock divergence the paper predicts).
+  std::int64_t hot_final_spin{-1};
+  std::int64_t cold_final_spin{-1};
+};
+
+[[nodiscard]] kv_result run_kv_workload(const kv_config& cfg);
+
+}  // namespace adx::apps

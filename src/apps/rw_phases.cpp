@@ -1,0 +1,117 @@
+#include "apps/rw_phases.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "ct/context.hpp"
+#include "ct/runtime.hpp"
+#include "locks/rw_lock.hpp"
+
+namespace adx::apps {
+
+const char* to_string(rw_lock_mode m) {
+  switch (m) {
+    case rw_lock_mode::fixed_reader_pref: return "fixed reader-pref (bias 100)";
+    case rw_lock_mode::fixed_writer_pref: return "fixed writer-pref (bias 0)";
+    case rw_lock_mode::fixed_balanced: return "fixed balanced (bias 50)";
+    case rw_lock_mode::adaptive: return "adaptive bias";
+  }
+  return "?";
+}
+
+rw_phases_result run_rw_phases(const rw_phases_config& cfg) {
+  if (cfg.readers + cfg.writers > cfg.processors ||
+      cfg.processors > cfg.machine.nodes) {
+    throw std::invalid_argument("rw_phases: thread/processor mismatch");
+  }
+
+  ct::runtime rt(cfg.machine);
+  std::unique_ptr<locks::reconfigurable_rw_lock> lk;
+  if (cfg.mode == rw_lock_mode::adaptive) {
+    lk = std::make_unique<locks::adaptive_rw_lock>(0, cfg.cost);
+  } else {
+    const std::int64_t bias = cfg.mode == rw_lock_mode::fixed_reader_pref ? 100
+                              : cfg.mode == rw_lock_mode::fixed_writer_pref ? 0
+                                                                            : 50;
+    lk = std::make_unique<locks::reconfigurable_rw_lock>(0, cfg.cost, bias);
+    // Pin the bias: a fixed configuration, not just an initial one.
+    lk->attributes().at("read-bias").set_mutable(false);
+  }
+
+  ct::svar<std::int64_t> value(0, 0);
+  bool violated = false;
+  std::int64_t writers_in = 0;
+  sim::accumulator read_phase_reader_wait;
+  sim::accumulator write_phase_writer_wait;
+
+  sim::rng r(cfg.seed);
+  const auto jitter = [&r] { return 0.7 + 0.6 * r.uniform01(); };
+  std::vector<double> pre;
+  pre.reserve((cfg.readers + cfg.writers) * cfg.phases * cfg.ops_per_phase * 2);
+  for (std::size_t i = 0; i < pre.capacity(); ++i) pre.push_back(jitter());
+  std::size_t draw = 0;
+  const auto next_jitter = [&]() { return pre[draw++ % pre.size()]; };
+
+  // Readers: busy in read-mostly phases (even), sparse in write phases.
+  for (unsigned i = 0; i < cfg.readers; ++i) {
+    rt.fork(i, [&, i](ct::context& ctx) -> ct::task<void> {
+      (void)i;
+      for (unsigned ph = 0; ph < cfg.phases; ++ph) {
+        const bool read_phase = ph % 2 == 0;
+        const auto ops = read_phase ? cfg.ops_per_phase : cfg.ops_per_phase / 4;
+        for (std::uint64_t k = 0; k < ops; ++k) {
+          const auto t0 = ctx.now();
+          co_await lk->lock_shared(ctx);
+          if (read_phase) read_phase_reader_wait.add((ctx.now() - t0).us());
+          if (writers_in != 0) violated = true;
+          co_await ctx.read(value);
+          co_await ctx.compute(cfg.read_work);
+          co_await lk->unlock_shared(ctx);
+          co_await ctx.sleep_for(sim::nanoseconds(static_cast<std::int64_t>(
+              static_cast<double>(cfg.think.ns) * next_jitter())));
+        }
+      }
+    });
+  }
+
+  // Writers: sparse in read-mostly phases, busy in write-heavy phases.
+  for (unsigned i = 0; i < cfg.writers; ++i) {
+    rt.fork(cfg.readers + i, [&, i](ct::context& ctx) -> ct::task<void> {
+      (void)i;
+      for (unsigned ph = 0; ph < cfg.phases; ++ph) {
+        const bool read_phase = ph % 2 == 0;
+        const auto ops = read_phase ? cfg.ops_per_phase / 8 : cfg.ops_per_phase;
+        for (std::uint64_t k = 0; k < ops; ++k) {
+          const auto t0 = ctx.now();
+          co_await lk->lock_exclusive(ctx);
+          if (!read_phase) write_phase_writer_wait.add((ctx.now() - t0).us());
+          if (++writers_in != 1 || lk->readers_raw() != 0) violated = true;
+          const auto v = co_await ctx.read(value);
+          co_await ctx.compute(cfg.write_work);
+          co_await ctx.write(value, v + 1);
+          --writers_in;
+          co_await lk->unlock_exclusive(ctx);
+          co_await ctx.sleep_for(sim::nanoseconds(static_cast<std::int64_t>(
+              static_cast<double>(cfg.think.ns) * 2.0 * next_jitter())));
+        }
+      }
+    });
+  }
+
+  const auto run = rt.run_all(cfg.max_events);
+
+  rw_phases_result res;
+  res.elapsed = run.end_time;
+  res.reads = lk->read_acquisitions();
+  res.writes = lk->write_acquisitions();
+  res.mean_reader_wait_us = lk->reader_wait_us().mean();
+  res.mean_writer_wait_us = lk->writer_wait_us().mean();
+  res.read_phase_reader_wait_us = read_phase_reader_wait.mean();
+  res.write_phase_writer_wait_us = write_phase_writer_wait.mean();
+  res.bias_reconfigurations = lk->costs().reconfiguration_ops;
+  res.final_bias = lk->read_bias();
+  res.exclusion_violated = violated;
+  return res;
+}
+
+}  // namespace adx::apps

@@ -1,0 +1,64 @@
+// Phase-shifting reader-writer workload for the adaptive RW lock: alternates
+// read-mostly phases (lookups dominate) with write-heavy phases (bulk
+// updates). A statically biased RW lock is wrong in one of the two phases;
+// the adaptive lock's monitor detects the mix shift and moves the grant bias
+// — the closely-coupled feedback loop on a second kernel abstraction.
+#pragma once
+
+#include <cstdint>
+
+#include "locks/cost_model.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/stats.hpp"
+
+namespace adx::apps {
+
+enum class rw_lock_mode : std::uint8_t {
+  fixed_reader_pref,  ///< read-bias pinned at 100
+  fixed_writer_pref,  ///< read-bias pinned at 0
+  fixed_balanced,     ///< read-bias pinned at 50
+  adaptive,           ///< rw_adapt_policy drives the bias
+};
+
+[[nodiscard]] const char* to_string(rw_lock_mode m);
+
+struct rw_phases_config {
+  unsigned processors = 12;
+  unsigned readers = 8;
+  unsigned writers = 3;
+  /// Operations per thread per phase; phases alternate read-mostly (writers
+  /// mostly think) and write-heavy (writers hammer, readers mostly think).
+  std::uint64_t ops_per_phase = 40;
+  unsigned phases = 4;
+
+  sim::vdur read_work = sim::microseconds(60);
+  sim::vdur write_work = sim::microseconds(180);
+  sim::vdur think = sim::microseconds(120);
+
+  rw_lock_mode mode = rw_lock_mode::adaptive;
+  locks::lock_cost_model cost = locks::lock_cost_model::butterfly_cthreads();
+  sim::machine_config machine = sim::machine_config::butterfly_gp1000();
+  std::uint64_t seed = 71;
+  std::uint64_t max_events = 400'000'000ULL;
+};
+
+struct rw_phases_result {
+  sim::vtime elapsed{};
+  std::uint64_t reads{0};
+  std::uint64_t writes{0};
+  double mean_reader_wait_us{0.0};
+  double mean_writer_wait_us{0.0};
+  /// Phase-matched latencies: what each phase is *for*. In a read-mostly
+  /// phase the service is lookups; in a write-heavy phase it is updates. A
+  /// well-configured lock is judged on the matched metric of each phase.
+  double read_phase_reader_wait_us{0.0};
+  double write_phase_writer_wait_us{0.0};
+  std::uint64_t bias_reconfigurations{0};
+  std::int64_t final_bias{-1};
+  /// Consistency check: every write observed exclusive access.
+  bool exclusion_violated{false};
+};
+
+[[nodiscard]] rw_phases_result run_rw_phases(const rw_phases_config& cfg);
+
+}  // namespace adx::apps

@@ -1,0 +1,82 @@
+// Mutable object attributes (the paper's CV set, §3).
+//
+// An attribute characterises part of an object's internal implementation and
+// can be changed orthogonally to the object's interface. Two time-dependent
+// properties govern when a change is legal:
+//   * mutability — whether the current value may be changed at all right now;
+//   * ownership  — who may change it: acquired *implicitly* by invoking one
+//     of the object's methods, or *explicitly* via acquire() by an external
+//     agent (e.g. a monitoring thread).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/cost.hpp"
+
+namespace adx::core {
+
+/// Identifies an owner: a thread or an external agent. The namespace-free
+/// integer keeps core independent of the thread package.
+using agent_id = std::uint32_t;
+
+enum class set_result : std::uint8_t { ok, immutable, not_owner };
+
+template <typename T>
+class attribute {
+ public:
+  attribute(std::string name, T initial)
+      : name_(std::move(name)), value_(initial), initial_(initial) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const T& get() const { return value_; }
+  [[nodiscard]] bool is_mutable() const { return mutable_; }
+  [[nodiscard]] std::optional<agent_id> owner() const { return owner_; }
+
+  void set_mutable(bool m) { mutable_ = m; }
+
+  /// Explicit ownership acquisition by an external agent; fails if another
+  /// agent holds the attribute.
+  [[nodiscard]] bool acquire(agent_id agent) {
+    if (owner_ && *owner_ != agent) return false;
+    owner_ = agent;
+    return true;
+  }
+
+  /// Releases ownership (no-op if `agent` is not the owner).
+  void release(agent_id agent) {
+    if (owner_ && *owner_ == agent) owner_.reset();
+  }
+
+  /// Attempts to change the value. `who` identifies the caller for ownership
+  /// checks; an unset `who` models implicit ownership via method invocation
+  /// (permitted unless an external agent holds the attribute).
+  set_result set(T v, std::optional<agent_id> who = std::nullopt) {
+    if (!mutable_) return set_result::immutable;
+    if (owner_ && (!who || *who != *owner_)) return set_result::not_owner;
+    value_ = v;
+    return set_result::ok;
+  }
+
+  /// Re-initialisation (the paper's I operation restores CV_0).
+  void reset() {
+    value_ = initial_;
+    mutable_ = true;
+    owner_.reset();
+  }
+
+  /// Declared cost of a simple attribute reconfiguration: one read of the old
+  /// value, one write of the new (§5.2 / Table 8).
+  [[nodiscard]] static constexpr op_cost set_cost() { return {1, 1}; }
+
+ private:
+  std::string name_;
+  T value_;
+  T initial_;
+  bool mutable_{true};
+  std::optional<agent_id> owner_{};
+};
+
+}  // namespace adx::core

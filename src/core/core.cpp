@@ -1,0 +1,8 @@
+// Anchor TU: ensures every core header is self-contained.
+#include "core/adaptive.hpp"
+#include "core/attribute.hpp"
+#include "core/attribute_set.hpp"
+#include "core/cost.hpp"
+#include "core/monitor.hpp"
+#include "core/policy.hpp"
+#include "core/reconfigurable.hpp"

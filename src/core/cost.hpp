@@ -1,0 +1,53 @@
+// The paper's cost formalism (§3.1): every state-transition (Υ) and
+// reconfiguration (Ψ) operation is priced in memory reads and writes,
+// `t = n1 R n2 W`. Objects declare these costs; the simulator's access
+// ledger lets tests check that the implementation actually performs the
+// declared number of accesses.
+#pragma once
+
+#include <cstdint>
+
+namespace adx::core {
+
+/// Declared cost of one operation, in memory-access units.
+struct op_cost {
+  std::uint64_t reads{0};
+  std::uint64_t writes{0};
+
+  friend constexpr op_cost operator+(op_cost a, op_cost b) {
+    return {a.reads + b.reads, a.writes + b.writes};
+  }
+  constexpr op_cost& operator+=(op_cost o) {
+    reads += o.reads;
+    writes += o.writes;
+    return *this;
+  }
+  friend constexpr bool operator==(op_cost, op_cost) = default;
+
+  [[nodiscard]] constexpr std::uint64_t total() const { return reads + writes; }
+};
+
+/// Running ledger of declared costs, grouped by operation family.
+struct cost_ledger {
+  op_cost transitions{};        ///< Υ: internal-state transitions
+  op_cost reconfigurations{};   ///< Ψ: configuration changes
+  op_cost monitoring{};         ///< M: sensor sampling
+  std::uint64_t transition_ops{0};
+  std::uint64_t reconfiguration_ops{0};
+  std::uint64_t monitor_samples{0};
+
+  void add_transition(op_cost c) {
+    transitions += c;
+    ++transition_ops;
+  }
+  void add_reconfiguration(op_cost c) {
+    reconfigurations += c;
+    ++reconfiguration_ops;
+  }
+  void add_monitor_sample(op_cost c) {
+    monitoring += c;
+    ++monitor_samples;
+  }
+};
+
+}  // namespace adx::core

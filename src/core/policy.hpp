@@ -1,0 +1,31 @@
+// Adaptation policies P — the user-provided half of the feedback loop
+// M --v_i--> P --d_c--> Ψ (§3.1). A policy receives observations from the
+// monitor and issues reconfiguration decisions against whatever object it
+// was constructed to adapt.
+#pragma once
+
+#include <cstdint>
+
+#include "core/sensor.hpp"
+
+namespace adx::core {
+
+class adaptation_policy {
+ public:
+  virtual ~adaptation_policy() = default;
+
+  /// One monitor observation; the policy may reconfigure its object.
+  virtual void observe(const observation& obs) = 0;
+
+  /// Number of reconfiguration decisions issued (d_c count), for overhead
+  /// accounting in the ablation benches.
+  [[nodiscard]] std::uint64_t decisions() const { return decisions_; }
+
+ protected:
+  void note_decision() { ++decisions_; }
+
+ private:
+  std::uint64_t decisions_{0};
+};
+
+}  // namespace adx::core

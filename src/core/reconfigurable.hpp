@@ -1,0 +1,84 @@
+// Reconfigurable objects (§3): objects whose method implementations can be
+// altered at run time behind an immutable interface. The base class carries
+// the mutable-attribute set (CV), the current method-implementation selector
+// (the Γ component), a configuration generation counter, and the declared-
+// cost ledger for Υ/Ψ/M operations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/attribute_set.hpp"
+#include "core/cost.hpp"
+
+namespace adx::core {
+
+class reconfigurable_object {
+ public:
+  explicit reconfigurable_object(std::string initial_method_impl = "default")
+      : method_impl_(std::move(initial_method_impl)) {}
+  virtual ~reconfigurable_object() = default;
+
+  [[nodiscard]] attribute_set& attributes() { return attrs_; }
+  [[nodiscard]] const attribute_set& attributes() const { return attrs_; }
+
+  /// The Γ component of the current configuration.
+  [[nodiscard]] const std::string& method_impl() const { return method_impl_; }
+
+  /// The full current configuration ⟨Γ_i, Φ_i⟩.
+  [[nodiscard]] configuration current_configuration() const {
+    return {method_impl_, attrs_.snapshot()};
+  }
+
+  /// Monotone counter bumped by every Ψ operation; in-flight method
+  /// executions use it to detect that the object changed under them.
+  [[nodiscard]] std::uint64_t config_generation() const { return generation_; }
+
+  [[nodiscard]] const cost_ledger& costs() const { return ledger_; }
+
+  /// Ψ on one attribute: 1R + 1W (Table 8, configure(waiting policy)).
+  set_result reconfigure_attribute(std::string_view name, std::int64_t value,
+                                   std::optional<agent_id> who = std::nullopt) {
+    auto r = attrs_.at(name).set(value, who);
+    if (r == set_result::ok) {
+      ledger_.add_reconfiguration(attribute<std::int64_t>::set_cost());
+      ++generation_;
+    }
+    return r;
+  }
+
+  /// Ψ on the method implementation (e.g. swapping a lock's scheduler):
+  /// three sub-module writes plus a transition-flag set and reset (Table 8,
+  /// configure(scheduler) — 5 writes total).
+  void reconfigure_method_impl(std::string impl) {
+    method_impl_ = std::move(impl);
+    ledger_.add_reconfiguration(op_cost{0, 5});
+    ++generation_;
+  }
+
+  /// The I operation: attributes back to CV_0. Subclasses extend to restore
+  /// IV_0 / Γ_0.
+  virtual void reinitialize() { attrs_.reset_all(); }
+
+ protected:
+  void note_transition(op_cost c) { ledger_.add_transition(c); }
+  void note_monitor_sample(op_cost c) { ledger_.add_monitor_sample(c); }
+
+  /// For subclasses implementing composite Ψ operations with their own cost
+  /// structure (e.g. a packed waiting-policy word: 1R + 1W for four fields).
+  void note_reconfiguration(op_cost c) {
+    ledger_.add_reconfiguration(c);
+    ++generation_;
+  }
+
+  /// Sets Γ_0 during construction without recording a Ψ operation.
+  void init_method_impl(std::string impl) { method_impl_ = std::move(impl); }
+
+ private:
+  attribute_set attrs_;
+  std::string method_impl_;
+  std::uint64_t generation_{0};
+  cost_ledger ledger_;
+};
+
+}  // namespace adx::core

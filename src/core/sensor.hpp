@@ -1,0 +1,63 @@
+// Sensors: the data-collection half of the monitor module (§3, §5.1).
+//
+// A sensor samples one state variable. Its *sampling rate* is expressed as
+// "every k-th trigger": the paper's customized lock monitor samples the
+// number of waiting threads once during every other unlock operation (k=2).
+// Higher rates raise information quality and monitoring overhead together —
+// the trade-off bench `bench_abl_sampling` sweeps exactly this knob.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "core/cost.hpp"
+
+namespace adx::core {
+
+/// One (sensor, value) observation delivered to an adaptation policy.
+struct observation {
+  std::string_view sensor;
+  std::int64_t value{0};
+};
+
+class sensor {
+ public:
+  using source_fn = std::function<std::int64_t()>;
+
+  /// `every` = sampling period in triggers (1 = every trigger). The declared
+  /// sampling cost is one read of the state variable per sample.
+  sensor(std::string name, source_fn source, std::uint64_t every = 1)
+      : name_(std::move(name)), source_(std::move(source)), every_(every == 0 ? 1 : every) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t period() const { return every_; }
+  [[nodiscard]] std::uint64_t samples_taken() const { return samples_; }
+  [[nodiscard]] std::uint64_t triggers_seen() const { return triggers_; }
+
+  void set_period(std::uint64_t every) { every_ = every == 0 ? 1 : every; }
+
+  /// Called at an instrumentation point. Returns an observation on sampling
+  /// triggers, nothing otherwise.
+  [[nodiscard]] std::optional<observation> trigger() {
+    ++triggers_;
+    if (triggers_ % every_ != 0) return std::nullopt;
+    ++samples_;
+    return observation{name_, source_()};
+  }
+
+  /// Declared cost of taking one sample: one read.
+  [[nodiscard]] static constexpr op_cost sample_cost() { return {1, 0}; }
+
+ private:
+  std::string name_;
+  source_fn source_;
+  std::uint64_t every_;
+  std::uint64_t triggers_{0};
+  std::uint64_t samples_{0};
+};
+
+}  // namespace adx::core

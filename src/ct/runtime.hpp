@@ -1,0 +1,164 @@
+// The configurable thread package (multiprocessor Cthreads analog, [Muk91]).
+//
+// Each simulated thread is a coroutine pinned to a processor. Processors run
+// one thread at a time with FIFO ready queues; blocking, yielding and waking
+// pay the configured context-switch / dispatch latencies. All scheduling is
+// driven by the machine's event queue, so runs are deterministic.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ct/task.hpp"
+#include "sim/machine.hpp"
+
+namespace adx::ct {
+
+using thread_id = std::uint32_t;
+using proc_id = sim::node_id;
+
+inline constexpr thread_id invalid_thread = ~thread_id{0};
+
+enum class thread_state : std::uint8_t { embryo, ready, running, blocked, sleeping, done };
+
+[[nodiscard]] const char* to_string(thread_state s);
+
+class context;
+class runtime;
+
+/// Thread control block. Stable address for the lifetime of the runtime.
+struct tcb {
+  thread_id id{invalid_thread};
+  proc_id proc{0};
+  int priority{0};
+  thread_state state{thread_state::embryo};
+
+  /// Coroutine to resume when this thread is next scheduled.
+  std::coroutine_handle<> resume_point{};
+  /// Bumped on every state transition; invalidates in-flight timer events.
+  std::uint64_t epoch{0};
+  /// Result of the last block_for(): true if the wait timed out.
+  bool last_block_timed_out{false};
+
+  std::vector<thread_id> joiners;
+  task<void> root;
+  std::unique_ptr<context> ctx;
+  std::exception_ptr error{};
+
+  tcb();
+  ~tcb();
+  tcb(const tcb&) = delete;
+  tcb& operator=(const tcb&) = delete;
+};
+
+/// Thrown by run_all() when the event queue drains with live threads left.
+class deadlock_error : public std::runtime_error {
+ public:
+  deadlock_error(std::string msg, std::vector<thread_id> stuck)
+      : std::runtime_error(std::move(msg)), stuck_(std::move(stuck)) {}
+  [[nodiscard]] const std::vector<thread_id>& stuck() const { return stuck_; }
+
+ private:
+  std::vector<thread_id> stuck_;
+};
+
+/// Thrown when a run exceeds its event budget (livelock guard).
+class simulation_limit_error : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class runtime {
+ public:
+  using thread_fn = std::function<task<void>(context&)>;
+
+  explicit runtime(sim::machine_config cfg);
+  ~runtime();
+  runtime(const runtime&) = delete;
+  runtime& operator=(const runtime&) = delete;
+
+  [[nodiscard]] sim::machine& mach() { return mach_; }
+  [[nodiscard]] const sim::machine& mach() const { return mach_; }
+  [[nodiscard]] sim::vtime now() const { return mach_.now(); }
+  [[nodiscard]] unsigned processors() const { return mach_.nodes(); }
+
+  /// Creates a thread pinned to processor `p`; it becomes runnable
+  /// immediately (dispatched through the normal ready-queue machinery).
+  thread_id fork(proc_id p, thread_fn fn, int priority = 0);
+
+  struct run_result {
+    sim::vtime end_time{};
+    std::uint64_t events{0};
+    bool completed{false};
+    std::vector<thread_id> stuck;
+  };
+
+  /// Drives the simulation until the event queue drains or `max_events` have
+  /// been processed. Does not throw on stuck threads; inspect the result.
+  run_result run(std::uint64_t max_events = 500'000'000ULL);
+
+  /// Like run(), but throws deadlock_error / simulation_limit_error and
+  /// rethrows the first thread exception, so tests fail loudly.
+  run_result run_all(std::uint64_t max_events = 500'000'000ULL);
+
+  [[nodiscard]] std::size_t thread_count() const { return threads_.size(); }
+  [[nodiscard]] thread_state state_of(thread_id t) const { return thread_ref(t).state; }
+  [[nodiscard]] std::exception_ptr error_of(thread_id t) const { return thread_ref(t).error; }
+  [[nodiscard]] thread_id current_on(proc_id p) const;
+  [[nodiscard]] std::size_t ready_depth(proc_id p) const { return procs_.at(p).ready.size(); }
+
+  // ------- services used by context awaitables and synchronization objects.
+
+  [[nodiscard]] tcb& thread_ref(thread_id t);
+  [[nodiscard]] const tcb& thread_ref(thread_id t) const;
+
+  /// Resumes `h` (belonging to thread `t`) at absolute time `at`; the thread
+  /// keeps its processor meanwhile (computing / waiting on memory).
+  void schedule_resume(tcb& t, std::coroutine_handle<> h, sim::vtime at);
+
+  /// Current thread gives up its processor until unblock(); `h` resumes it.
+  void suspend_block(tcb& t, std::coroutine_handle<> h);
+
+  /// Block with a timeout; on expiry the thread self-wakes with
+  /// last_block_timed_out = true.
+  void suspend_block_for(tcb& t, std::coroutine_handle<> h, sim::vdur timeout);
+
+  /// Makes a blocked/sleeping thread ready. Returns false if it was not
+  /// blocked (already ready, running or done) — callers treat that as a
+  /// harmless lost-wakeup race, as on real hardware.
+  bool unblock(thread_id t);
+
+  /// True if yielding would actually switch (another thread is ready).
+  [[nodiscard]] bool has_ready_peer(proc_id p) const { return !procs_.at(p).ready.empty(); }
+
+  void suspend_yield(tcb& t, std::coroutine_handle<> h);
+  void suspend_sleep(tcb& t, std::coroutine_handle<> h, sim::vdur d);
+
+  /// Registers `waiter` to be woken when `target` exits; returns false if
+  /// target already exited (waiter should not block).
+  bool add_joiner(thread_id target, thread_id waiter);
+
+  void on_thread_exit(tcb& t);
+
+ private:
+  struct processor {
+    tcb* current{nullptr};
+    std::deque<tcb*> ready;
+  };
+
+  void make_ready(tcb& t);
+  void dispatch(proc_id p);
+  void schedule_dispatch(proc_id p, sim::vdur after);
+
+  sim::machine mach_;
+  std::vector<processor> procs_;
+  std::vector<std::unique_ptr<tcb>> threads_;
+  std::size_t live_threads_{0};
+};
+
+}  // namespace adx::ct

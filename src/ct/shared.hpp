@@ -1,0 +1,39 @@
+// Shared memory words with NUMA placement.
+//
+// An `svar<T>` is a word of simulated shared memory homed on a specific node.
+// All synchronized access goes through `context` awaitables (read / write /
+// atomic RMW), which route through the machine's memory modules and charge
+// wire + service latency. `raw()` bypasses the simulation entirely and exists
+// for test setup and post-run verification only.
+#pragma once
+
+#include <type_traits>
+
+#include "sim/machine_config.hpp"
+
+namespace adx::ct {
+
+template <typename T>
+class svar {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "svar models a machine word; store trivially copyable types");
+
+ public:
+  explicit svar(sim::node_id home, T init = T{}) : value_(init), home_(home) {}
+
+  svar(const svar&) = delete;
+  svar& operator=(const svar&) = delete;
+
+  [[nodiscard]] sim::node_id home() const { return home_; }
+
+  /// Unsimulated access for setup/verification; never call from simulated
+  /// thread code on shared state (it would dodge both latency and the ledger).
+  [[nodiscard]] T& raw() { return value_; }
+  [[nodiscard]] const T& raw() const { return value_; }
+
+ private:
+  T value_;
+  sim::node_id home_;
+};
+
+}  // namespace adx::ct

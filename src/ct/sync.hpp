@@ -1,0 +1,100 @@
+// Small coordination utilities on top of the thread package: wait queues,
+// counting semaphores and barriers. These are application-support primitives
+// (used by the TSP driver and the workload generators), not the measured
+// article — the measured synchronization objects live in adx::locks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "ct/context.hpp"
+#include "ct/task.hpp"
+
+namespace adx::ct {
+
+/// FIFO wait queue. wait() enqueues the caller and blocks; notify wakes in
+/// order. Enqueue+block contain no awaits between them, so the pair is atomic
+/// with respect to the simulation.
+class wait_queue {
+ public:
+  task<void> wait(context& ctx) {
+    q_.push_back(ctx.self());
+    co_await ctx.block();
+  }
+
+  /// Wakes the oldest waiter, if any.
+  task<void> notify_one(context& ctx) {
+    if (!q_.empty()) {
+      const thread_id t = q_.front();
+      q_.pop_front();
+      co_await ctx.unblock(t);
+    }
+  }
+
+  task<void> notify_all(context& ctx) {
+    // Snapshot first (atomic: no awaits): threads woken here may re-enqueue
+    // while we are still issuing wakeups, and those new waits belong to a
+    // later round — they must not be swallowed by this notify.
+    std::deque<thread_id> batch;
+    batch.swap(q_);
+    for (const thread_id t : batch) {
+      co_await ctx.unblock(t);
+    }
+  }
+
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+
+ private:
+  std::deque<thread_id> q_;
+};
+
+/// Counting semaphore.
+class semaphore {
+ public:
+  explicit semaphore(std::int64_t initial = 0) : count_(initial) {}
+
+  task<void> acquire(context& ctx) {
+    if (count_ > 0) {
+      --count_;
+      co_return;
+    }
+    co_await waiters_.wait(ctx);
+  }
+
+  task<void> release(context& ctx) {
+    if (!waiters_.empty()) {
+      co_await waiters_.notify_one(ctx);
+    } else {
+      ++count_;
+    }
+  }
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+
+ private:
+  std::int64_t count_;
+  wait_queue waiters_;
+};
+
+/// Cyclic barrier for `parties` threads.
+class barrier {
+ public:
+  explicit barrier(std::size_t parties) : parties_(parties) {}
+
+  task<void> arrive_and_wait(context& ctx) {
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      co_await waiters_.notify_all(ctx);
+    } else {
+      co_await waiters_.wait(ctx);
+    }
+  }
+
+ private:
+  std::size_t parties_;
+  std::size_t arrived_{0};
+  wait_queue waiters_;
+};
+
+}  // namespace adx::ct

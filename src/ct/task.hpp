@@ -1,0 +1,164 @@
+// Lazy coroutine task type for simulated threads.
+//
+// A simulated thread's body is a C++20 coroutine. Calling into a sub-routine
+// that itself performs simulated actions (e.g. lock acquisition) is another
+// task awaited by the caller; completion resumes the caller by symmetric
+// transfer, costing no virtual time. Only explicit awaitables on the thread
+// context (compute, memory access, block, ...) advance the clock.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace adx::ct {
+
+template <typename T>
+class task;
+
+namespace detail {
+
+/// Resumes the awaiting coroutine (if any) when a task finishes.
+template <typename Promise>
+struct final_awaiter {
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+    auto cont = h.promise().continuation;
+    return cont ? cont : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+struct promise_base {
+  std::coroutine_handle<> continuation{};
+  std::exception_ptr error{};
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// A lazily-started coroutine returning T. Move-only; owns the frame.
+template <typename T = void>
+class [[nodiscard]] task {
+ public:
+  struct promise_type : detail::promise_base {
+    std::optional<T> value{};
+
+    task get_return_object() {
+      return task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    detail::final_awaiter<promise_type> final_suspend() noexcept { return {}; }
+    template <typename U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  task() = default;
+  explicit task(handle_type h) : h_(h) {}
+  task(task&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  task& operator=(task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  task(const task&) = delete;
+  task& operator=(const task&) = delete;
+  ~task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return static_cast<bool>(h_); }
+  [[nodiscard]] bool done() const { return h_ && h_.done(); }
+  [[nodiscard]] std::coroutine_handle<> handle() const { return h_; }
+
+  /// Awaiting a task starts it; the awaiter is resumed when it completes.
+  auto operator co_await() && noexcept {
+    struct awaiter {
+      handle_type h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+        h.promise().continuation = parent;
+        return h;
+      }
+      T await_resume() {
+        if (h.promise().error) std::rethrow_exception(h.promise().error);
+        return std::move(*h.promise().value);
+      }
+    };
+    return awaiter{h_};
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  handle_type h_{};
+};
+
+/// void specialization.
+template <>
+class [[nodiscard]] task<void> {
+ public:
+  struct promise_type : detail::promise_base {
+    task get_return_object() {
+      return task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    detail::final_awaiter<promise_type> final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+  };
+
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  task() = default;
+  explicit task(handle_type h) : h_(h) {}
+  task(task&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  task& operator=(task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  task(const task&) = delete;
+  task& operator=(const task&) = delete;
+  ~task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return static_cast<bool>(h_); }
+  [[nodiscard]] bool done() const { return h_ && h_.done(); }
+  [[nodiscard]] std::coroutine_handle<> handle() const { return h_; }
+
+  auto operator co_await() && noexcept {
+    struct awaiter {
+      handle_type h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+        h.promise().continuation = parent;
+        return h;
+      }
+      void await_resume() {
+        if (h.promise().error) std::rethrow_exception(h.promise().error);
+      }
+    };
+    return awaiter{h_};
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  handle_type h_{};
+};
+
+}  // namespace adx::ct

@@ -1,0 +1,104 @@
+// Adaptive lock (§4, §5): a reconfigurable lock with a built-in customized
+// monitor and the paper's `simple-adapt` policy, forming the closely-coupled
+// feedback loop executed inline by unlocking threads.
+//
+// Monitor: one sensor, `no-of-waiting-threads`, sampled once during every
+// other unlock operation (period 2 by default).
+//
+// Policy (verbatim from §4):
+//
+//   IF   no-of-waiting-threads = 0                → configure pure spin
+//   ELIF no-of-waiting-threads <= Waiting-Threshold → no-of-spins += n
+//   ELSE                                          → no-of-spins -= 2n
+//   IF   no-of-spins <= 0                         → configure pure blocking
+//
+// Waiting-Threshold and n are lock-specific constants, exposed here as
+// parameters (the paper notes they must be tuned per lock; the ablation
+// bench `bench_abl_threshold` sweeps them).
+#pragma once
+
+#include <algorithm>
+
+#include "core/policy.hpp"
+#include "core/sensor.hpp"
+#include "locks/reconfigurable_lock.hpp"
+
+namespace adx::locks {
+
+struct simple_adapt_params {
+  std::int64_t waiting_threshold = 4;  ///< Waiting-Threshold
+  std::int64_t n = 10;                 ///< the per-lock adjustment constant
+  std::int64_t spin_cap = 200;         ///< upper bound on no-of-spins
+  std::uint64_t sample_period = 2;     ///< sample every k-th unlock (paper: 2)
+  /// The paper's no-contention rule configures an *unbounded* pure spin —
+  /// correct with one thread per processor (TSP, §4), but under
+  /// multiprogramming a long spin steals cycles from runnable peers. With
+  /// this false, the no-contention configuration is mixed(spin_cap): spin up
+  /// to the cap, then block — the bounded-spin rule production adaptive
+  /// mutexes use.
+  bool pure_spin_on_idle = true;
+};
+
+/// The paper's simple-adapt policy, operating on a reconfigurable lock.
+class simple_adapt_policy final : public core::adaptation_policy {
+ public:
+  simple_adapt_policy(reconfigurable_lock& lk, simple_adapt_params p)
+      : lk_(&lk), p_(p) {}
+
+  void observe(const core::observation& obs) override {
+    if (obs.sensor != "no-of-waiting-threads") return;
+    const std::int64_t waiting = obs.value;
+    const auto cur = lk_->current_policy();
+
+    waiting_policy next;
+    if (waiting == 0) {
+      // No contention: configure the lock to be the lowest-latency spin
+      // (unbounded per the paper, or bounded-then-block for multiprogrammed
+      // workloads).
+      next = p_.pure_spin_on_idle ? waiting_policy::pure_spin(p_.spin_cap)
+                                  : waiting_policy::mixed(p_.spin_cap);
+    } else {
+      std::int64_t spins = cur.spin_time;
+      if (waiting <= p_.waiting_threshold) {
+        spins += p_.n;
+      } else {
+        spins -= 2 * p_.n;
+      }
+      spins = std::min(spins, p_.spin_cap);
+      if (spins <= 0) {
+        next = waiting_policy::pure_sleep();  // configure pure blocking
+      } else {
+        next = waiting_policy::mixed(spins);  // spin, then block
+      }
+    }
+    if (next != cur && lk_->apply_waiting_policy(next)) note_decision();
+  }
+
+  [[nodiscard]] const simple_adapt_params& params() const { return p_; }
+
+ private:
+  reconfigurable_lock* lk_;
+  simple_adapt_params p_;
+};
+
+class adaptive_lock final : public reconfigurable_lock {
+ public:
+  adaptive_lock(sim::node_id home, lock_cost_model cost,
+                simple_adapt_params params = {},
+                waiting_policy initial = waiting_policy::mixed(10),
+                std::unique_ptr<lock_scheduler> sched = nullptr);
+
+  [[nodiscard]] std::string_view kind() const override { return "adaptive"; }
+
+  [[nodiscard]] const simple_adapt_params& adapt_params() const { return params_; }
+
+ protected:
+  /// The closely-coupled feedback loop, executed by the unlocking thread:
+  /// sample the sensor, run the policy, charge monitor + policy + any Ψ cost.
+  ct::task<void> post_release_hook(ct::context& ctx) override;
+
+ private:
+  simple_adapt_params params_;
+};
+
+}  // namespace adx::locks

@@ -1,0 +1,92 @@
+// Advisory (speculative) lock (§2, footnote 2): the owner advises requesting
+// threads whether to spin or sleep while waiting, updating the advice word
+// during different phases of its computation. Performs well for variable-
+// length critical sections: the owner knows how long it will hold the lock,
+// the waiters do not.
+#pragma once
+
+#include <deque>
+
+#include "locks/lock.hpp"
+
+namespace adx::locks {
+
+enum class lock_advice : std::uint64_t { spin = 0, sleep = 1 };
+
+class advisory_lock final : public lock_object {
+ public:
+  advisory_lock(sim::node_id home, lock_cost_model cost)
+      : lock_object(home, cost), advice_(home, 0) {}
+
+  [[nodiscard]] std::string_view kind() const override { return "advisory"; }
+
+  /// Owner-side: publish what waiters should do for the current phase.
+  ct::task<void> set_advice(ct::context& ctx, lock_advice a) {
+    co_await ctx.write(advice_, static_cast<std::uint64_t>(a));
+  }
+
+  [[nodiscard]] lock_advice current_advice() const {
+    return static_cast<lock_advice>(advice_.raw());
+  }
+
+  ct::task<void> lock(ct::context& ctx) override {
+    const auto requested = ctx.now();
+    stats_.on_request(requested);
+    co_await ctx.compute(cost_.spin_lock_overhead);
+    if (co_await try_acquire(ctx)) {
+      stats_.on_acquired(ctx.now() - requested);
+      co_return;
+    }
+    stats_.on_contended();
+    note_waiting(ctx.now(), +1);
+    for (;;) {
+      const auto adv = static_cast<lock_advice>(co_await ctx.read(advice_));
+      if (adv == lock_advice::spin) {
+        // Spin a chunk, then re-consult the advice (the owner may have
+        // entered a long phase meanwhile).
+        if (co_await spin_ttas(ctx, advice_spin_chunk)) break;
+        continue;
+      }
+      // Advice says sleep: register and block, as a blocking lock.
+      co_await ctx.touch(home(), sim::access_kind::write, 2);
+      // --- atomic window: missed-release re-check.
+      if ((word_.raw() & 1) == 0) {
+        if (co_await try_acquire(ctx)) break;
+        continue;
+      }
+      queue_.push_back(ctx.self());
+      stats_.on_block();
+      co_await ctx.block();
+      break;  // handoff
+    }
+    note_waiting(ctx.now(), -1);
+    stats_.on_acquired(ctx.now() - requested);
+  }
+
+  ct::task<void> unlock(ct::context& ctx) override {
+    co_await ctx.compute(cost_.spin_unlock_overhead);
+    stats_.on_release();
+    co_await ctx.touch(home(), sim::access_kind::read);
+    while (!queue_.empty()) {
+      const auto next = queue_.front();
+      queue_.pop_front();
+      co_await ctx.touch(home(), sim::access_kind::write);
+      set_owner(next);
+      if (co_await ctx.unblock(next)) {
+        stats_.on_handoff();
+        co_return;
+      }
+      set_owner(ct::invalid_thread);
+    }
+    co_await release_word(ctx);
+  }
+
+  /// Spin iterations between advice refreshes.
+  static constexpr std::int64_t advice_spin_chunk = 8;
+
+ private:
+  ct::svar<std::uint64_t> advice_;
+  std::deque<ct::thread_id> queue_;
+};
+
+}  // namespace adx::locks

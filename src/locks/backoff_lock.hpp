@@ -1,0 +1,48 @@
+// Spin-with-backoff (the Anderson et al. variation cited in §5.2): a waiter
+// spins once; if the lock is busy it backs off for a delay proportional to
+// the number of waiting threads before retrying. Cuts hot-spot traffic at
+// the cost of a longer locking cycle (Table 6: backoff cycle ~320 us vs
+// ~45 us for pure spin).
+#pragma once
+
+#include <algorithm>
+
+#include "locks/lock.hpp"
+
+namespace adx::locks {
+
+class backoff_spin_lock final : public lock_object {
+ public:
+  backoff_spin_lock(sim::node_id home, lock_cost_model cost) : lock_object(home, cost) {}
+
+  [[nodiscard]] std::string_view kind() const override { return "spin-with-backoff"; }
+
+  ct::task<void> lock(ct::context& ctx) override {
+    const auto requested = ctx.now();
+    stats_.on_request(requested);
+    co_await ctx.compute(cost_.spin_lock_overhead);
+    if (co_await try_acquire(ctx)) {
+      stats_.on_acquired(ctx.now() - requested);
+      co_return;
+    }
+    stats_.on_contended();
+    note_waiting(ctx.now(), +1);
+    for (;;) {
+      const auto factor = std::max<std::int64_t>(std::int64_t{1}, waiting_);
+      co_await ctx.compute(cost_.backoff_quantum * factor);
+      stats_.on_spin_iteration();
+      const auto v = co_await ctx.read(word_);
+      if ((v & 1) == 0 && co_await try_acquire(ctx)) break;
+    }
+    note_waiting(ctx.now(), -1);
+    stats_.on_acquired(ctx.now() - requested);
+  }
+
+  ct::task<void> unlock(ct::context& ctx) override {
+    co_await ctx.compute(cost_.spin_unlock_overhead);
+    stats_.on_release();
+    co_await release_word(ctx);
+  }
+};
+
+}  // namespace adx::locks

@@ -1,0 +1,82 @@
+// Pure blocking lock (the plain Cthreads mutex of Tables 1-6): contended
+// waiters enqueue on the lock's wait queue (homed with the lock word) and
+// give up their processor; release frees the word and wakes the oldest
+// waiter, which then *re-competes* for the lock. This release-and-retry
+// discipline is what the paper's reconfigurable lock improves on — its
+// release scheduler component grants the lock directly to the selected
+// registrant instead.
+#pragma once
+
+#include <deque>
+
+#include "locks/lock.hpp"
+
+namespace adx::locks {
+
+class blocking_lock final : public lock_object {
+ public:
+  blocking_lock(sim::node_id home, lock_cost_model cost) : lock_object(home, cost) {}
+
+  [[nodiscard]] std::string_view kind() const override { return "blocking"; }
+
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+  ct::task<void> lock(ct::context& ctx) override {
+    const auto requested = ctx.now();
+    stats_.on_request(requested);
+    co_await ctx.compute(cost_.blocking_lock_overhead);
+    if (co_await try_acquire(ctx)) {
+      stats_.on_acquired(ctx.now() - requested);
+      co_return;
+    }
+    stats_.on_contended();
+    note_waiting(ctx.now(), +1);
+    bool was_woken = false;
+    for (;;) {
+      // Registration-record traffic at the lock's home node.
+      co_await ctx.touch(home(), sim::access_kind::write, 2);
+      // --- atomic window (no awaits until block): re-check for a release
+      // that slipped in while we were writing the registration record.
+      if ((word_.raw() & 1) == 0) {
+        if (co_await try_acquire(ctx)) break;
+        continue;  // another thread got it; re-register
+      }
+      // A previously woken loser keeps its place at the head of the queue.
+      if (was_woken) {
+        queue_.push_front(ctx.self());
+      } else {
+        queue_.push_back(ctx.self());
+      }
+      stats_.on_block();
+      co_await ctx.block();
+      // Woken after a release: retry the acquisition immediately (another
+      // thread may still beat us to it, in which case we re-queue).
+      was_woken = true;
+      const bool got = co_await try_acquire(ctx);
+      co_await ctx.compute(cost_.blocking_lock_overhead / 2);  // retry path
+      if (got) break;
+    }
+    note_waiting(ctx.now(), -1);
+    stats_.on_acquired(ctx.now() - requested);
+  }
+
+  ct::task<void> unlock(ct::context& ctx) override {
+    co_await ctx.compute(cost_.blocking_unlock_overhead);
+    stats_.on_release();
+    // Inspect the wait queue (one read at home), free the word, then wake
+    // the oldest waiter to re-compete.
+    co_await ctx.touch(home(), sim::access_kind::read);
+    co_await release_word(ctx);
+    if (!queue_.empty()) {
+      const auto next = queue_.front();
+      queue_.pop_front();
+      co_await ctx.touch(home(), sim::access_kind::write);  // dequeue record
+      co_await ctx.unblock(next);
+    }
+  }
+
+ private:
+  std::deque<ct::thread_id> queue_;
+};
+
+}  // namespace adx::locks

@@ -1,0 +1,72 @@
+// Combined lock: spin `spin_limit` times, then block (the static
+// spin-then-block locks of Figure 1 — spin-1 / spin-10 / spin-50). The
+// optimal spin count depends on critical-section length and locking pattern;
+// that observation is exactly what motivates the adaptive lock.
+#pragma once
+
+#include <deque>
+
+#include "locks/lock.hpp"
+
+namespace adx::locks {
+
+class combined_lock final : public lock_object {
+ public:
+  combined_lock(sim::node_id home, lock_cost_model cost, std::int64_t spin_limit)
+      : lock_object(home, cost), spin_limit_(spin_limit) {}
+
+  [[nodiscard]] std::string_view kind() const override { return "combined"; }
+  [[nodiscard]] std::int64_t spin_limit() const { return spin_limit_; }
+
+  ct::task<void> lock(ct::context& ctx) override {
+    const auto requested = ctx.now();
+    stats_.on_request(requested);
+    co_await ctx.compute(cost_.spin_lock_overhead);
+    if (co_await try_acquire(ctx)) {
+      stats_.on_acquired(ctx.now() - requested);
+      co_return;
+    }
+    stats_.on_contended();
+    note_waiting(ctx.now(), +1);
+    for (;;) {
+      if (spin_limit_ > 0 && co_await spin_ttas(ctx, spin_limit_)) break;
+      // Spin budget exhausted: register and block.
+      co_await ctx.touch(home(), sim::access_kind::write, 2);
+      // --- atomic window: missed-release re-check.
+      if ((word_.raw() & 1) == 0) {
+        if (co_await try_acquire(ctx)) break;
+        continue;
+      }
+      queue_.push_back(ctx.self());
+      stats_.on_block();
+      co_await ctx.block();
+      break;  // handoff
+    }
+    note_waiting(ctx.now(), -1);
+    stats_.on_acquired(ctx.now() - requested);
+  }
+
+  ct::task<void> unlock(ct::context& ctx) override {
+    co_await ctx.compute(cost_.spin_unlock_overhead);
+    stats_.on_release();
+    co_await ctx.touch(home(), sim::access_kind::read);  // blocked-waiter check
+    while (!queue_.empty()) {
+      const auto next = queue_.front();
+      queue_.pop_front();
+      co_await ctx.touch(home(), sim::access_kind::write);
+      set_owner(next);
+      if (co_await ctx.unblock(next)) {
+        stats_.on_handoff();
+        co_return;
+      }
+      set_owner(ct::invalid_thread);
+    }
+    co_await release_word(ctx);  // spinners race for it
+  }
+
+ private:
+  std::int64_t spin_limit_;
+  std::deque<ct::thread_id> queue_;
+};
+
+}  // namespace adx::locks

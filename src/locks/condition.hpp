@@ -1,0 +1,63 @@
+// Condition variable over the lock family: wait() atomically releases the
+// associated lock and suspends; signal()/broadcast() wake waiters, which
+// reacquire the lock before returning (Mesa semantics — recheck your
+// predicate in a loop). Works with any lock_object.
+//
+// Missed-signal safety: a waiter registers on the condition queue *before*
+// releasing the lock. A signal that fires while the waiter is still inside
+// its unlock path removes it from the queue; the waiter notices it is no
+// longer registered and skips the suspend entirely.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+
+#include "locks/lock.hpp"
+
+namespace adx::locks {
+
+class condition {
+ public:
+  condition() = default;
+  condition(const condition&) = delete;
+  condition& operator=(const condition&) = delete;
+
+  /// Atomically releases `lk` and waits for a signal; reacquires `lk`
+  /// before returning. Caller must hold `lk`.
+  ct::task<void> wait(ct::context& ctx, lock_object& lk) {
+    q_.push_back(ctx.self());
+    co_await lk.unlock(ctx);
+    // --- atomic window: a signal during our unlock already dequeued us.
+    if (std::find(q_.begin(), q_.end(), ctx.self()) != q_.end()) {
+      co_await ctx.block();
+    }
+    co_await lk.lock(ctx);
+  }
+
+  /// Wakes the oldest waiter (no lock required, as in Cthreads).
+  ct::task<void> signal(ct::context& ctx) {
+    if (!q_.empty()) {
+      const auto t = q_.front();
+      q_.pop_front();
+      // If the waiter has not suspended yet, the failed unblock is fine: it
+      // will see itself dequeued and skip the block.
+      co_await ctx.unblock(t);
+    }
+  }
+
+  /// Wakes every current waiter.
+  ct::task<void> broadcast(ct::context& ctx) {
+    std::deque<ct::thread_id> batch;
+    batch.swap(q_);
+    for (const auto t : batch) {
+      co_await ctx.unblock(t);
+    }
+  }
+
+  [[nodiscard]] std::size_t waiters() const { return q_.size(); }
+
+ private:
+  std::deque<ct::thread_id> q_;
+};
+
+}  // namespace adx::locks

@@ -1,0 +1,24 @@
+#include "locks/cost_model.hpp"
+
+namespace adx::locks {
+
+lock_cost_model lock_cost_model::fast_test() {
+  lock_cost_model c;
+  c.tas_lock_overhead = sim::microseconds(2.0);
+  c.tas_unlock_overhead = sim::microseconds(0.5);
+  c.spin_lock_overhead = sim::microseconds(3.0);
+  c.spin_unlock_overhead = sim::microseconds(0.5);
+  c.spin_pause = sim::microseconds(1.0);
+  c.backoff_quantum = sim::microseconds(5.0);
+  c.blocking_lock_overhead = sim::microseconds(6.0);
+  c.blocking_unlock_overhead = sim::microseconds(4.0);
+  c.adaptive_unlock_check = sim::microseconds(1.0);
+  c.monitor_sample_overhead = sim::microseconds(4.0);
+  c.policy_execution = sim::microseconds(1.0);
+  c.acquisition_overhead = sim::microseconds(2.0);
+  c.configure_attr_overhead = sim::microseconds(1.0);
+  c.configure_sched_overhead = sim::microseconds(1.0);
+  return c;
+}
+
+}  // namespace adx::locks

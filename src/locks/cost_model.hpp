@@ -1,0 +1,62 @@
+// Software-path costs of the Cthreads lock implementations.
+//
+// The hardware (wire, module service) is priced by adx::sim; what remains is
+// the fixed instruction-path cost of each lock operation in the thread
+// package — the dominant term in the paper's Tables 4-5 (e.g. the atomior
+// lock op costs 30.73 us local, of which only ~1.6 us is the memory system).
+// `butterfly_cthreads()` is calibrated against those tables.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace adx::locks {
+
+struct lock_cost_model {
+  /// Instruction path of the raw atomior lock/unlock (Table 4 row 1).
+  sim::vdur tas_lock_overhead = sim::microseconds(29.0);
+  sim::vdur tas_unlock_overhead = sim::microseconds(3.0);
+
+  /// Instruction path of the spin-family lock()/unlock() (Table 4-5 rows 2-3).
+  sim::vdur spin_lock_overhead = sim::microseconds(38.0);
+  sim::vdur spin_unlock_overhead = sim::microseconds(4.0);
+
+  /// Processor-side delay per spin iteration (loop + test), bounding the rate
+  /// at which a spinner hammers the lock word's memory module.
+  sim::vdur spin_pause = sim::microseconds(25.0);
+
+  /// Backoff quantum: a backoff waiter delays quantum x (waiters) per round.
+  sim::vdur backoff_quantum = sim::microseconds(250.0);
+
+  /// Instruction path of the blocking lock()/unlock() (queue management,
+  /// scheduler interaction; Table 4-5 rows 4).
+  sim::vdur blocking_lock_overhead = sim::microseconds(80.0);
+  sim::vdur blocking_unlock_overhead = sim::microseconds(55.0);
+
+  /// Extra work on the adaptive unlock path: check for currently blocked
+  /// threads (Table 5: adaptive unlock > spin unlock).
+  sim::vdur adaptive_unlock_check = sim::microseconds(8.0);
+
+  /// Executing one monitor sample: read the state variable, run low-level
+  /// processing (Table 8: monitor(one state variable) = 66.03 us).
+  sim::vdur monitor_sample_overhead = sim::microseconds(62.0);
+
+  /// Executing the user adaptation policy on one observation.
+  sim::vdur policy_execution = sim::microseconds(6.0);
+
+  /// Explicit attribute-ownership acquisition by an external agent
+  /// (Table 8: acquisition = 30.75 us, comparable to a test-and-set).
+  sim::vdur acquisition_overhead = sim::microseconds(29.0);
+
+  /// Instruction path of configure(waiting policy) / configure(scheduler)
+  /// beyond the charged memory accesses (Table 8 rows 2-3).
+  sim::vdur configure_attr_overhead = sim::microseconds(8.0);
+  sim::vdur configure_sched_overhead = sim::microseconds(9.0);
+
+  /// The paper's Cthreads implementation on the BBN Butterfly GP1000.
+  [[nodiscard]] static lock_cost_model butterfly_cthreads() { return {}; }
+
+  /// Cheap paths for fast unit tests (timing structure preserved, scaled down).
+  [[nodiscard]] static lock_cost_model fast_test();
+};
+
+}  // namespace adx::locks

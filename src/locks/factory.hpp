@@ -1,0 +1,46 @@
+// Lock factory: uniform construction of any lock kind, used by the benches
+// and the TSP driver to sweep lock families.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "locks/adaptive_lock.hpp"
+#include "locks/lock.hpp"
+
+namespace adx::locks {
+
+enum class lock_kind {
+  atomior,
+  spin,
+  backoff,
+  blocking,
+  combined,
+  advisory,
+  ticket,
+  mcs,
+  reconfigurable,
+  adaptive,
+};
+
+[[nodiscard]] const char* to_string(lock_kind k);
+
+/// Parses a lock-kind name (as printed by to_string); throws
+/// std::invalid_argument on unknown names.
+[[nodiscard]] lock_kind parse_lock_kind(std::string_view name);
+
+struct lock_params {
+  std::int64_t combined_spin_limit = 10;
+  waiting_policy initial_policy = waiting_policy::mixed(10);
+  simple_adapt_params adapt{};
+  /// Release discipline for reconfigurable/adaptive locks: 0 = direct
+  /// handoff (paper setting), 1 = release-and-retry (barging; avoids grant
+  /// convoys under heavy multiprogramming).
+  std::int64_t grant_mode = 0;
+};
+
+[[nodiscard]] std::unique_ptr<lock_object> make_lock(lock_kind kind, sim::node_id home,
+                                                     const lock_cost_model& cost,
+                                                     const lock_params& params = {});
+
+}  // namespace adx::locks

@@ -1,0 +1,114 @@
+// Lock object interface and shared machinery.
+//
+// Every lock is placed on a home node (its word and registration metadata
+// live in that node's memory module — "centralized vs. distributed" lock
+// placement is just this choice), carries per-lock statistics, and exposes
+// coroutine lock()/unlock() operations executed by simulated threads.
+//
+// Implementation pattern used throughout: *native state, charged timing*.
+// The authoritative lock state (held bit, registration queue) is plain C++
+// data mutated only inside await-free windows, which the single-threaded
+// event loop makes atomic; the latency of each step is charged through the
+// machine's memory system (svar RMWs for the word, `touch` for metadata).
+// This yields exact determinism with faithful NUMA timing.
+#pragma once
+
+#include <string_view>
+
+#include "ct/context.hpp"
+#include "ct/task.hpp"
+#include "locks/cost_model.hpp"
+#include "locks/stats.hpp"
+
+namespace adx::locks {
+
+class lock_object {
+ public:
+  virtual ~lock_object() = default;
+
+  lock_object(const lock_object&) = delete;
+  lock_object& operator=(const lock_object&) = delete;
+
+  /// Acquires the lock; returns when the calling thread owns it.
+  virtual ct::task<void> lock(ct::context& ctx) = 0;
+
+  /// Releases the lock; the caller must be the owner.
+  virtual ct::task<void> unlock(ct::context& ctx) = 0;
+
+  [[nodiscard]] virtual std::string_view kind() const = 0;
+
+  [[nodiscard]] sim::node_id home() const { return word_.home(); }
+  [[nodiscard]] lock_stats& stats() { return stats_; }
+  [[nodiscard]] const lock_stats& stats() const { return stats_; }
+  [[nodiscard]] const lock_cost_model& cost_model() const { return cost_; }
+
+  /// Current number of threads waiting (spinning or blocked) — the state
+  /// variable the paper's customized lock monitor senses.
+  [[nodiscard]] std::int64_t waiting_now() const { return waiting_; }
+
+  /// Unsimulated view of the held bit, for tests and invariant checks.
+  [[nodiscard]] bool held_raw() const { return (word_.raw() & 1) != 0; }
+
+  /// Owner thread (ct::invalid_thread when free); maintained natively.
+  [[nodiscard]] ct::thread_id owner() const { return owner_; }
+
+ protected:
+  lock_object(sim::node_id home, lock_cost_model cost)
+      : word_(home, 0), cost_(cost) {}
+
+  /// One test-and-set attempt (atomior): returns true if acquired.
+  ct::task<bool> try_acquire(ct::context& ctx) {
+    const auto old = co_await ctx.fetch_or(word_, std::uint64_t{1});
+    if ((old & 1) == 0) {
+      owner_ = ctx.self();
+      co_return true;
+    }
+    co_return false;
+  }
+
+  /// Test-test-and-set spin: up to `max_iters` read iterations (negative =
+  /// unbounded), attempting acquisition whenever the word reads free.
+  /// Returns true if acquired. The caller accounts the waiting count.
+  ct::task<bool> spin_ttas(ct::context& ctx, std::int64_t max_iters) {
+    for (std::int64_t i = 0; max_iters < 0 || i < max_iters; ++i) {
+      stats_.on_spin_iteration();
+      const auto v = co_await ctx.read(word_);
+      if ((v & 1) == 0) {
+        if (co_await try_acquire(ctx)) co_return true;
+      }
+      co_await ctx.compute(cost_.spin_pause);
+    }
+    co_return false;
+  }
+
+  /// Releases the word (plain write of 0). Caller handles queue handoff.
+  ct::task<void> release_word(ct::context& ctx) {
+    owner_ = ct::invalid_thread;
+    co_await ctx.write(word_, std::uint64_t{0});
+  }
+
+  /// Registers a change in the waiting population (spinners + blocked).
+  void note_waiting(sim::vtime at, std::int64_t delta) {
+    waiting_ += delta;
+    stats_.on_waiting_changed(at, waiting_);
+  }
+
+  void set_owner(ct::thread_id t) { owner_ = t; }
+
+  ct::svar<std::uint64_t> word_;
+  lock_cost_model cost_;
+  lock_stats stats_;
+  std::int64_t waiting_{0};
+  ct::thread_id owner_{ct::invalid_thread};
+};
+
+/// RAII-style scoped critical section for simulated code:
+///   co_await locks::with(lk, ctx, [&]() -> ct::task<void> { ... });
+template <typename Body>
+ct::task<void> with(lock_object& lk, ct::context& ctx, Body body) {
+  co_await lk.lock(ctx);
+  co_await body();
+  co_await lk.unlock(ctx);
+}
+
+}  // namespace adx::locks

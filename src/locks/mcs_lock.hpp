@@ -1,0 +1,111 @@
+// MCS queue lock (extension): waiters spin on a flag homed on their *own*
+// node, so waiting generates no remote traffic — the NUMA-friendly contrast
+// to the hot-spot spin locks. Used by the placement/contention extension
+// benches.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "locks/lock.hpp"
+
+namespace adx::locks {
+
+class mcs_lock final : public lock_object {
+  static constexpr std::uint64_t none = ~std::uint64_t{0};
+
+  struct qnode {
+    ct::svar<std::uint64_t> granted;  ///< homed on the waiter's node
+    ct::svar<std::uint64_t> next;     ///< successor thread id, or `none`
+    qnode(sim::node_id n) : granted(n, 0), next(n, none) {}
+  };
+
+ public:
+  mcs_lock(sim::node_id home, lock_cost_model cost)
+      : lock_object(home, cost), tail_(home, none) {}
+
+  [[nodiscard]] std::string_view kind() const override { return "mcs"; }
+
+  ct::task<void> lock(ct::context& ctx) override {
+    const auto requested = ctx.now();
+    stats_.on_request(requested);
+    co_await ctx.compute(cost_.spin_lock_overhead);
+
+    qnode& me = node_for(ctx);
+    me.granted.raw() = 0;
+    me.next.raw() = none;
+    co_await ctx.touch(ctx.proc(), sim::access_kind::write, 2);  // node init (local)
+
+    const auto prev = co_await ctx.exchange(tail_, std::uint64_t{ctx.self()});
+    if (prev == none) {
+      set_owner(ctx.self());
+      word_.raw() = 1;
+      stats_.on_acquired(ctx.now() - requested);
+      co_return;
+    }
+    stats_.on_contended();
+    note_waiting(ctx.now(), +1);
+    // Link behind the predecessor (a write on the predecessor's node).
+    qnode& p = node_for_thread(static_cast<ct::thread_id>(prev), ctx);
+    co_await ctx.write(p.next, std::uint64_t{ctx.self()});
+    // Spin on the LOCAL granted flag.
+    for (;;) {
+      stats_.on_spin_iteration();
+      const auto g = co_await ctx.read(me.granted);
+      if (g != 0) break;
+      co_await ctx.compute(cost_.spin_pause);
+    }
+    note_waiting(ctx.now(), -1);
+    set_owner(ctx.self());
+    word_.raw() = 1;
+    stats_.on_acquired(ctx.now() - requested);
+  }
+
+  ct::task<void> unlock(ct::context& ctx) override {
+    co_await ctx.compute(cost_.spin_unlock_overhead);
+    stats_.on_release();
+    qnode& me = node_for(ctx);
+
+    auto succ = co_await ctx.read(me.next);
+    if (succ == none) {
+      // No known successor: try to swing the tail back to empty.
+      const auto old =
+          co_await ctx.cas(tail_, std::uint64_t{ctx.self()}, none);
+      if (old == std::uint64_t{ctx.self()}) {
+        set_owner(ct::invalid_thread);
+        word_.raw() = 0;
+        co_return;
+      }
+      // A successor is mid-enqueue: wait for its link to appear.
+      do {
+        co_await ctx.compute(cost_.spin_pause);
+        succ = co_await ctx.read(me.next);
+      } while (succ == none);
+    }
+    const auto succ_tid = static_cast<ct::thread_id>(succ);
+    qnode& s = node_for_thread(succ_tid, ctx);
+    set_owner(succ_tid);
+    stats_.on_handoff();
+    co_await ctx.write(s.granted, std::uint64_t{1});  // remote write to waiter
+  }
+
+ private:
+  qnode& node_for(ct::context& ctx) { return node_at(ctx.self(), ctx.proc()); }
+
+  qnode& node_for_thread(ct::thread_id t, ct::context& ctx) {
+    return node_at(t, ctx.rt().thread_ref(t).proc);
+  }
+
+  qnode& node_at(ct::thread_id t, sim::node_id proc) {
+    auto it = nodes_.find(t);
+    if (it == nodes_.end()) {
+      it = nodes_.emplace(t, std::make_unique<qnode>(proc)).first;
+    }
+    return *it->second;
+  }
+
+  ct::svar<std::uint64_t> tail_;
+  std::unordered_map<ct::thread_id, std::unique_ptr<qnode>> nodes_;
+};
+
+}  // namespace adx::locks

@@ -1,0 +1,209 @@
+#include "locks/reconfigurable_lock.hpp"
+
+namespace adx::locks {
+
+reconfigurable_lock::reconfigurable_lock(sim::node_id home, lock_cost_model cost,
+                                         waiting_policy initial,
+                                         std::unique_ptr<lock_scheduler> sched)
+    : lock_object(home, cost),
+      core::adaptive_object("fcfs"),
+      sched_(sched ? std::move(sched) : std::make_unique<fcfs_scheduler>()) {
+  auto& a = attributes();
+  a.declare("spin-time", initial.spin_time);
+  a.declare("delay-time", initial.delay_time);
+  a.declare("sleep-time", initial.sleep_time);
+  a.declare("timeout", initial.timeout_us);
+  a.declare("grant-mode", 0);  // 0 = direct handoff, 1 = release-and-retry
+  init_method_impl(std::string(sched_->name()));
+}
+
+waiting_policy reconfigurable_lock::current_policy() const {
+  const auto& a = attributes();
+  return {a.value("spin-time"), a.value("delay-time"), a.value("sleep-time"),
+          a.value("timeout")};
+}
+
+bool reconfigurable_lock::apply_waiting_policy(const waiting_policy& wp,
+                                               std::optional<core::agent_id> who) {
+  auto& a = attributes();
+  const auto cur = current_policy();
+  if (cur == wp) return true;  // no-op: no Ψ recorded
+  // All-or-nothing check first (ownership / mutability), then apply.
+  const char* names[] = {"spin-time", "delay-time", "sleep-time", "timeout"};
+  for (const char* n : names) {
+    const auto& attr = a.at(n);
+    if (!attr.is_mutable()) return false;
+    if (attr.owner() && (!who || *who != *attr.owner())) return false;
+  }
+  a.at("spin-time").set(wp.spin_time, who);
+  a.at("delay-time").set(wp.delay_time, who);
+  a.at("sleep-time").set(wp.sleep_time, who);
+  a.at("timeout").set(wp.timeout_us, who);
+  note_reconfiguration(core::op_cost{1, 1});  // packed policy word
+  return true;
+}
+
+ct::task<void> reconfigurable_lock::lock(ct::context& ctx) {
+  const auto requested = ctx.now();
+  stats_.on_request(requested);
+  // The adaptive/reconfigurable lock path initially spins before deciding to
+  // block, so its lock-op cost tracks the spin lock's (Table 4).
+  co_await ctx.compute(cost_.spin_lock_overhead);
+  if (co_await try_acquire(ctx)) {
+    stats_.on_acquired(ctx.now() - requested);
+    co_return;
+  }
+  stats_.on_contended();
+  note_waiting(ctx.now(), +1);
+
+  for (bool acquired = false; !acquired;) {
+    // Attributes are re-read every round: reconfiguration (including by the
+    // in-object adaptation policy) takes effect on waiting threads mid-wait.
+    const auto wp = current_policy();
+
+    if (wp.spin_time > 0) {
+      if (co_await spin_ttas(ctx, wp.spin_time)) break;
+    }
+    if (wp.delay_time > 0) {
+      co_await ctx.compute(cost_.backoff_quantum * wp.delay_time);
+      const auto v = co_await ctx.read(word_);
+      if ((v & 1) == 0 && co_await try_acquire(ctx)) break;
+    }
+    if (wp.timeout_us > 0) {
+      // Conditional sleep: register and block with a timeout.
+      co_await ctx.touch(home(), sim::access_kind::write, 2);
+      // --- atomic window: missed-release re-check.
+      if ((word_.raw() & 1) == 0) {
+        if (co_await try_acquire(ctx)) break;
+        continue;
+      }
+      sched_->register_waiter(ctx.self(), ctx.priority());
+      stats_.on_block();
+      const bool woken = co_await ctx.block_for(
+          sim::microseconds(static_cast<double>(wp.timeout_us)));
+      if (woken) {
+        if (owner() == ctx.self()) break;  // handoff grant
+        continue;                          // release-and-retry wakeup
+      }
+      sched_->deregister(ctx.self());  // expired: withdraw registration
+      continue;
+    }
+    if (wp.sleep_time > 0) {
+      co_await ctx.touch(home(), sim::access_kind::write, 2);
+      if ((word_.raw() & 1) == 0) {
+        if (co_await try_acquire(ctx)) break;
+        continue;
+      }
+      sched_->register_waiter(ctx.self(), ctx.priority());
+      stats_.on_block();
+      co_await ctx.block();
+      // Direct handoff made us owner; under release-and-retry we were merely
+      // woken and must re-compete.
+      if (owner() == ctx.self()) break;
+      continue;
+    }
+    if (wp.spin_time <= 0 && wp.delay_time <= 0) {
+      // Degenerate all-zero policy: behave as a modest pure spin.
+      if (co_await spin_ttas(ctx, 16)) break;
+    }
+  }
+
+  note_waiting(ctx.now(), -1);
+  stats_.on_acquired(ctx.now() - requested);
+}
+
+ct::task<void> reconfigurable_lock::unlock(ct::context& ctx) {
+  // Spin-lock release path plus the check for currently blocked threads
+  // (Table 5: adaptive unlock costs more than spin unlock).
+  co_await ctx.compute(cost_.spin_unlock_overhead + cost_.adaptive_unlock_check);
+  stats_.on_release();
+  co_await ctx.touch(home(), sim::access_kind::read);  // inspect registrations
+
+  bool handed = false;
+  if (attributes().value("grant-mode") != 0) {
+    // Release-and-retry: free the word first, then wake the scheduler's pick
+    // to re-compete (it re-registers if it loses). Keep picking past waiters
+    // whose timed waits expired concurrently, so no registrant is stranded.
+    co_await release_word(ctx);
+    for (;;) {
+      const auto next = sched_->pick_next();
+      if (!next) break;
+      co_await ctx.touch(home(), sim::access_kind::write);
+      if (co_await ctx.unblock(*next)) break;
+    }
+    if (pending_sched_ && sched_->waiting() == 0) {
+      // Pre-registered threads all served: adopt the new scheduler here too.
+      sched_ = std::move(pending_sched_);
+      reconfigure_method_impl(std::string(sched_->name()));
+      co_await ctx.touch(home(), sim::access_kind::write);  // reset flag
+    }
+    co_await post_release_hook(ctx);
+    co_return;
+  }
+  for (;;) {
+    const auto next = sched_->pick_next();
+    if (!next) break;
+    co_await ctx.touch(home(), sim::access_kind::write);  // dequeue record
+    set_owner(*next);
+    if (co_await ctx.unblock(*next)) {
+      stats_.on_handoff();
+      handed = true;
+      break;
+    }
+    set_owner(ct::invalid_thread);  // timed out concurrently; try another
+  }
+
+  if (!handed) {
+    if (pending_sched_ && sched_->waiting() == 0) {
+      // All pre-registered threads served: adopt the new scheduler and reset
+      // the transition flag (the deferred 5th write of configure(scheduler)).
+      sched_ = std::move(pending_sched_);
+      reconfigure_method_impl(std::string(sched_->name()));
+      co_await ctx.touch(home(), sim::access_kind::write);
+    }
+    co_await release_word(ctx);
+  }
+  co_await post_release_hook(ctx);
+}
+
+ct::task<void> reconfigurable_lock::configure_waiting_policy(ct::context& ctx,
+                                                             waiting_policy wp) {
+  co_await ctx.compute(cost_.configure_attr_overhead);
+  co_await ctx.touch(home(), sim::access_kind::read);
+  co_await ctx.touch(home(), sim::access_kind::write);
+  apply_waiting_policy(wp);
+}
+
+ct::task<void> reconfigurable_lock::configure_scheduler(
+    ct::context& ctx, std::unique_ptr<lock_scheduler> next) {
+  co_await ctx.compute(cost_.configure_sched_overhead);
+  co_await ctx.touch(home(), sim::access_kind::write, 3);  // three sub-modules
+  co_await ctx.touch(home(), sim::access_kind::write);     // set transition flag
+  // --- atomic window.
+  if (sched_->waiting() == 0 && !pending_sched_) {
+    sched_ = std::move(next);
+    reconfigure_method_impl(std::string(sched_->name()));
+    co_await ctx.touch(home(), sim::access_kind::write);  // immediate flag reset
+  } else {
+    pending_sched_ = std::move(next);
+  }
+}
+
+ct::task<bool> reconfigurable_lock::acquire_attribute(ct::context& ctx,
+                                                      std::string_view name,
+                                                      core::agent_id agent) {
+  co_await ctx.compute(cost_.acquisition_overhead);
+  co_await ctx.touch(home(), sim::access_kind::rmw);
+  co_return attributes().at(name).acquire(agent);
+}
+
+ct::task<void> reconfigurable_lock::release_attribute(ct::context& ctx,
+                                                      std::string_view name,
+                                                      core::agent_id agent) {
+  co_await ctx.touch(home(), sim::access_kind::write);
+  attributes().at(name).release(agent);
+}
+
+ct::task<void> reconfigurable_lock::post_release_hook(ct::context&) { co_return; }
+
+}  // namespace adx::locks

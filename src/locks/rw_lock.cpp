@@ -1,0 +1,253 @@
+#include "locks/rw_lock.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace adx::locks {
+
+reconfigurable_rw_lock::reconfigurable_rw_lock(sim::node_id home, lock_cost_model cost,
+                                               std::int64_t initial_read_bias,
+                                               std::int64_t initial_spin)
+    : core::adaptive_object("rw"), cost_(cost), word_(home, 0) {
+  auto& a = attributes();
+  a.declare("read-bias", std::clamp<std::int64_t>(initial_read_bias, 0, 100));
+  a.declare("spin-time", initial_spin);
+}
+
+bool reconfigurable_rw_lock::apply_read_bias(std::int64_t bias) {
+  bias = std::clamp<std::int64_t>(bias, 0, 100);
+  auto& attr = attributes().at("read-bias");
+  if (attr.get() == bias) return true;  // no-op Ψ
+  if (attr.set(bias) != core::set_result::ok) return false;
+  note_reconfiguration(core::op_cost{1, 1});
+  return true;
+}
+
+bool reconfigurable_rw_lock::reader_admissible() const {
+  if (writer_held_) return false;
+  if (write_queue_.empty()) return true;
+  // Writers are waiting: bypass them only within the bias allowance.
+  return reads_since_writer_grant_ < read_bias();
+}
+
+bool reconfigurable_rw_lock::writer_admissible() const {
+  return !writer_held_ && readers_ == 0;
+}
+
+ct::task<void> reconfigurable_rw_lock::lock_shared(ct::context& ctx) {
+  const auto requested = ctx.now();
+  stats_.on_request(requested);
+  co_await ctx.compute(cost_.spin_lock_overhead);
+  co_await ctx.fetch_or(word_, std::uint64_t{1});  // lock-word traffic
+  // --- atomic window.
+  if (reader_admissible()) {
+    ++readers_;
+    ++reads_since_writer_grant_;
+    ++read_acqs_;
+    reader_wait_.add((ctx.now() - requested).us());
+    stats_.on_acquired(ctx.now() - requested);
+    co_return;
+  }
+  stats_.on_contended();
+  stats_.on_waiting_changed(ctx.now(),
+                            waiting_readers() + waiting_writers() + 1);
+  for (;;) {
+    // Spin phase (waiting-policy attribute shared with the exclusive lock).
+    const auto spin = attributes().value("spin-time");
+    bool admitted = false;
+    for (std::int64_t i = 0; i < spin; ++i) {
+      stats_.on_spin_iteration();
+      co_await ctx.read(word_);
+      // --- atomic window per iteration.
+      if (reader_admissible()) {
+        ++readers_;
+        ++reads_since_writer_grant_;
+        admitted = true;
+        break;
+      }
+      co_await ctx.compute(cost_.spin_pause);
+    }
+    if (admitted) break;
+    // Register and block; a releasing thread admits us (readers_ already
+    // incremented by the granter before the wakeup).
+    co_await ctx.touch(home(), sim::access_kind::write, 2);
+    // --- atomic window: missed-grant re-check.
+    if (reader_admissible()) {
+      ++readers_;
+      ++reads_since_writer_grant_;
+      break;
+    }
+    read_queue_.push_back(ctx.self());
+    stats_.on_block();
+    co_await ctx.block();
+    break;  // granted
+  }
+  ++read_acqs_;
+  reader_wait_.add((ctx.now() - requested).us());
+  stats_.on_acquired(ctx.now() - requested);
+}
+
+ct::task<void> reconfigurable_rw_lock::unlock_shared(ct::context& ctx) {
+  co_await ctx.compute(cost_.spin_unlock_overhead);
+  co_await ctx.fetch_add(word_, std::uint64_t{0});  // reader-count decrement
+  // --- atomic window.
+  --readers_;
+  stats_.on_release();
+  if (readers_ == 0) co_await grant_waiters(ctx);
+  co_await post_release_hook(ctx, /*was_write=*/false);
+}
+
+ct::task<void> reconfigurable_rw_lock::lock_exclusive(ct::context& ctx) {
+  const auto requested = ctx.now();
+  stats_.on_request(requested);
+  co_await ctx.compute(cost_.spin_lock_overhead);
+  co_await ctx.fetch_or(word_, std::uint64_t{1});
+  // --- atomic window (barging allowed when completely free and no queue).
+  if (writer_admissible() && write_queue_.empty()) {
+    writer_held_ = true;
+    reads_since_writer_grant_ = 0;
+    ++write_acqs_;
+    writer_wait_.add((ctx.now() - requested).us());
+    stats_.on_acquired(ctx.now() - requested);
+    co_return;
+  }
+  stats_.on_contended();
+  stats_.on_waiting_changed(ctx.now(),
+                            waiting_readers() + waiting_writers() + 1);
+  for (;;) {
+    const auto spin = attributes().value("spin-time");
+    bool admitted = false;
+    for (std::int64_t i = 0; i < spin; ++i) {
+      stats_.on_spin_iteration();
+      co_await ctx.read(word_);
+      if (writer_admissible() && write_queue_.empty()) {
+        writer_held_ = true;
+        reads_since_writer_grant_ = 0;
+        admitted = true;
+        break;
+      }
+      co_await ctx.compute(cost_.spin_pause);
+    }
+    if (admitted) break;
+    co_await ctx.touch(home(), sim::access_kind::write, 2);
+    if (writer_admissible() && write_queue_.empty()) {
+      writer_held_ = true;
+      reads_since_writer_grant_ = 0;
+      break;
+    }
+    write_queue_.push_back(ctx.self());
+    stats_.on_block();
+    co_await ctx.block();
+    break;  // granted (writer_held_ set by the granter)
+  }
+  ++write_acqs_;
+  writer_wait_.add((ctx.now() - requested).us());
+  stats_.on_acquired(ctx.now() - requested);
+}
+
+ct::task<void> reconfigurable_rw_lock::unlock_exclusive(ct::context& ctx) {
+  co_await ctx.compute(cost_.spin_unlock_overhead + cost_.adaptive_unlock_check);
+  co_await ctx.write(word_, std::uint64_t{0});
+  // --- atomic window.
+  writer_held_ = false;
+  stats_.on_release();
+  co_await grant_waiters(ctx);
+  co_await post_release_hook(ctx, /*was_write=*/true);
+}
+
+ct::task<void> reconfigurable_rw_lock::grant_waiters(ct::context& ctx) {
+  // --- atomic window: decide the grant set.
+  if (writer_held_ || readers_ != 0) co_return;
+  std::vector<ct::thread_id> readers_to_wake;
+  ct::thread_id writer_to_wake = ct::invalid_thread;
+
+  const bool grant_writer =
+      !write_queue_.empty() &&
+      (read_queue_.empty() || reads_since_writer_grant_ >= read_bias());
+  if (grant_writer) {
+    writer_to_wake = write_queue_.front();
+    write_queue_.pop_front();
+    writer_held_ = true;
+    reads_since_writer_grant_ = 0;
+  } else {
+    while (!read_queue_.empty() &&
+           (write_queue_.empty() || reads_since_writer_grant_ < read_bias())) {
+      readers_to_wake.push_back(read_queue_.front());
+      read_queue_.pop_front();
+      ++readers_;
+      ++reads_since_writer_grant_;
+    }
+  }
+  stats_.on_waiting_changed(ctx.now(), waiting_readers() + waiting_writers());
+
+  // Charged wakeups (queued threads are guaranteed blocked: their enqueue
+  // and block are adjacent).
+  if (writer_to_wake != ct::invalid_thread) {
+    co_await ctx.touch(home(), sim::access_kind::write);
+    co_await ctx.unblock(writer_to_wake);
+    stats_.on_handoff();
+  }
+  for (const auto r : readers_to_wake) {
+    co_await ctx.touch(home(), sim::access_kind::write);
+    co_await ctx.unblock(r);
+    stats_.on_handoff();
+  }
+}
+
+ct::task<void> reconfigurable_rw_lock::post_release_hook(ct::context&, bool) {
+  co_return;
+}
+
+void rw_adapt_policy::observe(const core::observation& obs) {
+  if (obs.sensor == "read-ratio-pct") {
+    const auto bias = lk_->read_bias();
+    std::int64_t next = bias;
+    if (obs.value >= p_.hi_read_ratio_pct) {
+      next = bias + p_.step;
+    } else if (obs.value <= p_.lo_read_ratio_pct) {
+      next = bias - p_.step;
+    }
+    if (next != bias && lk_->apply_read_bias(next)) note_decision();
+  } else if (obs.sensor == "waiting-writers") {
+    if (obs.value >= p_.writer_backlog_limit) {
+      const auto bias = lk_->read_bias();
+      if (bias > 0 && lk_->apply_read_bias(bias - p_.step)) note_decision();
+    }
+  }
+}
+
+adaptive_rw_lock::adaptive_rw_lock(sim::node_id home, lock_cost_model cost,
+                                   rw_adapt_params params)
+    : reconfigurable_rw_lock(home, cost), params_(params) {
+  object_monitor().add_sensor(core::sensor(
+      "read-ratio-pct",
+      [this] {
+        const auto pct = window_read_pct();
+        reads_window_ = 0;
+        writes_window_ = 0;
+        return pct;
+      },
+      params_.sample_period));
+  object_monitor().add_sensor(core::sensor(
+      "waiting-writers", [this] { return waiting_writers(); },
+      params_.sample_period));
+  set_policy(std::make_shared<rw_adapt_policy>(*this, params_));
+}
+
+ct::task<void> adaptive_rw_lock::post_release_hook(ct::context& ctx, bool was_write) {
+  (was_write ? writes_window_ : reads_window_)++;
+  const auto reconfigs_before = costs().reconfiguration_ops;
+  const auto delivered = feedback_point();
+  if (delivered == 0) co_return;
+  co_await ctx.touch(home(), sim::access_kind::read,
+                     static_cast<std::uint64_t>(delivered));
+  co_await ctx.compute((cost_.monitor_sample_overhead + cost_.policy_execution) *
+                       static_cast<std::int64_t>(delivered));
+  const auto reconfigs = costs().reconfiguration_ops - reconfigs_before;
+  if (reconfigs > 0) {
+    co_await ctx.touch(home(), sim::access_kind::read, reconfigs);
+    co_await ctx.touch(home(), sim::access_kind::write, reconfigs);
+  }
+}
+
+}  // namespace adx::locks

@@ -1,0 +1,139 @@
+// Adaptive reader-writer lock — the paper's conclusion applied: "we will use
+// the concept of closely-coupled adaptation in other operating system
+// components as well" (§7). The same adaptive-object structure as the
+// exclusive adaptive lock, instantiated for a new abstraction:
+//
+//   * internal state IV: reader count, writer flag, waiting queues;
+//   * mutable attributes CV: `read-bias` in [0, 100] — the grant preference
+//     (0 = strict writer preference: arriving readers queue behind waiting
+//     writers; 100 = strong reader preference: up to 100 readers are
+//     admitted between writer grants; values between batch proportionally) —
+//     and `spin-time`, the waiting policy shared with the exclusive lock;
+//   * monitor M: sensors for the read share of recent acquisitions and the
+//     writer backlog, sampled every k-th release;
+//   * policy P (`rw_adapt_policy`): read-mostly phases push the bias toward
+//     reader preference (maximizing read concurrency); write-heavy phases or
+//     a writer backlog push toward writer preference (bounding writer
+//     latency).
+#pragma once
+
+#include <deque>
+
+#include "core/adaptive.hpp"
+#include "core/policy.hpp"
+#include "ct/context.hpp"
+#include "ct/task.hpp"
+#include "locks/cost_model.hpp"
+#include "locks/stats.hpp"
+
+namespace adx::locks {
+
+class reconfigurable_rw_lock : public core::adaptive_object {
+ public:
+  reconfigurable_rw_lock(sim::node_id home, lock_cost_model cost,
+                         std::int64_t initial_read_bias = 50,
+                         std::int64_t initial_spin = 10);
+
+  reconfigurable_rw_lock(const reconfigurable_rw_lock&) = delete;
+  reconfigurable_rw_lock& operator=(const reconfigurable_rw_lock&) = delete;
+
+  ct::task<void> lock_shared(ct::context& ctx);
+  ct::task<void> unlock_shared(ct::context& ctx);
+  ct::task<void> lock_exclusive(ct::context& ctx);
+  ct::task<void> unlock_exclusive(ct::context& ctx);
+
+  [[nodiscard]] sim::node_id home() const { return word_.home(); }
+  [[nodiscard]] lock_stats& stats() { return stats_; }
+  [[nodiscard]] const lock_stats& stats() const { return stats_; }
+
+  // Unsimulated views for tests/invariants.
+  [[nodiscard]] std::int64_t readers_raw() const { return readers_; }
+  [[nodiscard]] bool writer_raw() const { return writer_held_; }
+  [[nodiscard]] std::int64_t waiting_readers() const {
+    return static_cast<std::int64_t>(read_queue_.size());
+  }
+  [[nodiscard]] std::int64_t waiting_writers() const {
+    return static_cast<std::int64_t>(write_queue_.size());
+  }
+  [[nodiscard]] std::uint64_t read_acquisitions() const { return read_acqs_; }
+  [[nodiscard]] std::uint64_t write_acquisitions() const { return write_acqs_; }
+  [[nodiscard]] const sim::accumulator& writer_wait_us() const { return writer_wait_; }
+  [[nodiscard]] const sim::accumulator& reader_wait_us() const { return reader_wait_; }
+
+  [[nodiscard]] std::int64_t read_bias() const { return attributes().value("read-bias"); }
+
+  /// Native Ψ for the in-object policy (caller charges the 1R+1W); clamps to
+  /// [0, 100]. Returns false if the attribute is owned elsewhere.
+  bool apply_read_bias(std::int64_t bias);
+
+ protected:
+  /// Feedback hook run by releasing threads (closely coupled).
+  virtual ct::task<void> post_release_hook(ct::context& ctx, bool was_write);
+
+  std::int64_t readers_{0};
+  bool writer_held_{false};
+  lock_cost_model cost_;
+
+ private:
+  [[nodiscard]] bool reader_admissible() const;
+  [[nodiscard]] bool writer_admissible() const;
+
+  /// Grants queued threads per the current bias. Decisions happen in the
+  /// caller's atomic window; wakeups are charged afterwards.
+  ct::task<void> grant_waiters(ct::context& ctx);
+
+  ct::svar<std::uint64_t> word_;  ///< timing anchor for lock-word traffic
+  lock_stats stats_;
+
+  std::deque<ct::thread_id> read_queue_;
+  std::deque<ct::thread_id> write_queue_;
+  /// Readers admitted since the last writer grant (bias batching).
+  std::int64_t reads_since_writer_grant_{0};
+
+  std::uint64_t read_acqs_{0};
+  std::uint64_t write_acqs_{0};
+  sim::accumulator writer_wait_;
+  sim::accumulator reader_wait_;
+};
+
+struct rw_adapt_params {
+  std::int64_t hi_read_ratio_pct = 80;  ///< above this, move to reader pref
+  std::int64_t lo_read_ratio_pct = 40;  ///< below this, move to writer pref
+  std::int64_t writer_backlog_limit = 3;  ///< backlog forces writer pref
+  std::int64_t step = 25;               ///< bias adjustment per decision
+  std::uint64_t sample_period = 4;      ///< sample every k-th release
+};
+
+/// The user-provided policy: track the grant bias to the observed workload
+/// mix, exactly as simple-adapt tracks the spin budget to the waiting count.
+class rw_adapt_policy final : public core::adaptation_policy {
+ public:
+  rw_adapt_policy(reconfigurable_rw_lock& lk, rw_adapt_params p) : lk_(&lk), p_(p) {}
+
+  void observe(const core::observation& obs) override;
+
+ private:
+  reconfigurable_rw_lock* lk_;
+  rw_adapt_params p_;
+};
+
+class adaptive_rw_lock final : public reconfigurable_rw_lock {
+ public:
+  adaptive_rw_lock(sim::node_id home, lock_cost_model cost, rw_adapt_params params = {});
+
+  /// Read share (percent) of the current, not-yet-sampled release window.
+  [[nodiscard]] std::int64_t window_read_pct() const {
+    const auto total = reads_window_ + writes_window_;
+    return total == 0 ? 50 : static_cast<std::int64_t>(100 * reads_window_ / total);
+  }
+
+ protected:
+  ct::task<void> post_release_hook(ct::context& ctx, bool was_write) override;
+
+ private:
+  rw_adapt_params params_;
+  std::uint64_t reads_window_{0};
+  std::uint64_t writes_window_{0};
+};
+
+}  // namespace adx::locks

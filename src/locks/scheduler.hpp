@@ -1,0 +1,151 @@
+// Lock schedulers (§5.1): the reconfigurable component that determines the
+// delay a registered thread experiences. Split per the paper into
+// registration (logging threads that want the lock), acquisition (the
+// waiting mechanism — lives in the lock's waiting loop), and release
+// (selecting the next thread granted the lock). Three disciplines from the
+// paper's client-server experiment [MS93]: FCFS, Priority, Handoff.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "ct/runtime.hpp"
+
+namespace adx::locks {
+
+class lock_scheduler {
+ public:
+  virtual ~lock_scheduler() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Registration component: log a thread desiring lock access.
+  virtual void register_waiter(ct::thread_id t, int priority) = 0;
+
+  /// Release component: select (and remove) the next thread to grant.
+  virtual std::optional<ct::thread_id> pick_next() = 0;
+
+  /// Removes a registered thread (timed-out conditional waiter); returns
+  /// whether it was present.
+  virtual bool deregister(ct::thread_id t) = 0;
+
+  [[nodiscard]] virtual std::size_t waiting() const = 0;
+};
+
+/// First-come-first-served: grant in registration order.
+class fcfs_scheduler final : public lock_scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "fcfs"; }
+
+  void register_waiter(ct::thread_id t, int) override { q_.push_back(t); }
+
+  std::optional<ct::thread_id> pick_next() override {
+    if (q_.empty()) return std::nullopt;
+    const auto t = q_.front();
+    q_.erase(q_.begin());
+    return t;
+  }
+
+  bool deregister(ct::thread_id t) override {
+    const auto it = std::find(q_.begin(), q_.end(), t);
+    if (it == q_.end()) return false;
+    q_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t waiting() const override { return q_.size(); }
+
+ private:
+  std::vector<ct::thread_id> q_;
+};
+
+/// Priority: grant to the highest-priority registrant (FIFO within a level).
+class priority_scheduler final : public lock_scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "priority"; }
+
+  void register_waiter(ct::thread_id t, int priority) override {
+    q_.push_back({t, priority, seq_++});
+  }
+
+  std::optional<ct::thread_id> pick_next() override {
+    if (q_.empty()) return std::nullopt;
+    auto best = q_.begin();
+    for (auto it = std::next(q_.begin()); it != q_.end(); ++it) {
+      if (it->priority > best->priority ||
+          (it->priority == best->priority && it->seq < best->seq)) {
+        best = it;
+      }
+    }
+    const auto t = best->tid;
+    q_.erase(best);
+    return t;
+  }
+
+  bool deregister(ct::thread_id t) override {
+    const auto it = std::find_if(q_.begin(), q_.end(),
+                                 [t](const entry& e) { return e.tid == t; });
+    if (it == q_.end()) return false;
+    q_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t waiting() const override { return q_.size(); }
+
+ private:
+  struct entry {
+    ct::thread_id tid;
+    int priority;
+    std::uint64_t seq;
+  };
+  std::vector<entry> q_;
+  std::uint64_t seq_{0};
+};
+
+/// Handoff: the releaser (or the application) designates a successor; grants
+/// go to the designated thread when registered, FCFS otherwise (Black's
+/// handoff scheduling, cited in §5.1).
+class handoff_scheduler final : public lock_scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "handoff"; }
+
+  /// Names the thread the next release should prefer.
+  void designate(ct::thread_id t) { designated_ = t; }
+  [[nodiscard]] std::optional<ct::thread_id> designated() const { return designated_; }
+
+  void register_waiter(ct::thread_id t, int) override { q_.push_back(t); }
+
+  std::optional<ct::thread_id> pick_next() override {
+    if (designated_) {
+      const auto it = std::find(q_.begin(), q_.end(), *designated_);
+      if (it != q_.end()) {
+        const auto t = *it;
+        q_.erase(it);
+        designated_.reset();
+        return t;
+      }
+    }
+    if (q_.empty()) return std::nullopt;
+    const auto t = q_.front();
+    q_.erase(q_.begin());
+    return t;
+  }
+
+  bool deregister(ct::thread_id t) override {
+    const auto it = std::find(q_.begin(), q_.end(), t);
+    if (it == q_.end()) return false;
+    q_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t waiting() const override { return q_.size(); }
+
+ private:
+  std::vector<ct::thread_id> q_;
+  std::optional<ct::thread_id> designated_;
+};
+
+}  // namespace adx::locks

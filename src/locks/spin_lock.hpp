@@ -1,0 +1,37 @@
+// Pure spin lock (test-test-and-set): minimum-latency waiting when the
+// waiter's processor has nothing better to do (Table 4-6 "spin-lock" rows).
+#pragma once
+
+#include "locks/lock.hpp"
+
+namespace adx::locks {
+
+class spin_lock final : public lock_object {
+ public:
+  spin_lock(sim::node_id home, lock_cost_model cost) : lock_object(home, cost) {}
+
+  [[nodiscard]] std::string_view kind() const override { return "spin"; }
+
+  ct::task<void> lock(ct::context& ctx) override {
+    const auto requested = ctx.now();
+    stats_.on_request(requested);
+    co_await ctx.compute(cost_.spin_lock_overhead);
+    if (co_await try_acquire(ctx)) {
+      stats_.on_acquired(ctx.now() - requested);
+      co_return;
+    }
+    stats_.on_contended();
+    note_waiting(ctx.now(), +1);
+    co_await spin_ttas(ctx, -1);
+    note_waiting(ctx.now(), -1);
+    stats_.on_acquired(ctx.now() - requested);
+  }
+
+  ct::task<void> unlock(ct::context& ctx) override {
+    co_await ctx.compute(cost_.spin_unlock_overhead);
+    stats_.on_release();
+    co_await release_word(ctx);
+  }
+};
+
+}  // namespace adx::locks

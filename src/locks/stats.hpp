@@ -1,0 +1,72 @@
+// Per-lock instrumentation: acquisition counts, waiting-time accumulation and
+// the locking-pattern trace behind the paper's Figures 4-9 (number of threads
+// waiting on the lock, over virtual time).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace adx::locks {
+
+class lock_stats {
+ public:
+  void on_request(sim::vtime /*at*/) { ++requests_; }
+
+  void on_contended() { ++contended_; }
+
+  void on_acquired(sim::vdur waited) {
+    ++acquisitions_;
+    wait_time_.add(waited.us());
+  }
+
+  void on_release() { ++releases_; }
+  void on_spin_iteration() { ++spin_iterations_; }
+  void on_block() { ++blocks_; }
+  void on_handoff() { ++handoffs_; }
+
+  /// Records the current number of waiting threads; feeds the pattern trace
+  /// if one is attached.
+  void on_waiting_changed(sim::vtime at, std::int64_t waiting) {
+    peak_waiting_ = waiting > peak_waiting_ ? waiting : peak_waiting_;
+    waiting_dist_.add(static_cast<double>(waiting));
+    if (pattern_) pattern_->record(at, waiting);
+  }
+
+  /// Attaches a locking-pattern trace (not owned).
+  void attach_pattern_trace(sim::trace* t) { pattern_ = t; }
+  [[nodiscard]] sim::trace* pattern_trace() const { return pattern_; }
+
+  [[nodiscard]] std::uint64_t requests() const { return requests_; }
+  [[nodiscard]] std::uint64_t acquisitions() const { return acquisitions_; }
+  [[nodiscard]] std::uint64_t releases() const { return releases_; }
+  [[nodiscard]] std::uint64_t contended() const { return contended_; }
+  [[nodiscard]] std::uint64_t spin_iterations() const { return spin_iterations_; }
+  [[nodiscard]] std::uint64_t blocks() const { return blocks_; }
+  [[nodiscard]] std::uint64_t handoffs() const { return handoffs_; }
+  [[nodiscard]] std::int64_t peak_waiting() const { return peak_waiting_; }
+  [[nodiscard]] const sim::accumulator& wait_time_us() const { return wait_time_; }
+  [[nodiscard]] const sim::accumulator& waiting_depth() const { return waiting_dist_; }
+
+  /// Fraction of acquisitions that found the lock busy.
+  [[nodiscard]] double contention_ratio() const {
+    return requests_ ? static_cast<double>(contended_) / static_cast<double>(requests_) : 0.0;
+  }
+
+ private:
+  std::uint64_t requests_{0};
+  std::uint64_t acquisitions_{0};
+  std::uint64_t releases_{0};
+  std::uint64_t contended_{0};
+  std::uint64_t spin_iterations_{0};
+  std::uint64_t blocks_{0};
+  std::uint64_t handoffs_{0};
+  std::int64_t peak_waiting_{0};
+  sim::accumulator wait_time_;
+  sim::accumulator waiting_dist_;
+  sim::trace* pattern_{nullptr};
+};
+
+}  // namespace adx::locks

@@ -1,0 +1,43 @@
+// The raw atomior lock: spin directly on the atomic-or primitive (Table 4
+// row 1). Cheapest lock operation; under contention every iteration is an
+// RMW at the home module, so it degrades the fastest — the baseline the
+// smarter locks improve on.
+#pragma once
+
+#include "locks/lock.hpp"
+
+namespace adx::locks {
+
+class tas_lock final : public lock_object {
+ public:
+  tas_lock(sim::node_id home, lock_cost_model cost) : lock_object(home, cost) {}
+
+  [[nodiscard]] std::string_view kind() const override { return "atomior"; }
+
+  ct::task<void> lock(ct::context& ctx) override {
+    const auto requested = ctx.now();
+    stats_.on_request(requested);
+    co_await ctx.compute(cost_.tas_lock_overhead);
+    if (co_await try_acquire(ctx)) {
+      stats_.on_acquired(ctx.now() - requested);
+      co_return;
+    }
+    stats_.on_contended();
+    note_waiting(ctx.now(), +1);
+    for (;;) {
+      stats_.on_spin_iteration();
+      co_await ctx.compute(cost_.spin_pause);
+      if (co_await try_acquire(ctx)) break;
+    }
+    note_waiting(ctx.now(), -1);
+    stats_.on_acquired(ctx.now() - requested);
+  }
+
+  ct::task<void> unlock(ct::context& ctx) override {
+    co_await ctx.compute(cost_.tas_unlock_overhead);
+    stats_.on_release();
+    co_await release_word(ctx);
+  }
+};
+
+}  // namespace adx::locks

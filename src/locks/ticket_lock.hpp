@@ -1,0 +1,51 @@
+// Ticket lock (extension beyond the paper's lock set): FIFO-fair spin lock —
+// one RMW to take a ticket, then read-spinning on the now-serving counter.
+// Included as a fairness baseline for the scheduler benches.
+#pragma once
+
+#include "locks/lock.hpp"
+
+namespace adx::locks {
+
+class ticket_lock final : public lock_object {
+ public:
+  ticket_lock(sim::node_id home, lock_cost_model cost)
+      : lock_object(home, cost), next_(home, 0), serving_(home, 0) {}
+
+  [[nodiscard]] std::string_view kind() const override { return "ticket"; }
+
+  ct::task<void> lock(ct::context& ctx) override {
+    const auto requested = ctx.now();
+    stats_.on_request(requested);
+    co_await ctx.compute(cost_.spin_lock_overhead);
+    const auto my = co_await ctx.fetch_add(next_, std::uint64_t{1});
+    auto cur = co_await ctx.read(serving_);
+    if (cur != my) {
+      stats_.on_contended();
+      note_waiting(ctx.now(), +1);
+      do {
+        stats_.on_spin_iteration();
+        co_await ctx.compute(cost_.spin_pause);
+        cur = co_await ctx.read(serving_);
+      } while (cur != my);
+      note_waiting(ctx.now(), -1);
+    }
+    set_owner(ctx.self());
+    word_.raw() = 1;  // held bit mirrors the ticket state for invariants
+    stats_.on_acquired(ctx.now() - requested);
+  }
+
+  ct::task<void> unlock(ct::context& ctx) override {
+    co_await ctx.compute(cost_.spin_unlock_overhead);
+    stats_.on_release();
+    set_owner(ct::invalid_thread);
+    word_.raw() = 0;
+    co_await ctx.rmw(serving_, [](std::uint64_t v) { return v + 1; });
+  }
+
+ private:
+  ct::svar<std::uint64_t> next_;
+  ct::svar<std::uint64_t> serving_;
+};
+
+}  // namespace adx::locks

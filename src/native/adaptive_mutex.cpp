@@ -1,0 +1,66 @@
+#include "native/adaptive_mutex.hpp"
+
+#include <algorithm>
+
+namespace adx::native {
+
+bool adaptive_mutex::try_lock() {
+  return !held_.exchange(1, std::memory_order_acquire);
+}
+
+void adaptive_mutex::lock() {
+  const std::int64_t budget = spin_budget_.load(std::memory_order_relaxed);
+  for (std::int64_t i = 0; i < budget; ++i) {
+    if (held_.load(std::memory_order_relaxed) == 0 &&
+        !held_.exchange(1, std::memory_order_acquire)) {
+      return;
+    }
+    cpu_relax();
+  }
+  // Spin budget exhausted (or zero): park.
+  waiters_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    while (held_.exchange(1, std::memory_order_acquire)) {
+      cv_.wait(lk);
+    }
+  }
+  waiters_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void adaptive_mutex::unlock() {
+  held_.store(0, std::memory_order_release);
+  const auto w = waiters_.load(std::memory_order_relaxed);
+  if (w > 0) {
+    // Touch the mutex so the release cannot race past a waiter between its
+    // exchange and its wait.
+    std::lock_guard<std::mutex> lk(m_);
+    cv_.notify_one();
+  }
+  // The closely-coupled monitor: sample the waiting count every k-th unlock
+  // and run the simple-adapt policy inline.
+  const auto u = unlocks_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (params_.sample_period != 0 && u % params_.sample_period == 0) {
+    samples_.fetch_add(1, std::memory_order_relaxed);
+    adapt(w);
+  }
+}
+
+void adaptive_mutex::adapt(std::int64_t waiting) {
+  const auto cur = spin_budget_.load(std::memory_order_relaxed);
+  std::int64_t next = cur;
+  if (waiting == 0) {
+    next = params_.spin_cap;  // no contention: lowest-latency pure spin
+  } else if (waiting <= params_.waiting_threshold) {
+    next = std::min(cur + params_.n, params_.spin_cap);
+  } else {
+    next = cur - 2 * params_.n;
+  }
+  if (next <= 0) next = 0;  // pure blocking
+  if (next != cur) {
+    spin_budget_.store(next, std::memory_order_relaxed);
+    reconfigs_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace adx::native

@@ -1,0 +1,123 @@
+// Real-thread adaptive mutex: the paper's adaptive-lock structure (mutable
+// spin budget + built-in waiting-count monitor + simple-adapt policy) ported
+// to std::atomic / std::thread. Demonstrates that the adaptive-object model
+// is not simulator-bound, and hosts the google-benchmark measurements
+// (`bench_native_mutex`).
+//
+// lock(): spin up to the current spin budget on a TTAS loop, then park on a
+// condition variable. unlock(): release; every `sample_period`-th unlock
+// samples the waiter count and runs the simple-adapt policy:
+//   waiting == 0            -> pure spin (budget = spin_cap)
+//   waiting <= threshold    -> budget += n
+//   otherwise               -> budget -= 2n;  budget <= 0 -> pure blocking
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace adx::native {
+
+/// Architecture pause hint for spin loops.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+struct adapt_params {
+  std::int64_t waiting_threshold = 2;
+  std::int64_t n = 64;
+  std::int64_t spin_cap = 4096;
+  std::uint32_t sample_period = 2;
+};
+
+class adaptive_mutex {
+ public:
+  adaptive_mutex() : adaptive_mutex(adapt_params{}) {}
+  explicit adaptive_mutex(adapt_params p, std::int64_t initial_spin = 256)
+      : params_(p), spin_budget_(initial_spin) {}
+
+  adaptive_mutex(const adaptive_mutex&) = delete;
+  adaptive_mutex& operator=(const adaptive_mutex&) = delete;
+
+  void lock();
+  void unlock();
+  [[nodiscard]] bool try_lock();
+
+  /// Current spin budget (the mutable attribute).
+  [[nodiscard]] std::int64_t spin_budget() const {
+    return spin_budget_.load(std::memory_order_relaxed);
+  }
+  /// Threads currently parked or about to park.
+  [[nodiscard]] std::int64_t waiters() const {
+    return waiters_.load(std::memory_order_relaxed);
+  }
+  /// Number of Ψ decisions taken by the built-in policy.
+  [[nodiscard]] std::uint64_t reconfigurations() const {
+    return reconfigs_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t monitor_samples() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void adapt(std::int64_t waiting);
+
+  adapt_params params_;
+  std::atomic<std::uint32_t> held_{0};
+  std::atomic<std::int64_t> spin_budget_;
+  std::atomic<std::int64_t> waiters_{0};
+  std::atomic<std::uint64_t> unlocks_{0};
+  std::atomic<std::uint64_t> reconfigs_{0};
+  std::atomic<std::uint64_t> samples_{0};
+  std::mutex m_;
+  std::condition_variable cv_;
+};
+
+/// Plain TTAS spin mutex (native baseline).
+class spin_mutex {
+ public:
+  void lock() {
+    for (;;) {
+      if (!held_.exchange(1, std::memory_order_acquire)) return;
+      while (held_.load(std::memory_order_relaxed)) cpu_relax();
+    }
+  }
+  [[nodiscard]] bool try_lock() {
+    return !held_.exchange(1, std::memory_order_acquire);
+  }
+  void unlock() { held_.store(0, std::memory_order_release); }
+
+ private:
+  std::atomic<std::uint32_t> held_{0};
+};
+
+/// Always-park mutex (native blocking baseline with the same shape).
+class blocking_mutex {
+ public:
+  void lock() {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_.wait(lk, [this] { return held_ == 0; });
+    held_ = 1;
+  }
+  void unlock() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      held_ = 0;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::uint32_t held_{0};
+};
+
+}  // namespace adx::native

@@ -1,0 +1,38 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace adx::sim {
+
+void event_queue::schedule_at(vtime at, callback cb) {
+  if (at < now_) at = now_;
+  heap_.push(entry{at, seq_++, std::move(cb)});
+}
+
+bool event_queue::run_one() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; the callback must be moved out, so pop
+  // via const_cast of the known-mutable element (standard idiom; the element
+  // is immediately popped).
+  auto& top = const_cast<entry&>(heap_.top());
+  now_ = top.at;
+  callback cb = std::move(top.cb);
+  heap_.pop();
+  ++processed_;
+  cb();
+  return true;
+}
+
+std::uint64_t event_queue::run(std::uint64_t limit) {
+  std::uint64_t n = 0;
+  while (n < limit && run_one()) ++n;
+  return n;
+}
+
+std::uint64_t event_queue::run_until(vtime until) {
+  std::uint64_t n = 0;
+  while (!heap_.empty() && heap_.top().at <= until && run_one()) ++n;
+  return n;
+}
+
+}  // namespace adx::sim

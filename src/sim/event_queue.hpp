@@ -1,0 +1,61 @@
+// The discrete-event core: a time-ordered queue of callbacks. The whole
+// simulation is single-threaded and deterministic; ties are broken by
+// insertion sequence number so identical runs replay identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace adx::sim {
+
+class event_queue {
+ public:
+  using callback = std::function<void()>;
+
+  /// Schedules `cb` to run at absolute time `at`. Scheduling in the past is a
+  /// logic error and is clamped to `now()` (the event still runs, after all
+  /// events already due at `now()`).
+  void schedule_at(vtime at, callback cb);
+
+  /// Schedules `cb` to run `after` from now.
+  void schedule_after(vdur after, callback cb) { schedule_at(now_ + after, std::move(cb)); }
+
+  [[nodiscard]] vtime now() const { return now_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+  /// Runs the earliest event; returns false if the queue was empty.
+  bool run_one();
+
+  /// Runs events until the queue drains or `limit` events have run.
+  /// Returns the number of events processed.
+  std::uint64_t run(std::uint64_t limit = ~0ULL);
+
+  /// Runs events with timestamp <= `until` (events scheduled during the run
+  /// are included if due). Returns the number processed.
+  std::uint64_t run_until(vtime until);
+
+ private:
+  struct entry {
+    vtime at;
+    std::uint64_t seq;
+    callback cb;
+  };
+  struct later {
+    bool operator()(const entry& a, const entry& b) const {
+      return a.at == b.at ? a.seq > b.seq : a.at > b.at;
+    }
+  };
+
+  std::priority_queue<entry, std::vector<entry>, later> heap_;
+  vtime now_{};
+  std::uint64_t seq_{0};
+  std::uint64_t processed_{0};
+};
+
+}  // namespace adx::sim

@@ -1,0 +1,64 @@
+#include "sim/interconnect.hpp"
+
+namespace adx::sim {
+
+namespace {
+
+/// Smallest power of 4 >= n, and its log4.
+unsigned log4_ceil(unsigned n) {
+  unsigned stages = 0;
+  unsigned cap = 1;
+  while (cap < n) {
+    cap *= 4;
+    ++stages;
+  }
+  return stages == 0 ? 1 : stages;
+}
+
+}  // namespace
+
+butterfly_network::butterfly_network(unsigned nodes, vdur stage_latency,
+                                     vdur switch_service)
+    : stages_(log4_ceil(nodes)),
+      stage_latency_(stage_latency),
+      switch_service_(switch_service) {
+  unsigned cap = 1;
+  for (unsigned s = 0; s < stages_; ++s) cap *= 4;
+  per_stage_ = cap / 4;  // 4x4 switches: N/4 per stage
+  busy_.assign(static_cast<std::size_t>(stages_) * per_stage_, vtime{});
+}
+
+unsigned butterfly_network::route(node_id src, node_id dst, unsigned stage) const {
+  // Base-4 destination-tag routing: after traversing stage s, the address's
+  // digit s has been corrected to the destination's. The switch occupied at
+  // stage s serves the address whose digits > s come from the source and
+  // digits < s from the destination — drop digit s itself to index the
+  // switch within the stage.
+  unsigned addr = 0;
+  unsigned mul = 1;
+  for (unsigned d = 0; d < stages_; ++d) {
+    const unsigned digit = d < stage ? (dst >> (2 * d)) & 3u : (src >> (2 * d)) & 3u;
+    addr += digit * mul;
+    mul *= 4;
+  }
+  // Remove digit `stage` from the address.
+  const unsigned lo_mul = 1u << (2 * stage);
+  const unsigned lo = addr % lo_mul;
+  const unsigned hi = addr / (lo_mul * 4);
+  return (hi * lo_mul + lo) % per_stage_;
+}
+
+vtime butterfly_network::traverse(node_id src, node_id dst, vtime depart) {
+  ++packets_;
+  vtime t = depart;
+  for (unsigned s = 0; s < stages_; ++s) {
+    auto& busy = busy_[static_cast<std::size_t>(s) * per_stage_ + route(src, dst, s)];
+    const vtime start = max(t, busy);
+    total_delay_ += start - t;
+    busy = start + switch_service_;
+    t = busy + stage_latency_;
+  }
+  return t;
+}
+
+}  // namespace adx::sim

@@ -1,0 +1,57 @@
+// Interconnect models.
+//
+// The default machine prices remote accesses with a constant one-way wire
+// latency — cheap and sufficient for the calibrated tables. The butterfly
+// model reproduces the GP1000's actual topology: a log4(N)-stage omega
+// network of 4x4 switches. Every remote access traverses one switch per
+// stage; each switch is a FIFO single-server, so congestion arises *inside
+// the network* (tree saturation toward a hot module), not only at the
+// module — the phenomenon the BBN literature calls hot-spot tree blockage.
+//
+// Routing: stage s of the path from source node to destination node is the
+// switch indexed by the destination's digit-s neighbourhood — the standard
+// base-4 butterfly wiring. Deterministic, contention-visible, and testable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine_config.hpp"
+#include "sim/time.hpp"
+
+namespace adx::sim {
+
+/// The staged switch network. Only instantiated for the butterfly model
+/// (see interconnect_model in machine_config.hpp).
+class butterfly_network {
+ public:
+  /// `nodes` is rounded up to a power of 4 for routing purposes.
+  butterfly_network(unsigned nodes, vdur stage_latency, vdur switch_service);
+
+  [[nodiscard]] unsigned stages() const { return stages_; }
+  [[nodiscard]] unsigned switches_per_stage() const { return per_stage_; }
+
+  /// The switch index (within its stage) a packet from `src` to `dst`
+  /// occupies at `stage`.
+  [[nodiscard]] unsigned route(node_id src, node_id dst, unsigned stage) const;
+
+  /// Sends one packet from `src` to `dst` starting at `depart`; returns its
+  /// arrival time at the destination after queueing through every stage.
+  vtime traverse(node_id src, node_id dst, vtime depart);
+
+  /// Total queueing delay experienced inside the network so far.
+  [[nodiscard]] vdur total_switch_delay() const { return total_delay_; }
+  [[nodiscard]] std::uint64_t packets() const { return packets_; }
+
+ private:
+  unsigned stages_;
+  unsigned per_stage_;
+  vdur stage_latency_;
+  vdur switch_service_;
+  /// busy-until time per switch, stage-major.
+  std::vector<vtime> busy_;
+  vdur total_delay_{};
+  std::uint64_t packets_{0};
+};
+
+}  // namespace adx::sim

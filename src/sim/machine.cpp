@@ -1,0 +1,58 @@
+#include "sim/machine.hpp"
+
+namespace adx::sim {
+
+machine::machine(machine_config cfg) : cfg_(cfg), rng_(cfg.seed) {
+  if (cfg_.nodes == 0) throw std::invalid_argument("machine: nodes must be > 0");
+  modules_.reserve(cfg_.nodes);
+  for (node_id n = 0; n < cfg_.nodes; ++n) modules_.emplace_back(n);
+  if (cfg_.wire_model == interconnect_model::butterfly) {
+    network_ = std::make_unique<butterfly_network>(
+        cfg_.nodes, cfg_.switch_stage_latency, cfg_.switch_service);
+  }
+}
+
+vtime machine::access(node_id from, node_id home, access_kind kind) {
+  if (from >= cfg_.nodes || home >= cfg_.nodes) {
+    throw std::out_of_range("machine::access: node out of range");
+  }
+  const bool local = from == home;
+  const vdur service = kind == access_kind::rmw ? cfg_.atomic_service : cfg_.mem_service;
+
+  switch (kind) {
+    case access_kind::read:
+      ++(local ? counts_.local_reads : counts_.remote_reads);
+      break;
+    case access_kind::write:
+      ++(local ? counts_.local_writes : counts_.remote_writes);
+      break;
+    case access_kind::rmw:
+      ++(local ? counts_.local_rmws : counts_.remote_rmws);
+      break;
+  }
+
+  if (!local && network_) {
+    // Staged network: queue through the switches out and back.
+    const vtime arrival = network_->traverse(from, home, now());
+    const vtime done_at_module = modules_[home].service(arrival, service);
+    return network_->traverse(home, from, done_at_module);
+  }
+  const vdur wire = local ? cfg_.local_wire : cfg_.remote_wire;
+  const vtime arrival = now() + wire;
+  const vtime done_at_module = modules_[home].service(arrival, service);
+  return done_at_module + wire;
+}
+
+vtime machine::access_n(node_id from, node_id home, access_kind kind, std::uint64_t n) {
+  vtime t = now();
+  for (std::uint64_t i = 0; i < n; ++i) t = access(from, home, kind);
+  return t;
+}
+
+vdur machine::total_queue_delay() const {
+  vdur d{};
+  for (const auto& m : modules_) d += m.total_queue_delay();
+  return d;
+}
+
+}  // namespace adx::sim

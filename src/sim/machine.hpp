@@ -1,0 +1,61 @@
+// The machine facade: global virtual clock + event queue + memory system +
+// RNG. Everything above (the thread package, locks, applications) talks to
+// the hardware through this class.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include <memory>
+
+#include "sim/event_queue.hpp"
+#include "sim/interconnect.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/memory.hpp"
+#include "sim/rng.hpp"
+
+namespace adx::sim {
+
+class machine {
+ public:
+  explicit machine(machine_config cfg);
+
+  machine(const machine&) = delete;
+  machine& operator=(const machine&) = delete;
+
+  [[nodiscard]] const machine_config& config() const { return cfg_; }
+  [[nodiscard]] unsigned nodes() const { return cfg_.nodes; }
+  [[nodiscard]] event_queue& events() { return events_; }
+  [[nodiscard]] vtime now() const { return events_.now(); }
+  [[nodiscard]] rng& random() { return rng_; }
+
+  /// Issues one memory access from node `from` to the word homed at `home`,
+  /// starting now. Returns the time at which the requester has the result
+  /// (round trip: wire out, queue + service at the module, wire back).
+  vtime access(node_id from, node_id home, access_kind kind);
+
+  /// Issues `n` back-to-back accesses (e.g. copying a multi-word record);
+  /// returns the completion time of the last.
+  vtime access_n(node_id from, node_id home, access_kind kind, std::uint64_t n);
+
+  [[nodiscard]] const access_counts& counts() const { return counts_; }
+  [[nodiscard]] const memory_module& module_at(node_id n) const { return modules_.at(n); }
+
+  /// Total queueing delay across all modules — the machine-level congestion
+  /// signal used by the contention benches.
+  [[nodiscard]] vdur total_queue_delay() const;
+
+  /// The staged network, when wire_model == butterfly (null otherwise).
+  [[nodiscard]] const butterfly_network* network() const { return network_.get(); }
+
+ private:
+  machine_config cfg_;
+  event_queue events_;
+  std::vector<memory_module> modules_;
+  access_counts counts_;
+  rng rng_;
+  std::unique_ptr<butterfly_network> network_;
+};
+
+}  // namespace adx::sim

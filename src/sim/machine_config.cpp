@@ -1,0 +1,29 @@
+#include "sim/machine_config.hpp"
+
+namespace adx::sim {
+
+machine_config machine_config::butterfly_gp1000() {
+  machine_config c;
+  c.nodes = 32;
+  c.local_wire = microseconds(0.2);
+  c.remote_wire = microseconds(1.3);
+  c.mem_service = microseconds(0.6);
+  c.atomic_service = microseconds(1.2);
+  c.context_switch = microseconds(400);
+  c.dispatch_latency = microseconds(12);
+  return c;
+}
+
+machine_config machine_config::test_machine(unsigned nodes) {
+  machine_config c;
+  c.nodes = nodes;
+  c.local_wire = microseconds(0.1);
+  c.remote_wire = microseconds(1.0);
+  c.mem_service = microseconds(0.5);
+  c.atomic_service = microseconds(1.0);
+  c.context_switch = microseconds(10);
+  c.dispatch_latency = microseconds(2);
+  return c;
+}
+
+}  // namespace adx::sim

@@ -1,0 +1,71 @@
+// Hardware parameters of the simulated NUMA multiprocessor.
+//
+// The preset `butterfly_gp1000()` is calibrated so the primitive lock-path
+// costs measured by the paper on a 32-node BBN Butterfly GP1000 (Tables 4-8)
+// come out at comparable magnitudes: local/remote memory deltas of a few
+// microseconds, atomic read-modify-write at the owning memory module, and
+// memory modules that service one access at a time (the source of hot-spot
+// contention under spinning).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace adx::sim {
+
+/// Index of a machine node; every node pairs one processor with one memory
+/// module (the Butterfly arrangement).
+using node_id = std::uint32_t;
+
+enum class interconnect_model : std::uint8_t {
+  constant_wire,  ///< fixed one-way remote latency (default, calibrated)
+  butterfly,      ///< staged 4x4 switch network with per-switch queueing
+};
+
+struct machine_config {
+  /// Number of nodes (processor + memory module pairs).
+  unsigned nodes = 32;
+
+  /// One-way wire latency to the node's own memory module.
+  vdur local_wire = microseconds(0.2);
+
+  /// One-way latency across the butterfly switch to a remote module
+  /// (constant_wire model).
+  vdur remote_wire = microseconds(1.3);
+
+  /// Which interconnect prices remote accesses. The staged model routes
+  /// every remote access through log4(nodes) 4x4 switches, each a FIFO
+  /// server, so hot-spot traffic saturates the *network* (tree blockage),
+  /// not just the target module. Its uncontended one-way latency is
+  /// stages x (switch_stage_latency + switch_service) — the defaults make it
+  /// equal to remote_wire on 32 nodes, so the models agree when idle.
+  interconnect_model wire_model = interconnect_model::constant_wire;
+  vdur switch_stage_latency = microseconds(0.3);
+  vdur switch_service = microseconds(0.13);
+
+  /// Module occupancy per plain read or write; a module services one access
+  /// at a time, so concurrent accesses to one module queue behind each other.
+  vdur mem_service = microseconds(0.6);
+
+  /// Module occupancy for an atomic read-modify-write (the GP1000 `atomior`
+  /// class of operations, executed at the memory module).
+  vdur atomic_service = microseconds(1.2);
+
+  /// Cost of a user-level thread context switch (Cthreads on the GP1000).
+  vdur context_switch = microseconds(85);
+
+  /// Latency for an idle processor to notice newly ready work.
+  vdur dispatch_latency = microseconds(12);
+
+  /// Seed for all randomness owned by the machine.
+  std::uint64_t seed = 0x5eedULL;
+
+  /// The paper's platform: 32-node BBN Butterfly GP1000.
+  [[nodiscard]] static machine_config butterfly_gp1000();
+
+  /// A small fast machine for unit tests.
+  [[nodiscard]] static machine_config test_machine(unsigned nodes = 4);
+};
+
+}  // namespace adx::sim

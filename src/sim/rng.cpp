@@ -1,0 +1,14 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+
+namespace adx::sim {
+
+double rng::exponential(double mean) {
+  // Inverse-CDF sampling; clamp the uniform away from 0 to keep log finite.
+  double u = uniform01();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+}  // namespace adx::sim

@@ -1,0 +1,91 @@
+// Deterministic pseudo-random number generation for the simulator and the
+// workload/instance generators. xoshiro256** seeded via SplitMix64 — fast,
+// high quality, and (unlike std::mt19937 + std::uniform_int_distribution)
+// bit-identical across standard library implementations, which the
+// reproducibility story depends on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace adx::sim {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator.
+class rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr rng(std::uint64_t seed = 0x5eedULL) { reseed(seed); }
+
+  constexpr void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  constexpr std::uint64_t operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Lemire-style rejection-free enough for
+  /// simulation purposes (bias < 2^-64 * bound is negligible here, but we use
+  /// the multiply-shift reduction which is unbiased up to 2^-64).
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    // 128-bit multiply-high reduction.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>((*this)()) * static_cast<unsigned __int128>(bound);
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Fisher–Yates shuffle of [first, last).
+  template <typename It>
+  constexpr void shuffle(It first, It last) {
+    const auto n = static_cast<std::uint64_t>(last - first);
+    for (std::uint64_t i = n; i > 1; --i) {
+      const auto j = below(i);
+      auto tmp = first[i - 1];
+      first[i - 1] = first[j];
+      first[j] = tmp;
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace adx::sim

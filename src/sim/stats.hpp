@@ -1,0 +1,93 @@
+// Lightweight summary statistics used across the simulator, the lock
+// instrumentation, and the benchmark reporting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace adx::sim {
+
+/// Streaming accumulator: count / mean / variance (Welford) / min / max.
+class accumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const {
+    return n_ ? min_ : 0.0;
+  }
+  [[nodiscard]] double max() const {
+    return n_ ? max_ : 0.0;
+  }
+
+  void reset() { *this = accumulator{}; }
+
+ private:
+  std::uint64_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double sum_{0.0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Fixed-width linear histogram with overflow bucket; used for waiting-time
+/// and queue-depth distributions in lock statistics.
+class histogram {
+ public:
+  histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), buckets_(buckets, 0), overflow_(0), underflow_(0) {}
+
+  void add(double x) {
+    if (x < lo_) {
+      ++underflow_;
+      return;
+    }
+    if (x >= hi_) {
+      ++overflow_;
+      return;
+    }
+    const auto idx = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                              static_cast<double>(buckets_.size()));
+    ++buckets_[std::min(idx, buckets_.size() - 1)];
+  }
+
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(buckets_.size());
+  }
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t t = underflow_ + overflow_;
+    for (auto b : buckets_) t += b;
+    return t;
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t overflow_;
+  std::uint64_t underflow_;
+};
+
+}  // namespace adx::sim

@@ -1,0 +1,65 @@
+// Virtual time for the discrete-event NUMA simulator.
+//
+// The simulator models a BBN Butterfly GP1000-class machine; all latencies in
+// the paper are reported in microseconds, so virtual time is kept in integer
+// nanoseconds to give two decimal digits of microsecond resolution with exact
+// arithmetic (no floating-point drift across millions of events).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+namespace adx::sim {
+
+/// A span of virtual time. Signed so that differences are representable.
+struct vdur {
+  std::int64_t ns{0};
+
+  friend constexpr vdur operator+(vdur a, vdur b) { return {a.ns + b.ns}; }
+  friend constexpr vdur operator-(vdur a, vdur b) { return {a.ns - b.ns}; }
+  friend constexpr vdur operator*(vdur a, std::int64_t k) { return {a.ns * k}; }
+  friend constexpr vdur operator*(std::int64_t k, vdur a) { return {a.ns * k}; }
+  friend constexpr vdur operator/(vdur a, std::int64_t k) { return {a.ns / k}; }
+  constexpr vdur& operator+=(vdur o) { ns += o.ns; return *this; }
+  constexpr vdur& operator-=(vdur o) { ns -= o.ns; return *this; }
+  friend constexpr auto operator<=>(vdur, vdur) = default;
+
+  /// Value in (fractional) microseconds, for reporting.
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns) / 1e3; }
+  /// Value in (fractional) milliseconds, for reporting.
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns) / 1e6; }
+};
+
+/// An absolute point on the simulation clock (ns since simulation start).
+struct vtime {
+  std::uint64_t ns{0};
+
+  friend constexpr vtime operator+(vtime t, vdur d) {
+    return {t.ns + static_cast<std::uint64_t>(d.ns)};
+  }
+  friend constexpr vdur operator-(vtime a, vtime b) {
+    return {static_cast<std::int64_t>(a.ns) - static_cast<std::int64_t>(b.ns)};
+  }
+  friend constexpr auto operator<=>(vtime, vtime) = default;
+
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns) / 1e3; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns) / 1e6; }
+};
+
+namespace detail {
+/// Round-to-nearest conversion: naive truncation turns 0.7us into 699ns
+/// because 0.7 is not exactly representable.
+constexpr std::int64_t round_ns(double v) {
+  return static_cast<std::int64_t>(v >= 0 ? v + 0.5 : v - 0.5);
+}
+}  // namespace detail
+
+constexpr vdur nanoseconds(std::int64_t n) { return {n}; }
+constexpr vdur microseconds(double u) { return {detail::round_ns(u * 1e3)}; }
+constexpr vdur milliseconds(double m) { return {detail::round_ns(m * 1e6)}; }
+constexpr vdur seconds(double s) { return {detail::round_ns(s * 1e9)}; }
+
+/// Returns the later of two time points.
+constexpr vtime max(vtime a, vtime b) { return a < b ? b : a; }
+
+}  // namespace adx::sim

@@ -1,0 +1,85 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace adx::sim {
+
+std::int64_t trace::max_value() const {
+  std::int64_t m = 0;
+  for (const auto& s : samples_) m = std::max(m, s.value);
+  return m;
+}
+
+double trace::mean_value() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : samples_) sum += static_cast<double>(s.value);
+  return sum / static_cast<double>(samples_.size());
+}
+
+std::vector<std::int64_t> trace::rebucket_max(vtime horizon, std::size_t buckets) const {
+  std::vector<std::int64_t> out(buckets, 0);
+  if (buckets == 0 || horizon.ns == 0) return out;
+  std::vector<bool> seen(buckets, false);
+  for (const auto& s : samples_) {
+    if (s.at.ns > horizon.ns) continue;
+    auto idx = static_cast<std::size_t>(
+        static_cast<unsigned __int128>(s.at.ns) * buckets / (horizon.ns + 1));
+    idx = std::min(idx, buckets - 1);
+    out[idx] = seen[idx] ? std::max(out[idx], s.value) : s.value;
+    seen[idx] = true;
+  }
+  // Carry the last observed value through empty windows so the chart reads as
+  // a step function rather than dropping to zero between samples.
+  std::int64_t last = 0;
+  for (std::size_t i = 0; i < buckets; ++i) {
+    if (seen[i]) {
+      last = out[i];
+    } else {
+      out[i] = last;
+    }
+  }
+  return out;
+}
+
+std::string trace::to_csv() const {
+  std::ostringstream os;
+  os << "time_us," << (name_.empty() ? "value" : name_) << '\n';
+  for (const auto& s : samples_) {
+    os << s.at.us() << ',' << s.value << '\n';
+  }
+  return os.str();
+}
+
+std::string trace::ascii_chart(vtime horizon, std::size_t width, std::size_t rows) const {
+  const auto series = rebucket_max(horizon, width);
+  std::int64_t peak = 1;
+  for (auto v : series) peak = std::max(peak, v);
+
+  std::ostringstream os;
+  for (std::size_t r = rows; r-- > 0;) {
+    // The threshold for printing a mark in this row.
+    const double level = static_cast<double>(peak) * static_cast<double>(r + 1) /
+                         static_cast<double>(rows);
+    os << ' ';
+    if (r == rows - 1) {
+      std::ostringstream label;
+      label << peak;
+      os << label.str();
+    } else {
+      os << ' ';
+    }
+    os << " |";
+    for (auto v : series) {
+      os << (static_cast<double>(v) >= level ? '#' : ' ');
+    }
+    os << '\n';
+  }
+  os << "  0 +" << std::string(width, '-') << '\n';
+  os << "     0" << std::string(width > 12 ? width - 12 : 0, ' ') << horizon.ms()
+     << " ms\n";
+  return os.str();
+}
+
+}  // namespace adx::sim

@@ -1,0 +1,60 @@
+// Time-series trace recorder. The paper's Figures 4-9 are "locking pattern"
+// plots: the number of threads waiting on a lock, sampled over the run. A
+// trace stores (virtual time, value) samples and can render them as CSV or a
+// terminal ASCII chart so every figure bench can print the series it
+// regenerates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace adx::sim {
+
+/// One (time, value) sample of an integer-valued signal.
+struct trace_sample {
+  vtime at;
+  std::int64_t value;
+  friend bool operator==(const trace_sample&, const trace_sample&) = default;
+};
+
+/// Append-only time series with reporting helpers.
+class trace {
+ public:
+  explicit trace(std::string name = {}) : name_(std::move(name)) {}
+
+  void record(vtime at, std::int64_t value) { samples_.push_back({at, value}); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<trace_sample>& samples() const { return samples_; }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+
+  [[nodiscard]] std::int64_t max_value() const;
+  [[nodiscard]] double mean_value() const;
+
+  /// Re-buckets the series into `buckets` equal time windows over
+  /// [0, horizon], taking the max sample in each window (matching how the
+  /// paper's pattern figures show contention peaks). Windows without samples
+  /// repeat the previous value.
+  [[nodiscard]] std::vector<std::int64_t> rebucket_max(vtime horizon,
+                                                       std::size_t buckets) const;
+
+  /// "time_us,value" lines, one per sample.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// A rows×width character chart of the rebucketed series, for terminal
+  /// reproduction of the paper's figures.
+  [[nodiscard]] std::string ascii_chart(vtime horizon, std::size_t width = 72,
+                                        std::size_t rows = 12) const;
+
+  void clear() { samples_.clear(); }
+
+ private:
+  std::string name_;
+  std::vector<trace_sample> samples_;
+};
+
+}  // namespace adx::sim

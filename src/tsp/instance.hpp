@@ -1,0 +1,43 @@
+// TSP problem instances: dense distance matrices over a fully connected
+// graph (the paper's LMSK algorithm operates on exactly this). Generators
+// are seeded and bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace adx::tsp {
+
+/// "No edge" marker inside cost matrices. Chosen so that sums of a few INFs
+/// do not overflow int32 when accumulated into int64 bounds.
+inline constexpr std::int32_t kInf = 0x3f3f3f3f;
+
+class instance {
+ public:
+  instance(int n, std::vector<std::int32_t> d);
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] std::int32_t at(int i, int j) const { return d_[static_cast<std::size_t>(i) * n_ + j]; }
+  [[nodiscard]] const std::vector<std::int32_t>& data() const { return d_; }
+
+  /// Cost of a closed tour visiting `order` (size n) in sequence.
+  [[nodiscard]] std::int64_t tour_cost(const std::vector<std::int16_t>& order) const;
+
+  /// Asymmetric instance with uniform edge weights in [lo, hi].
+  [[nodiscard]] static instance random_asymmetric(int n, std::uint64_t seed,
+                                                  std::int32_t lo = 1,
+                                                  std::int32_t hi = 100);
+
+  /// Symmetric instance from random points on a `span` x `span` grid
+  /// (rounded Euclidean distance).
+  [[nodiscard]] static instance random_euclidean(int n, std::uint64_t seed,
+                                                 std::int32_t span = 1000);
+
+ private:
+  int n_;
+  std::vector<std::int32_t> d_;
+};
+
+}  // namespace adx::tsp

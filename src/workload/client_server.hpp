@@ -1,0 +1,68 @@
+// Client-server lock-scheduler workload (§2, from [MS93]): "one experiment
+// compares the performance of three lock schedulers — FCFS, Priority, and
+// Handoff — using a common class of multiprocessor applications:
+// applications structured as client-server programs. For such applications,
+// priority locks exhibit the best performance whereas FCFS locks exhibit the
+// worst."
+//
+// N clients post requests to a board guarded by one reconfigurable lock; a
+// single high-priority server drains the board under the same lock. With
+// FCFS the server queues behind every client; with the Priority scheduler it
+// jumps the registration queue; with Handoff the clients designate the
+// server as the lock's successor after posting.
+#pragma once
+
+#include <cstdint>
+
+#include "locks/cost_model.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/time.hpp"
+
+namespace adx::workload {
+
+enum class sched_kind { fcfs, priority, handoff };
+
+[[nodiscard]] const char* to_string(sched_kind k);
+
+struct client_server_config {
+  unsigned processors = 8;   ///< server on proc 0, clients on 1..clients
+  unsigned clients = 6;
+  std::uint64_t total_requests = 240;
+
+  sim::vdur client_prep = sim::microseconds(150);   ///< board CS, client side
+  sim::vdur client_think = sim::microseconds(100);
+  /// The server takes at most this many requests per lock acquisition...
+  std::uint64_t server_batch = 4;
+  /// ...spending this long per request inside the critical section...
+  sim::vdur server_per_request = sim::microseconds(30);
+  sim::vdur server_fixed = sim::microseconds(50);
+  /// ...and this long per request *outside* the lock (reply processing).
+  /// The server pipeline — wait for lock, drain, post-process — is the
+  /// throughput gate, so every extra microsecond the scheduler makes the
+  /// server wait extends the makespan directly.
+  sim::vdur server_post_per_request = sim::microseconds(120);
+
+  sched_kind sched = sched_kind::fcfs;
+  locks::lock_cost_model cost = locks::lock_cost_model::butterfly_cthreads();
+  sim::machine_config machine = sim::machine_config::butterfly_gp1000();
+  std::uint64_t seed = 7;
+  std::uint64_t max_events = 200'000'000ULL;
+};
+
+struct client_server_result {
+  sim::vtime elapsed{};
+  std::uint64_t server_rounds{0};
+  double mean_server_wait_us{0.0};
+  double mean_client_wait_us{0.0};
+  /// Mean time a posted request sits on the board before the server picks it
+  /// up — the service latency the lock scheduler controls. This is the §2
+  /// metric on which priority wins and FCFS loses: with FCFS the server
+  /// queues behind every posting client before it can pick anything up.
+  double mean_request_latency_us{0.0};
+  /// Requests served per virtual second.
+  double throughput{0.0};
+};
+
+[[nodiscard]] client_server_result run_client_server(const client_server_config& cfg);
+
+}  // namespace adx::workload

@@ -1,0 +1,68 @@
+#include "workload/cs_workload.hpp"
+
+#include <stdexcept>
+
+#include "ct/context.hpp"
+#include "ct/runtime.hpp"
+
+namespace adx::workload {
+
+cs_result run_cs_workload(const cs_config& cfg) {
+  if (cfg.processors == 0 || cfg.processors > cfg.machine.nodes) {
+    throw std::invalid_argument("cs_workload: processors out of range");
+  }
+  if (cfg.threads == 0) throw std::invalid_argument("cs_workload: need threads");
+
+  ct::runtime rt(cfg.machine);
+  auto lk = locks::make_lock(cfg.kind, cfg.lock_home, cfg.cost, cfg.params);
+  sim::rng jitter_rng(cfg.seed);
+
+  // Pre-draw deterministic jitter factors (one stream per thread) so thread
+  // scheduling order cannot perturb the draw sequence.
+  std::vector<std::vector<double>> jitter(cfg.threads);
+  for (unsigned t = 0; t < cfg.threads; ++t) {
+    jitter[t].reserve(cfg.iterations);
+    for (std::uint64_t i = 0; i < cfg.iterations; ++i) {
+      jitter[t].push_back(1.0 + cfg.think_jitter * (2.0 * jitter_rng.uniform01() - 1.0));
+    }
+  }
+
+  for (unsigned t = 0; t < cfg.threads; ++t) {
+    const ct::proc_id proc = t % cfg.processors;
+    rt.fork(proc, [&, t](ct::context& ctx) -> ct::task<void> {
+      for (std::uint64_t i = 0; i < cfg.iterations; ++i) {
+        co_await lk->lock(ctx);
+        co_await ctx.compute(cfg.cs_length);
+        co_await lk->unlock(ctx);
+        const auto think =
+            sim::nanoseconds(static_cast<std::int64_t>(
+                static_cast<double>(cfg.think_time.ns) * jitter[t][i]));
+        // With more threads than processors, thinking yields the processor
+        // so runnable peers make progress (the multiprogramming case of §2).
+        if (cfg.threads > cfg.processors) {
+          co_await ctx.sleep_for(think);
+        } else {
+          co_await ctx.compute(think);
+        }
+      }
+    });
+  }
+
+  const auto run = rt.run_all(cfg.max_events);
+
+  cs_result res;
+  res.elapsed = run.end_time;
+  const auto& s = lk->stats();
+  res.acquisitions = s.acquisitions();
+  res.contended = s.contended();
+  res.blocks = s.blocks();
+  res.spin_iterations = s.spin_iterations();
+  res.peak_waiting = s.peak_waiting();
+  res.mean_wait_us = s.wait_time_us().mean();
+  res.contention_ratio = s.contention_ratio();
+  const double secs = static_cast<double>(res.elapsed.ns) / 1e9;
+  res.throughput = secs > 0 ? static_cast<double>(res.acquisitions) / secs : 0.0;
+  return res;
+}
+
+}  // namespace adx::workload

@@ -1,0 +1,32 @@
+// Tiny fixed-width table printer shared by the benchmark binaries so every
+// table/figure bench prints paper-style rows uniformly.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace adx::workload {
+
+class table {
+ public:
+  explicit table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const;
+
+  /// Formats a double with `prec` decimals.
+  [[nodiscard]] static std::string num(double v, int prec = 2);
+  /// Formats a percentage (e.g. "17.8%").
+  [[nodiscard]] static std::string pct(double fraction, int prec = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace adx::workload

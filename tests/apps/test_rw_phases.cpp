@@ -1,0 +1,72 @@
+#include "apps/rw_phases.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adx::apps {
+namespace {
+
+rw_phases_config fast(rw_lock_mode m) {
+  rw_phases_config c;
+  c.processors = 6;
+  c.readers = 4;
+  c.writers = 2;
+  c.ops_per_phase = 16;
+  c.phases = 4;
+  c.read_work = sim::microseconds(30);
+  c.write_work = sim::microseconds(90);
+  c.think = sim::microseconds(60);
+  c.mode = m;
+  c.cost = locks::lock_cost_model::fast_test();
+  c.machine = sim::machine_config::test_machine(6);
+  return c;
+}
+
+TEST(RwPhases, CompletesWithoutViolations) {
+  for (auto m : {rw_lock_mode::fixed_reader_pref, rw_lock_mode::fixed_writer_pref,
+                 rw_lock_mode::fixed_balanced, rw_lock_mode::adaptive}) {
+    const auto r = run_rw_phases(fast(m));
+    EXPECT_FALSE(r.exclusion_violated) << to_string(m);
+    EXPECT_GT(r.reads, 0u) << to_string(m);
+    EXPECT_GT(r.writes, 0u) << to_string(m);
+  }
+}
+
+TEST(RwPhases, Deterministic) {
+  const auto a = run_rw_phases(fast(rw_lock_mode::adaptive));
+  const auto b = run_rw_phases(fast(rw_lock_mode::adaptive));
+  EXPECT_EQ(a.elapsed.ns, b.elapsed.ns);
+  EXPECT_EQ(a.bias_reconfigurations, b.bias_reconfigurations);
+}
+
+TEST(RwPhases, AdaptiveModeActuallyAdapts) {
+  const auto r = run_rw_phases(fast(rw_lock_mode::adaptive));
+  EXPECT_GT(r.bias_reconfigurations, 0u);
+}
+
+TEST(RwPhases, FixedModesNeverReconfigure) {
+  for (auto m : {rw_lock_mode::fixed_reader_pref, rw_lock_mode::fixed_writer_pref,
+                 rw_lock_mode::fixed_balanced}) {
+    const auto r = run_rw_phases(fast(m));
+    EXPECT_EQ(r.bias_reconfigurations, 0u) << to_string(m);
+  }
+}
+
+TEST(RwPhases, WriterPrefCutsWriterWaiting) {
+  const auto rp = run_rw_phases(fast(rw_lock_mode::fixed_reader_pref));
+  const auto wp = run_rw_phases(fast(rw_lock_mode::fixed_writer_pref));
+  EXPECT_LT(wp.mean_writer_wait_us, rp.mean_writer_wait_us);
+}
+
+TEST(RwPhases, ValidatesConfig) {
+  auto c = fast(rw_lock_mode::adaptive);
+  c.readers = 10;  // readers + writers > processors
+  EXPECT_THROW((void)run_rw_phases(c), std::invalid_argument);
+}
+
+TEST(RwPhases, NamesAreStable) {
+  EXPECT_STREQ(to_string(rw_lock_mode::adaptive), "adaptive bias");
+  EXPECT_STREQ(to_string(rw_lock_mode::fixed_balanced), "fixed balanced (bias 50)");
+}
+
+}  // namespace
+}  // namespace adx::apps

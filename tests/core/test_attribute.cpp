@@ -1,0 +1,108 @@
+#include "core/attribute.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adx::core {
+namespace {
+
+TEST(Attribute, InitialState) {
+  attribute<std::int64_t> a("spin-time", 10);
+  EXPECT_EQ(a.name(), "spin-time");
+  EXPECT_EQ(a.get(), 10);
+  EXPECT_TRUE(a.is_mutable());
+  EXPECT_FALSE(a.owner().has_value());
+}
+
+TEST(Attribute, ImplicitSetSucceedsWhenUnowned) {
+  attribute<std::int64_t> a("x", 0);
+  EXPECT_EQ(a.set(5), set_result::ok);
+  EXPECT_EQ(a.get(), 5);
+}
+
+TEST(Attribute, ImmutableRejectsSet) {
+  attribute<std::int64_t> a("x", 1);
+  a.set_mutable(false);
+  EXPECT_EQ(a.set(2), set_result::immutable);
+  EXPECT_EQ(a.get(), 1);
+}
+
+TEST(Attribute, MutabilityIsTimeDependent) {
+  attribute<std::int64_t> a("x", 1);
+  a.set_mutable(false);
+  EXPECT_EQ(a.set(2), set_result::immutable);
+  a.set_mutable(true);
+  EXPECT_EQ(a.set(2), set_result::ok);
+}
+
+TEST(Attribute, ExplicitAcquisition) {
+  attribute<std::int64_t> a("x", 0);
+  EXPECT_TRUE(a.acquire(7));
+  EXPECT_EQ(a.owner(), std::optional<agent_id>{7});
+}
+
+TEST(Attribute, AcquisitionIsIdempotentForSameAgent) {
+  attribute<std::int64_t> a("x", 0);
+  EXPECT_TRUE(a.acquire(7));
+  EXPECT_TRUE(a.acquire(7));
+}
+
+TEST(Attribute, SecondAgentCannotAcquire) {
+  attribute<std::int64_t> a("x", 0);
+  EXPECT_TRUE(a.acquire(7));
+  EXPECT_FALSE(a.acquire(8));
+  EXPECT_EQ(a.owner(), std::optional<agent_id>{7});
+}
+
+TEST(Attribute, OwnedAttributeRejectsImplicitSet) {
+  attribute<std::int64_t> a("x", 0);
+  (void)a.acquire(7);
+  EXPECT_EQ(a.set(5), set_result::not_owner);
+  EXPECT_EQ(a.set(5, 8), set_result::not_owner);
+  EXPECT_EQ(a.get(), 0);
+}
+
+TEST(Attribute, OwnerCanSet) {
+  attribute<std::int64_t> a("x", 0);
+  (void)a.acquire(7);
+  EXPECT_EQ(a.set(5, 7), set_result::ok);
+  EXPECT_EQ(a.get(), 5);
+}
+
+TEST(Attribute, ReleaseRestoresImplicitAccess) {
+  attribute<std::int64_t> a("x", 0);
+  (void)a.acquire(7);
+  a.release(7);
+  EXPECT_FALSE(a.owner().has_value());
+  EXPECT_EQ(a.set(3), set_result::ok);
+}
+
+TEST(Attribute, ReleaseByNonOwnerIsNoOp) {
+  attribute<std::int64_t> a("x", 0);
+  (void)a.acquire(7);
+  a.release(8);
+  EXPECT_EQ(a.owner(), std::optional<agent_id>{7});
+}
+
+TEST(Attribute, ResetRestoresInitialValueAndFreedom) {
+  attribute<std::int64_t> a("x", 42);
+  a.set(7);
+  (void)a.acquire(3);
+  a.set_mutable(false);
+  a.reset();
+  EXPECT_EQ(a.get(), 42);
+  EXPECT_TRUE(a.is_mutable());
+  EXPECT_FALSE(a.owner().has_value());
+}
+
+TEST(Attribute, DeclaredSetCostIsOneReadOneWrite) {
+  EXPECT_EQ(attribute<std::int64_t>::set_cost(), (op_cost{1, 1}));
+}
+
+TEST(Attribute, WorksWithNonIntegerTypes) {
+  attribute<double> a("rate", 0.5);
+  EXPECT_EQ(a.set(0.75), set_result::ok);
+  EXPECT_DOUBLE_EQ(a.get(), 0.75);
+}
+
+}  // namespace
+}  // namespace adx::core

@@ -1,0 +1,79 @@
+#include "core/attribute_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adx::core {
+namespace {
+
+attribute_set lock_attrs() {
+  attribute_set s;
+  s.declare("spin-time", 10);
+  s.declare("delay-time", 0);
+  s.declare("sleep-time", 1);
+  s.declare("timeout", 0);
+  return s;
+}
+
+TEST(AttributeSet, DeclareAndLookup) {
+  auto s = lock_attrs();
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.value("spin-time"), 10);
+  EXPECT_NE(s.find("sleep-time"), nullptr);
+  EXPECT_EQ(s.find("nope"), nullptr);
+}
+
+TEST(AttributeSet, DuplicateDeclareThrows) {
+  auto s = lock_attrs();
+  EXPECT_THROW(s.declare("spin-time", 1), std::invalid_argument);
+}
+
+TEST(AttributeSet, AtThrowsOnUnknown) {
+  auto s = lock_attrs();
+  EXPECT_THROW(s.at("bogus"), std::out_of_range);
+  const auto& cs = s;
+  EXPECT_THROW((void)cs.at("bogus"), std::out_of_range);
+}
+
+TEST(AttributeSet, SnapshotCapturesCurrentValues) {
+  auto s = lock_attrs();
+  s.at("spin-time").set(50);
+  const auto snap = s.snapshot();
+  ASSERT_EQ(snap.values.size(), 4u);
+  EXPECT_EQ(snap.values[0], (std::pair<std::string, std::int64_t>{"spin-time", 50}));
+}
+
+TEST(AttributeSet, SnapshotsCompareByValue) {
+  auto a = lock_attrs();
+  auto b = lock_attrs();
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+  b.at("timeout").set(99);
+  EXPECT_NE(a.snapshot(), b.snapshot());
+}
+
+TEST(AttributeSet, ResetAllRestoresInitials) {
+  auto s = lock_attrs();
+  s.at("spin-time").set(999);
+  s.at("sleep-time").set(0);
+  s.reset_all();
+  EXPECT_EQ(s.value("spin-time"), 10);
+  EXPECT_EQ(s.value("sleep-time"), 1);
+}
+
+TEST(AttributeSet, IterationVisitsDeclarationOrder) {
+  auto s = lock_attrs();
+  std::vector<std::string> names;
+  for (const auto& a : s) names.push_back(a.name());
+  EXPECT_EQ(names, (std::vector<std::string>{"spin-time", "delay-time", "sleep-time",
+                                             "timeout"}));
+}
+
+TEST(Configuration, EqualityIncludesMethodImpl) {
+  configuration a{"fcfs", lock_attrs().snapshot()};
+  configuration b{"priority", lock_attrs().snapshot()};
+  EXPECT_NE(a, b);
+  b.method_impl = "fcfs";
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace adx::core

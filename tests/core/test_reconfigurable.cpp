@@ -1,0 +1,86 @@
+#include "core/reconfigurable.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adx::core {
+namespace {
+
+class widget : public reconfigurable_object {
+ public:
+  widget() : reconfigurable_object("plain") {
+    attributes().declare("knob", 1);
+    attributes().declare("dial", 2);
+  }
+};
+
+TEST(Reconfigurable, InitialConfiguration) {
+  widget w;
+  const auto c = w.current_configuration();
+  EXPECT_EQ(c.method_impl, "plain");
+  EXPECT_EQ(c.attrs.values[0].second, 1);
+  EXPECT_EQ(w.config_generation(), 0u);
+}
+
+TEST(Reconfigurable, AttributeReconfigurationCostsOneReadOneWrite) {
+  widget w;
+  EXPECT_EQ(w.reconfigure_attribute("knob", 9), set_result::ok);
+  EXPECT_EQ(w.attributes().value("knob"), 9);
+  EXPECT_EQ(w.costs().reconfigurations, (op_cost{1, 1}));
+  EXPECT_EQ(w.costs().reconfiguration_ops, 1u);
+}
+
+TEST(Reconfigurable, GenerationBumpsPerPsi) {
+  widget w;
+  w.reconfigure_attribute("knob", 2);
+  w.reconfigure_attribute("dial", 3);
+  EXPECT_EQ(w.config_generation(), 2u);
+}
+
+TEST(Reconfigurable, FailedReconfigurationCostsNothing) {
+  widget w;
+  w.attributes().at("knob").set_mutable(false);
+  EXPECT_EQ(w.reconfigure_attribute("knob", 5), set_result::immutable);
+  EXPECT_EQ(w.costs().reconfiguration_ops, 0u);
+  EXPECT_EQ(w.config_generation(), 0u);
+}
+
+TEST(Reconfigurable, OwnedAttributeRequiresAgent) {
+  widget w;
+  ASSERT_TRUE(w.attributes().at("knob").acquire(11));
+  EXPECT_EQ(w.reconfigure_attribute("knob", 5), set_result::not_owner);
+  EXPECT_EQ(w.reconfigure_attribute("knob", 5, 11), set_result::ok);
+}
+
+TEST(Reconfigurable, MethodImplReconfigurationCostsFiveWrites) {
+  // Table 8: scheduler swap = 3 sub-module writes + flag set + flag reset.
+  widget w;
+  w.reconfigure_method_impl("fancy");
+  EXPECT_EQ(w.method_impl(), "fancy");
+  EXPECT_EQ(w.costs().reconfigurations, (op_cost{0, 5}));
+}
+
+TEST(Reconfigurable, ReinitializeRestoresAttributes) {
+  widget w;
+  w.reconfigure_attribute("knob", 100);
+  w.reinitialize();
+  EXPECT_EQ(w.attributes().value("knob"), 1);
+}
+
+TEST(Reconfigurable, CostLedgerAccumulates) {
+  widget w;
+  w.reconfigure_attribute("knob", 2);
+  w.reconfigure_method_impl("other");
+  EXPECT_EQ(w.costs().reconfigurations, (op_cost{1, 6}));
+  EXPECT_EQ(w.costs().reconfiguration_ops, 2u);
+}
+
+TEST(OpCost, Arithmetic) {
+  op_cost a{1, 2};
+  op_cost b{3, 4};
+  EXPECT_EQ(a + b, (op_cost{4, 6}));
+  a += b;
+  EXPECT_EQ(a.total(), 10u);
+}
+
+}  // namespace
+}  // namespace adx::core

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "core/monitor.hpp"
+#include "core/sensor.hpp"
+
+namespace adx::core {
+namespace {
+
+TEST(Sensor, SamplesEveryTriggerAtPeriodOne) {
+  int value = 5;
+  sensor s("v", [&] { return value; }, 1);
+  const auto obs = s.trigger();
+  ASSERT_TRUE(obs.has_value());
+  EXPECT_EQ(obs->sensor, "v");
+  EXPECT_EQ(obs->value, 5);
+}
+
+TEST(Sensor, PeriodTwoSamplesEveryOtherTrigger) {
+  // The paper's lock monitor samples once during every other unlock.
+  sensor s("v", [] { return 1; }, 2);
+  EXPECT_FALSE(s.trigger().has_value());
+  EXPECT_TRUE(s.trigger().has_value());
+  EXPECT_FALSE(s.trigger().has_value());
+  EXPECT_TRUE(s.trigger().has_value());
+  EXPECT_EQ(s.triggers_seen(), 4u);
+  EXPECT_EQ(s.samples_taken(), 2u);
+}
+
+TEST(Sensor, ZeroPeriodClampsToOne) {
+  sensor s("v", [] { return 1; }, 0);
+  EXPECT_EQ(s.period(), 1u);
+  EXPECT_TRUE(s.trigger().has_value());
+}
+
+TEST(Sensor, SetPeriodChangesSamplingRate) {
+  sensor s("v", [] { return 1; }, 1);
+  s.set_period(3);
+  EXPECT_FALSE(s.trigger().has_value());
+  EXPECT_FALSE(s.trigger().has_value());
+  EXPECT_TRUE(s.trigger().has_value());
+}
+
+TEST(Sensor, ObservesCurrentValueAtSampleTime) {
+  int value = 0;
+  sensor s("v", [&] { return value; }, 1);
+  value = 3;
+  EXPECT_EQ(s.trigger()->value, 3);
+  value = 9;
+  EXPECT_EQ(s.trigger()->value, 9);
+}
+
+TEST(Sensor, SampleCostIsOneRead) {
+  EXPECT_EQ(sensor::sample_cost(), (op_cost{1, 0}));
+}
+
+TEST(Monitor, CloselyCoupledDeliversInline) {
+  monitor m(coupling::closely_coupled);
+  int v = 4;
+  m.add_sensor(sensor("a", [&] { return v; }, 1));
+  const auto due = m.trigger();
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].value, 4);
+  EXPECT_EQ(m.backlog(), 0u);
+}
+
+TEST(Monitor, LooselyCoupledQueuesObservations) {
+  monitor m(coupling::loosely_coupled);
+  m.add_sensor(sensor("a", [] { return 1; }, 1));
+  EXPECT_TRUE(m.trigger().empty());
+  EXPECT_TRUE(m.trigger().empty());
+  EXPECT_EQ(m.backlog(), 2u);
+}
+
+TEST(Monitor, DrainDeliversOldestFirstUpToMax) {
+  monitor m(coupling::loosely_coupled);
+  int v = 0;
+  m.add_sensor(sensor("a", [&] { return v; }, 1));
+  for (v = 1; v <= 3; ++v) m.trigger();
+  const auto first = m.drain(2);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].value, 1);  // stale state delivered late
+  EXPECT_EQ(first[1].value, 2);
+  EXPECT_EQ(m.drain().size(), 1u);
+}
+
+TEST(Monitor, OverflowDropsOldest) {
+  monitor m(coupling::loosely_coupled, /*queue_cap=*/2);
+  int v = 0;
+  m.add_sensor(sensor("a", [&] { return v; }, 1));
+  for (v = 1; v <= 4; ++v) m.trigger();
+  EXPECT_EQ(m.dropped(), 2u);
+  const auto obs = m.drain();
+  ASSERT_EQ(obs.size(), 2u);
+  EXPECT_EQ(obs[0].value, 3);  // 1 and 2 were dropped ("information overload")
+}
+
+TEST(Monitor, DiversityCountsSensors) {
+  monitor m;
+  m.add_sensor(sensor("a", [] { return 0; }, 1));
+  m.add_sensor(sensor("b", [] { return 0; }, 1));
+  EXPECT_EQ(m.diversity(), 2u);
+}
+
+TEST(Monitor, MultipleSensorsWithDifferentPeriods) {
+  monitor m(coupling::closely_coupled);
+  m.add_sensor(sensor("fast", [] { return 1; }, 1));
+  m.add_sensor(sensor("slow", [] { return 2; }, 3));
+  EXPECT_EQ(m.trigger().size(), 1u);  // fast only
+  EXPECT_EQ(m.trigger().size(), 1u);
+  EXPECT_EQ(m.trigger().size(), 2u);  // both due
+  EXPECT_EQ(m.total_samples(), 4u);
+}
+
+TEST(Monitor, ModeSwitchable) {
+  monitor m(coupling::closely_coupled);
+  m.add_sensor(sensor("a", [] { return 1; }, 1));
+  m.set_mode(coupling::loosely_coupled);
+  EXPECT_TRUE(m.trigger().empty());
+  EXPECT_EQ(m.backlog(), 1u);
+}
+
+}  // namespace
+}  // namespace adx::core

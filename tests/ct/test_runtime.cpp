@@ -1,0 +1,330 @@
+#include "ct/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ct/context.hpp"
+
+namespace adx::ct {
+namespace {
+
+sim::machine_config cfg(unsigned nodes = 4) { return sim::machine_config::test_machine(nodes); }
+
+TEST(Runtime, RunsSingleThreadToCompletion) {
+  runtime rt(cfg());
+  bool ran = false;
+  rt.fork(0, [&](context&) -> task<void> {
+    ran = true;
+    co_return;
+  });
+  const auto r = rt.run_all();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(rt.state_of(0), thread_state::done);
+}
+
+TEST(Runtime, ComputeAdvancesVirtualTime) {
+  runtime rt(cfg());
+  rt.fork(0, [](context& ctx) -> task<void> {
+    co_await ctx.compute(sim::microseconds(100));
+    co_await ctx.compute(sim::microseconds(50));
+  });
+  const auto r = rt.run_all();
+  // Startup pays dispatch latency + one switch-in; the trailing
+  // exit-dispatch event may add a little more to the final clock reading.
+  const double lo = 150.0 + cfg().dispatch_latency.us() + cfg().context_switch.us();
+  EXPECT_GE((r.end_time - sim::vtime{}).us(), lo);
+  EXPECT_LE((r.end_time - sim::vtime{}).us(),
+            lo + cfg().dispatch_latency.us() + cfg().context_switch.us());
+}
+
+TEST(Runtime, ForkRejectsBadProcessor) {
+  runtime rt(cfg(2));
+  EXPECT_THROW(
+      rt.fork(5, [](context&) -> task<void> { co_return; }),
+      std::out_of_range);
+}
+
+TEST(Runtime, ThreadsOnDifferentProcessorsRunConcurrently) {
+  runtime rt(cfg());
+  rt.fork(0, [](context& ctx) -> task<void> {
+    co_await ctx.compute(sim::milliseconds(1));
+  });
+  rt.fork(1, [](context& ctx) -> task<void> {
+    co_await ctx.compute(sim::milliseconds(1));
+  });
+  const auto r = rt.run_all();
+  EXPECT_LT(r.end_time.ms(), 1.5);  // parallel, not 2ms serial
+}
+
+TEST(Runtime, ThreadsOnSameProcessorSerialize) {
+  runtime rt(cfg());
+  sim::vtime end0{}, end1{};
+  rt.fork(0, [&](context& ctx) -> task<void> {
+    co_await ctx.compute(sim::milliseconds(1));
+    end0 = ctx.now();
+  });
+  rt.fork(0, [&](context& ctx) -> task<void> {
+    co_await ctx.compute(sim::milliseconds(1));
+    end1 = ctx.now();
+  });
+  rt.run_all();
+  // Second thread cannot even start until the first finishes (no yields).
+  EXPECT_GE(end1.ms(), 2.0);
+  EXPECT_LT(end0.ms(), end1.ms());
+}
+
+TEST(Runtime, YieldInterleavesSameProcessorThreads) {
+  runtime rt(cfg());
+  std::vector<int> order;
+  for (int id = 0; id < 2; ++id) {
+    rt.fork(0, [&order, id](context& ctx) -> task<void> {
+      for (int i = 0; i < 3; ++i) {
+        order.push_back(id);
+        co_await ctx.yield();
+      }
+    });
+  }
+  rt.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 1, 0, 1}));
+}
+
+TEST(Runtime, YieldAloneIsNoOp) {
+  runtime rt(cfg());
+  rt.fork(0, [](context& ctx) -> task<void> {
+    co_await ctx.yield();  // no peer: must not deadlock or switch
+    co_await ctx.yield();
+  });
+  const auto r = rt.run_all();
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(Runtime, YieldChargesContextSwitch) {
+  runtime rt(cfg());
+  sim::vtime after{};
+  rt.fork(0, [&](context& ctx) -> task<void> {
+    co_await ctx.yield();
+    after = ctx.now();
+  });
+  rt.fork(0, [](context&) -> task<void> { co_return; });
+  rt.run_all();
+  EXPECT_GE((after - sim::vtime{}).us(), cfg().context_switch.us());
+}
+
+TEST(Runtime, SleepWakesAfterDuration) {
+  runtime rt(cfg());
+  sim::vtime woke{};
+  rt.fork(0, [&](context& ctx) -> task<void> {
+    co_await ctx.sleep_for(sim::milliseconds(2));
+    woke = ctx.now();
+  });
+  rt.run_all();
+  EXPECT_GE(woke.ms(), 2.0);
+  EXPECT_LT(woke.ms(), 2.2);
+}
+
+TEST(Runtime, SleepReleasesProcessor) {
+  runtime rt(cfg());
+  sim::vtime peer_done{};
+  rt.fork(0, [](context& ctx) -> task<void> {
+    co_await ctx.sleep_for(sim::milliseconds(5));
+  });
+  rt.fork(0, [&](context& ctx) -> task<void> {
+    co_await ctx.compute(sim::microseconds(100));
+    peer_done = ctx.now();
+  });
+  rt.run_all();
+  EXPECT_LT(peer_done.ms(), 1.0);  // ran while the first thread slept
+}
+
+TEST(Runtime, BlockUnblockRoundTrip) {
+  runtime rt(cfg());
+  bool resumed = false;
+  const auto sleeper = rt.fork(0, [&](context& ctx) -> task<void> {
+    co_await ctx.block();
+    resumed = true;
+  });
+  rt.fork(1, [&, sleeper](context& ctx) -> task<void> {
+    co_await ctx.compute(sim::microseconds(500));
+    co_await ctx.unblock(sleeper);
+  });
+  const auto r = rt.run_all();
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(resumed);
+}
+
+TEST(Runtime, UnblockOnRunningThreadIsLostWakeup) {
+  runtime rt(cfg());
+  bool woke_flag = false;
+  const auto target = rt.fork(0, [&](context& ctx) -> task<void> {
+    co_await ctx.compute(sim::milliseconds(2));  // running, not blocked
+    woke_flag = true;
+  });
+  bool wake_result = true;
+  rt.fork(1, [&, target](context& ctx) -> task<void> {
+    wake_result = co_await ctx.unblock(target);
+  });
+  rt.run_all();
+  EXPECT_FALSE(wake_result);
+  EXPECT_TRUE(woke_flag);
+}
+
+TEST(Runtime, BlockForTimesOut) {
+  runtime rt(cfg());
+  bool woken = true;
+  sim::vtime t_end{};
+  rt.fork(0, [&](context& ctx) -> task<void> {
+    woken = co_await ctx.block_for(sim::milliseconds(1));
+    t_end = ctx.now();
+  });
+  rt.run_all();
+  EXPECT_FALSE(woken);
+  EXPECT_GE(t_end.ms(), 1.0);
+}
+
+TEST(Runtime, BlockForWokenEarly) {
+  runtime rt(cfg());
+  bool woken = false;
+  sim::vtime t_end{};
+  const auto waiter = rt.fork(0, [&](context& ctx) -> task<void> {
+    woken = co_await ctx.block_for(sim::milliseconds(10));
+    t_end = ctx.now();
+  });
+  rt.fork(1, [&, waiter](context& ctx) -> task<void> {
+    co_await ctx.compute(sim::microseconds(200));
+    co_await ctx.unblock(waiter);
+  });
+  rt.run_all();
+  EXPECT_TRUE(woken);
+  EXPECT_LT(t_end.ms(), 2.0);
+}
+
+TEST(Runtime, StaleTimeoutDoesNotRewake) {
+  // Thread times out, then blocks again; the first timeout's event must not
+  // wake the second block.
+  runtime rt(cfg());
+  int wakes = 0;
+  const auto t = rt.fork(0, [&](context& ctx) -> task<void> {
+    (void)co_await ctx.block_for(sim::microseconds(100));
+    ++wakes;
+    co_await ctx.block();  // woken only by the explicit unblock below
+    ++wakes;
+  });
+  rt.fork(1, [&, t](context& ctx) -> task<void> {
+    co_await ctx.sleep_for(sim::milliseconds(5));
+    co_await ctx.unblock(t);
+  });
+  const auto r = rt.run_all();
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(wakes, 2);
+}
+
+TEST(Runtime, JoinWaitsForTarget) {
+  runtime rt(cfg());
+  sim::vtime join_done{};
+  const auto worker = rt.fork(0, [](context& ctx) -> task<void> {
+    co_await ctx.compute(sim::milliseconds(3));
+  });
+  rt.fork(1, [&, worker](context& ctx) -> task<void> {
+    co_await ctx.join(worker);
+    join_done = ctx.now();
+  });
+  rt.run_all();
+  EXPECT_GE(join_done.ms(), 3.0);
+}
+
+TEST(Runtime, JoinOnFinishedThreadReturnsImmediately) {
+  runtime rt(cfg());
+  const auto worker = rt.fork(0, [](context&) -> task<void> { co_return; });
+  bool joined = false;
+  rt.fork(1, [&, worker](context& ctx) -> task<void> {
+    co_await ctx.compute(sim::milliseconds(1));  // let worker finish first
+    co_await ctx.join(worker);
+    joined = true;
+  });
+  const auto r = rt.run_all();
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(joined);
+}
+
+TEST(Runtime, DeadlockDetected) {
+  runtime rt(cfg());
+  rt.fork(0, [](context& ctx) -> task<void> { co_await ctx.block(); });
+  EXPECT_THROW(rt.run_all(), deadlock_error);
+}
+
+TEST(Runtime, DeadlockReportListsStuckThreads) {
+  runtime rt(cfg());
+  rt.fork(0, [](context& ctx) -> task<void> { co_await ctx.block(); });
+  rt.fork(1, [](context& ctx) -> task<void> { co_await ctx.block(); });
+  try {
+    rt.run_all();
+    FAIL() << "expected deadlock_error";
+  } catch (const deadlock_error& e) {
+    EXPECT_EQ(e.stuck().size(), 2u);
+  }
+}
+
+TEST(Runtime, ThreadExceptionRethrownFromRunAll) {
+  runtime rt(cfg());
+  rt.fork(0, [](context&) -> task<void> {
+    throw std::logic_error("inside thread");
+    co_return;
+  });
+  EXPECT_THROW(rt.run_all(), std::logic_error);
+}
+
+TEST(Runtime, EventBudgetGuard) {
+  runtime rt(cfg());
+  rt.fork(0, [](context& ctx) -> task<void> {
+    for (;;) co_await ctx.compute(sim::microseconds(1));
+  });
+  EXPECT_THROW(rt.run_all(1000), simulation_limit_error);
+}
+
+TEST(Runtime, DeterministicAcrossIdenticalRuns) {
+  auto run_once = [] {
+    runtime rt(cfg());
+    for (unsigned p = 0; p < 4; ++p) {
+      rt.fork(p, [](context& ctx) -> task<void> {
+        for (int i = 0; i < 20; ++i) {
+          co_await ctx.compute(sim::microseconds(7));
+          co_await ctx.yield();
+        }
+      });
+      rt.fork(p, [](context& ctx) -> task<void> {
+        for (int i = 0; i < 20; ++i) {
+          co_await ctx.sleep_for(sim::microseconds(13));
+        }
+      });
+    }
+    return rt.run_all().end_time;
+  };
+  EXPECT_EQ(run_once().ns, run_once().ns);
+}
+
+TEST(Runtime, PriorityVisibleThroughContext) {
+  runtime rt(cfg());
+  rt.fork(
+      0,
+      [](context& ctx) -> task<void> {
+        EXPECT_EQ(ctx.priority(), 7);
+        ctx.set_priority(3);
+        EXPECT_EQ(ctx.priority(), 3);
+        co_return;
+      },
+      /*priority=*/7);
+  rt.run_all();
+}
+
+TEST(Runtime, CurrentOnTracksRunningThread) {
+  runtime rt(cfg());
+  rt.fork(0, [&](context& ctx) -> task<void> {
+    EXPECT_EQ(rt.current_on(0), ctx.self());
+    co_return;
+  });
+  rt.run_all();
+  EXPECT_EQ(rt.current_on(0), invalid_thread);
+}
+
+}  // namespace
+}  // namespace adx::ct

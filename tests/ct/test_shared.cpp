@@ -1,0 +1,143 @@
+#include "ct/shared.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ct/context.hpp"
+#include "ct/runtime.hpp"
+
+namespace adx::ct {
+namespace {
+
+sim::machine_config cfg() { return sim::machine_config::test_machine(4); }
+
+TEST(Svar, ReadReturnsStoredValue) {
+  runtime rt(cfg());
+  svar<std::uint64_t> v(0, 77);
+  std::uint64_t got = 0;
+  rt.fork(0, [&](context& ctx) -> task<void> { got = co_await ctx.read(v); });
+  rt.run_all();
+  EXPECT_EQ(got, 77u);
+}
+
+TEST(Svar, WriteUpdatesValue) {
+  runtime rt(cfg());
+  svar<std::uint64_t> v(0, 0);
+  rt.fork(0, [&](context& ctx) -> task<void> {
+    co_await ctx.write(v, std::uint64_t{5});
+  });
+  rt.run_all();
+  EXPECT_EQ(v.raw(), 5u);
+}
+
+TEST(Svar, FetchOrReturnsOldValue) {
+  runtime rt(cfg());
+  svar<std::uint64_t> v(0, 0b0010);
+  std::uint64_t old = ~0ull;
+  rt.fork(0, [&](context& ctx) -> task<void> {
+    old = co_await ctx.fetch_or(v, std::uint64_t{0b0001});
+  });
+  rt.run_all();
+  EXPECT_EQ(old, 0b0010u);
+  EXPECT_EQ(v.raw(), 0b0011u);
+}
+
+TEST(Svar, FetchAddAccumulates) {
+  runtime rt(cfg());
+  svar<std::int64_t> v(0, 10);
+  rt.fork(0, [&](context& ctx) -> task<void> {
+    co_await ctx.fetch_add(v, std::int64_t{5});
+    co_await ctx.fetch_add(v, std::int64_t{-3});
+  });
+  rt.run_all();
+  EXPECT_EQ(v.raw(), 12);
+}
+
+TEST(Svar, ExchangeSwapsValue) {
+  runtime rt(cfg());
+  svar<std::uint64_t> v(0, 1);
+  std::uint64_t old = 0;
+  rt.fork(0, [&](context& ctx) -> task<void> {
+    old = co_await ctx.exchange(v, std::uint64_t{9});
+  });
+  rt.run_all();
+  EXPECT_EQ(old, 1u);
+  EXPECT_EQ(v.raw(), 9u);
+}
+
+TEST(Svar, CasSucceedsOnMatch) {
+  runtime rt(cfg());
+  svar<std::uint64_t> v(0, 4);
+  std::uint64_t prev = 0;
+  rt.fork(0, [&](context& ctx) -> task<void> {
+    prev = co_await ctx.cas(v, std::uint64_t{4}, std::uint64_t{8});
+  });
+  rt.run_all();
+  EXPECT_EQ(prev, 4u);
+  EXPECT_EQ(v.raw(), 8u);
+}
+
+TEST(Svar, CasFailsOnMismatch) {
+  runtime rt(cfg());
+  svar<std::uint64_t> v(0, 4);
+  std::uint64_t prev = 0;
+  rt.fork(0, [&](context& ctx) -> task<void> {
+    prev = co_await ctx.cas(v, std::uint64_t{5}, std::uint64_t{8});
+  });
+  rt.run_all();
+  EXPECT_EQ(prev, 4u);
+  EXPECT_EQ(v.raw(), 4u);  // unchanged
+}
+
+TEST(Svar, AccessesHitTheLedger) {
+  runtime rt(cfg());
+  svar<std::uint64_t> local(0, 0);
+  svar<std::uint64_t> remote(2, 0);
+  rt.fork(0, [&](context& ctx) -> task<void> {
+    co_await ctx.read(local);
+    co_await ctx.write(remote, std::uint64_t{1});
+    co_await ctx.fetch_or(remote, std::uint64_t{2});
+  });
+  rt.run_all();
+  const auto& c = rt.mach().counts();
+  EXPECT_EQ(c.local_reads, 1u);
+  EXPECT_EQ(c.remote_writes, 1u);
+  EXPECT_EQ(c.remote_rmws, 1u);
+}
+
+TEST(Svar, RemoteAccessSlowerThanLocal) {
+  const auto once = [](sim::node_id home) {
+    runtime rt(cfg());
+    svar<std::uint64_t> v(home, 0);
+    rt.fork(0, [&](context& ctx) -> task<void> {
+      for (int i = 0; i < 100; ++i) co_await ctx.read(v);
+    });
+    return rt.run_all().end_time;
+  };
+  EXPECT_GT(once(3).ns, once(0).ns);
+}
+
+TEST(Svar, RmwIsAtomicUnderContention) {
+  runtime rt(cfg());
+  svar<std::int64_t> counter(0, 0);
+  for (unsigned p = 0; p < 4; ++p) {
+    rt.fork(p, [&](context& ctx) -> task<void> {
+      for (int i = 0; i < 250; ++i) {
+        co_await ctx.fetch_add(counter, std::int64_t{1});
+      }
+    });
+  }
+  rt.run_all();
+  EXPECT_EQ(counter.raw(), 1000);
+}
+
+TEST(Svar, TouchChargesBulkAccesses) {
+  runtime rt(cfg());
+  rt.fork(0, [&](context& ctx) -> task<void> {
+    co_await ctx.touch(1, sim::access_kind::write, 25);
+  });
+  rt.run_all();
+  EXPECT_EQ(rt.mach().counts().remote_writes, 25u);
+}
+
+}  // namespace
+}  // namespace adx::ct

@@ -1,0 +1,139 @@
+#include "ct/sync.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adx::ct {
+namespace {
+
+sim::machine_config cfg() { return sim::machine_config::test_machine(4); }
+
+TEST(WaitQueue, NotifyOneWakesInFifoOrder) {
+  runtime rt(cfg());
+  wait_queue q;
+  std::vector<int> woke;
+  for (int i = 0; i < 3; ++i) {
+    rt.fork(0, [&, i](context& ctx) -> task<void> {
+      co_await q.wait(ctx);
+      woke.push_back(i);
+    });
+  }
+  rt.fork(1, [&](context& ctx) -> task<void> {
+    co_await ctx.sleep_for(sim::milliseconds(1));
+    for (int i = 0; i < 3; ++i) {
+      co_await q.notify_one(ctx);
+      co_await ctx.sleep_for(sim::microseconds(200));
+    }
+  });
+  rt.run_all();
+  EXPECT_EQ(woke, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(WaitQueue, NotifyAllWakesEveryone) {
+  runtime rt(cfg());
+  wait_queue q;
+  int woke = 0;
+  for (unsigned p = 0; p < 3; ++p) {
+    rt.fork(p, [&](context& ctx) -> task<void> {
+      co_await q.wait(ctx);
+      ++woke;
+    });
+  }
+  rt.fork(3, [&](context& ctx) -> task<void> {
+    co_await ctx.sleep_for(sim::milliseconds(1));
+    co_await q.notify_all(ctx);
+  });
+  rt.run_all();
+  EXPECT_EQ(woke, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(WaitQueue, NotifyOnEmptyIsNoOp) {
+  runtime rt(cfg());
+  wait_queue q;
+  rt.fork(0, [&](context& ctx) -> task<void> {
+    co_await q.notify_one(ctx);
+    co_await q.notify_all(ctx);
+  });
+  EXPECT_TRUE(rt.run_all().completed);
+}
+
+TEST(Semaphore, InitialCountAdmitsWithoutBlocking) {
+  runtime rt(cfg());
+  semaphore sem(2);
+  int admitted = 0;
+  for (unsigned p = 0; p < 2; ++p) {
+    rt.fork(p, [&](context& ctx) -> task<void> {
+      co_await sem.acquire(ctx);
+      ++admitted;
+    });
+  }
+  rt.run_all();
+  EXPECT_EQ(admitted, 2);
+  EXPECT_EQ(sem.count(), 0);
+}
+
+TEST(Semaphore, BlocksWhenExhausted) {
+  runtime rt(cfg());
+  semaphore sem(1);
+  std::vector<int> order;
+  rt.fork(0, [&](context& ctx) -> task<void> {
+    co_await sem.acquire(ctx);
+    order.push_back(1);
+    co_await ctx.compute(sim::milliseconds(1));
+    co_await sem.release(ctx);
+  });
+  rt.fork(1, [&](context& ctx) -> task<void> {
+    co_await ctx.compute(sim::microseconds(10));
+    co_await sem.acquire(ctx);
+    order.push_back(2);
+    co_await sem.release(ctx);
+  });
+  rt.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Semaphore, ReleaseWithoutWaitersIncrementsCount) {
+  runtime rt(cfg());
+  semaphore sem(0);
+  rt.fork(0, [&](context& ctx) -> task<void> {
+    co_await sem.release(ctx);
+    co_await sem.release(ctx);
+  });
+  rt.run_all();
+  EXPECT_EQ(sem.count(), 2);
+}
+
+TEST(Barrier, AllPartiesProceedTogether) {
+  runtime rt(cfg());
+  barrier b(3);
+  std::vector<sim::vtime> crossed(3);
+  for (unsigned p = 0; p < 3; ++p) {
+    rt.fork(p, [&, p](context& ctx) -> task<void> {
+      co_await ctx.compute(sim::microseconds(100 * (p + 1)));
+      co_await b.arrive_and_wait(ctx);
+      crossed[p] = ctx.now();
+    });
+  }
+  rt.run_all();
+  // Nobody crosses before the slowest arrives (300us of compute).
+  for (const auto& t : crossed) EXPECT_GE(t.us(), 300.0);
+}
+
+TEST(Barrier, IsCyclic) {
+  runtime rt(cfg());
+  barrier b(2);
+  int rounds_done = 0;
+  for (unsigned p = 0; p < 2; ++p) {
+    rt.fork(p, [&](context& ctx) -> task<void> {
+      for (int r = 0; r < 3; ++r) {
+        co_await b.arrive_and_wait(ctx);
+      }
+      ++rounds_done;
+    });
+  }
+  EXPECT_TRUE(rt.run_all().completed);
+  EXPECT_EQ(rounds_done, 2);
+}
+
+}  // namespace
+}  // namespace adx::ct

@@ -1,0 +1,72 @@
+// Whole-stack determinism: identical configurations must replay to the exact
+// same virtual end time, event count, and statistics. Every experiment in
+// the benchmark harness relies on this property.
+#include <gtest/gtest.h>
+
+#include "tsp/parallel.hpp"
+#include "workload/client_server.hpp"
+#include "workload/cs_workload.hpp"
+
+namespace adx {
+namespace {
+
+TEST(Determinism, TspAllVariantsReplayExactly) {
+  const auto inst = tsp::instance::random_asymmetric(16, 4242);
+  for (auto v : {tsp::variant::centralized, tsp::variant::distributed,
+                 tsp::variant::distributed_lb}) {
+    tsp::parallel_config cfg;
+    cfg.impl = v;
+    cfg.processors = 5;
+    cfg.cost = locks::lock_cost_model::fast_test();
+    cfg.machine = sim::machine_config::test_machine(6);
+    cfg.per_op_us = 0.3;
+    cfg.record_patterns = true;
+    const auto a = tsp::solve_parallel(inst, cfg);
+    const auto b = tsp::solve_parallel(inst, cfg);
+    EXPECT_EQ(a.elapsed.ns, b.elapsed.ns) << to_string(v);
+    EXPECT_EQ(a.events, b.events) << to_string(v);
+    EXPECT_EQ(a.expansions, b.expansions) << to_string(v);
+    EXPECT_EQ(a.best.cost, b.best.cost) << to_string(v);
+    EXPECT_EQ(a.qlock_pattern.size(), b.qlock_pattern.size()) << to_string(v);
+  }
+}
+
+TEST(Determinism, CsWorkloadReplaysExactly) {
+  workload::cs_config cfg;
+  cfg.processors = 4;
+  cfg.threads = 8;
+  cfg.iterations = 30;
+  cfg.kind = locks::lock_kind::adaptive;
+  cfg.cost = locks::lock_cost_model::fast_test();
+  cfg.machine = sim::machine_config::test_machine(4);
+  const auto a = workload::run_cs_workload(cfg);
+  const auto b = workload::run_cs_workload(cfg);
+  EXPECT_EQ(a.elapsed.ns, b.elapsed.ns);
+  EXPECT_EQ(a.contended, b.contended);
+  EXPECT_EQ(a.spin_iterations, b.spin_iterations);
+}
+
+TEST(Determinism, ClientServerReplaysExactly) {
+  workload::client_server_config cfg;
+  cfg.processors = 5;
+  cfg.clients = 4;
+  cfg.total_requests = 80;
+  cfg.cost = locks::lock_cost_model::fast_test();
+  cfg.machine = sim::machine_config::test_machine(5);
+  for (auto s : {workload::sched_kind::fcfs, workload::sched_kind::priority,
+                 workload::sched_kind::handoff}) {
+    cfg.sched = s;
+    const auto a = workload::run_client_server(cfg);
+    const auto b = workload::run_client_server(cfg);
+    EXPECT_EQ(a.elapsed.ns, b.elapsed.ns) << to_string(s);
+  }
+}
+
+TEST(Determinism, SeedChangesOutcome) {
+  const auto a = tsp::instance::random_asymmetric(16, 1);
+  const auto b = tsp::instance::random_asymmetric(16, 2);
+  EXPECT_NE(a.data(), b.data());
+}
+
+}  // namespace
+}  // namespace adx

@@ -1,0 +1,162 @@
+// Randomized torture: seeded random schedules (thread counts, processor
+// counts, critical-section and think times, lock homes) across every lock
+// kind, checking the fundamental invariants — mutual exclusion, no lost
+// increments, termination, determinism — far from the hand-picked scenarios
+// of the unit tests.
+#include <gtest/gtest.h>
+
+#include "ct/context.hpp"
+#include "locks/factory.hpp"
+#include "locks/rw_lock.hpp"
+#include "sim/rng.hpp"
+
+namespace adx {
+namespace {
+
+struct torture_case {
+  std::uint64_t seed;
+  locks::lock_kind kind;
+};
+
+std::string torture_name(const testing::TestParamInfo<torture_case>& info) {
+  std::string n = locks::to_string(info.param.kind);
+  for (auto& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n + "_s" + std::to_string(info.param.seed);
+}
+
+class LockTorture : public testing::TestWithParam<torture_case> {};
+
+TEST_P(LockTorture, RandomScheduleKeepsInvariants) {
+  const auto& tc = GetParam();
+  sim::rng r(tc.seed);
+
+  const unsigned procs = 2 + static_cast<unsigned>(r.below(6));
+  const bool spin_only = tc.kind == locks::lock_kind::atomior ||
+                         tc.kind == locks::lock_kind::spin ||
+                         tc.kind == locks::lock_kind::backoff ||
+                         tc.kind == locks::lock_kind::ticket ||
+                         tc.kind == locks::lock_kind::mcs ||
+                         tc.kind == locks::lock_kind::advisory;
+  // Spin-only kinds livelock when waiters share a processor with the owner.
+  const unsigned threads =
+      spin_only ? procs : procs + static_cast<unsigned>(r.below(procs + 1));
+  const int iters = 10 + static_cast<int>(r.below(25));
+  const auto home = static_cast<sim::node_id>(r.below(procs));
+
+  locks::lock_params params;
+  params.combined_spin_limit = 1 + static_cast<std::int64_t>(r.below(40));
+  params.adapt.waiting_threshold = 1 + static_cast<std::int64_t>(r.below(16));
+  params.adapt.n = 1 + static_cast<std::int64_t>(r.below(30));
+  params.adapt.spin_cap = 10 + static_cast<std::int64_t>(r.below(300));
+  params.adapt.sample_period = 1 + r.below(6);
+  params.grant_mode = static_cast<std::int64_t>(r.below(2));
+
+  std::vector<std::uint64_t> cs_us(threads);
+  std::vector<std::uint64_t> think_us(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    cs_us[t] = 5 + r.below(200);
+    think_us[t] = 20 + r.below(500);
+  }
+
+  const auto run_once = [&] {
+    ct::runtime rt(sim::machine_config::test_machine(procs));
+    auto lk = locks::make_lock(tc.kind, home, locks::lock_cost_model::fast_test(),
+                               params);
+    ct::svar<std::uint64_t> counter(home, 0);
+    int in_cs = 0;
+    bool violated = false;
+    for (unsigned t = 0; t < threads; ++t) {
+      rt.fork(t % procs, [&, t](ct::context& ctx) -> ct::task<void> {
+        for (int i = 0; i < iters; ++i) {
+          co_await lk->lock(ctx);
+          if (++in_cs != 1) violated = true;
+          const auto v = co_await ctx.read(counter);
+          co_await ctx.compute(sim::microseconds(static_cast<double>(cs_us[t])));
+          co_await ctx.write(counter, v + 1);
+          --in_cs;
+          co_await lk->unlock(ctx);
+          if (threads > procs) {
+            co_await ctx.sleep_for(
+                sim::microseconds(static_cast<double>(think_us[t])));
+          } else {
+            co_await ctx.compute(
+                sim::microseconds(static_cast<double>(think_us[t])));
+          }
+        }
+      });
+    }
+    const auto res = rt.run_all(100'000'000ULL);
+    EXPECT_TRUE(res.completed);
+    EXPECT_FALSE(violated);
+    EXPECT_EQ(counter.raw(), std::uint64_t{threads} * iters);
+    return res.end_time;
+  };
+
+  EXPECT_EQ(run_once().ns, run_once().ns) << "non-deterministic replay";
+}
+
+std::vector<torture_case> torture_cases() {
+  std::vector<torture_case> v;
+  constexpr locks::lock_kind kinds[] = {
+      locks::lock_kind::atomior,   locks::lock_kind::spin,
+      locks::lock_kind::backoff,   locks::lock_kind::blocking,
+      locks::lock_kind::combined,  locks::lock_kind::advisory,
+      locks::lock_kind::ticket,    locks::lock_kind::mcs,
+      locks::lock_kind::reconfigurable, locks::lock_kind::adaptive,
+  };
+  for (const auto k : kinds) {
+    for (std::uint64_t seed : {11ULL, 23ULL, 37ULL}) {
+      v.push_back({seed, k});
+    }
+  }
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSchedules, LockTorture,
+                         testing::ValuesIn(torture_cases()), torture_name);
+
+TEST(RwLockTorture, RandomReadWriteMixKeepsInvariants) {
+  for (const std::uint64_t seed : {3ULL, 19ULL, 41ULL}) {
+    sim::rng r(seed);
+    const unsigned procs = 3 + static_cast<unsigned>(r.below(5));
+    const unsigned threads = procs;  // one per processor
+    const auto bias = static_cast<std::int64_t>(r.below(101));
+
+    ct::runtime rt(sim::machine_config::test_machine(procs));
+    locks::reconfigurable_rw_lock lk(0, locks::lock_cost_model::fast_test(), bias,
+                                     static_cast<std::int64_t>(r.below(20)));
+    std::int64_t writers_in = 0;
+    bool violated = false;
+    std::uint64_t writes_done = 0;
+    for (unsigned t = 0; t < threads; ++t) {
+      const bool writer = r.uniform01() < 0.4;
+      const auto work = 10 + r.below(150);
+      rt.fork(t % procs, [&, writer, work](ct::context& ctx) -> ct::task<void> {
+        for (int i = 0; i < 20; ++i) {
+          if (writer) {
+            co_await lk.lock_exclusive(ctx);
+            if (++writers_in != 1 || lk.readers_raw() != 0) violated = true;
+            co_await ctx.compute(sim::microseconds(static_cast<double>(work)));
+            --writers_in;
+            ++writes_done;
+            co_await lk.unlock_exclusive(ctx);
+          } else {
+            co_await lk.lock_shared(ctx);
+            if (writers_in != 0) violated = true;
+            co_await ctx.compute(sim::microseconds(static_cast<double>(work)));
+            co_await lk.unlock_shared(ctx);
+          }
+          co_await ctx.compute(sim::microseconds(25));
+        }
+      });
+    }
+    const auto res = rt.run_all(100'000'000ULL);
+    EXPECT_TRUE(res.completed) << "seed " << seed;
+    EXPECT_FALSE(violated) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace adx

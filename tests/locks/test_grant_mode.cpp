@@ -1,0 +1,169 @@
+// The grant-mode attribute: direct handoff vs. release-and-retry (barging)
+// release disciplines of the reconfigurable lock.
+#include <gtest/gtest.h>
+
+#include "ct/context.hpp"
+#include "locks/factory.hpp"
+
+namespace adx::locks {
+namespace {
+
+sim::machine_config mc(unsigned nodes = 6) { return sim::machine_config::test_machine(nodes); }
+lock_cost_model cost() { return lock_cost_model::fast_test(); }
+
+TEST(GrantMode, AttributeDeclaredDefaultHandoff) {
+  reconfigurable_lock lk(0, cost());
+  EXPECT_EQ(lk.attributes().value("grant-mode"), 0);
+}
+
+TEST(GrantMode, RetryModeMutualExclusionAndProgress) {
+  ct::runtime rt(mc());
+  reconfigurable_lock lk(0, cost(), waiting_policy::pure_sleep());
+  lk.attributes().at("grant-mode").set(1);
+  ct::svar<std::uint64_t> counter(0, 0);
+  int in_cs = 0;
+  bool violated = false;
+  for (unsigned p = 0; p < 6; ++p) {
+    rt.fork(p, [&](ct::context& ctx) -> ct::task<void> {
+      for (int i = 0; i < 30; ++i) {
+        co_await lk.lock(ctx);
+        if (++in_cs != 1) violated = true;
+        const auto v = co_await ctx.read(counter);
+        co_await ctx.compute(sim::microseconds(20));
+        co_await ctx.write(counter, v + 1);
+        --in_cs;
+        co_await lk.unlock(ctx);
+        co_await ctx.compute(sim::microseconds(10));
+      }
+    });
+  }
+  EXPECT_TRUE(rt.run_all().completed);
+  EXPECT_FALSE(violated);
+  EXPECT_EQ(counter.raw(), 180u);
+}
+
+TEST(GrantMode, RetryModeUnderMultiprogramming) {
+  ct::runtime rt(mc(3));
+  reconfigurable_lock lk(0, cost(), waiting_policy::mixed(5));
+  lk.attributes().at("grant-mode").set(1);
+  ct::svar<std::uint64_t> counter(0, 0);
+  for (unsigned t = 0; t < 9; ++t) {  // 3 threads per processor
+    rt.fork(t % 3, [&](ct::context& ctx) -> ct::task<void> {
+      for (int i = 0; i < 20; ++i) {
+        co_await lk.lock(ctx);
+        const auto v = co_await ctx.read(counter);
+        co_await ctx.compute(sim::microseconds(15));
+        co_await ctx.write(counter, v + 1);
+        co_await lk.unlock(ctx);
+        co_await ctx.sleep_for(sim::microseconds(40));
+      }
+    });
+  }
+  EXPECT_TRUE(rt.run_all().completed);
+  EXPECT_EQ(counter.raw(), 180u);
+}
+
+TEST(GrantMode, HandoffModeRecordsHandoffsRetryDoesNot) {
+  const auto run_mode = [](std::int64_t mode) {
+    ct::runtime rt(mc());
+    reconfigurable_lock lk(0, cost(), waiting_policy::pure_sleep());
+    lk.attributes().at("grant-mode").set(mode);
+    for (unsigned p = 0; p < 3; ++p) {
+      rt.fork(p, [&](ct::context& ctx) -> ct::task<void> {
+        for (int i = 0; i < 10; ++i) {
+          co_await lk.lock(ctx);
+          co_await ctx.compute(sim::microseconds(100));
+          co_await lk.unlock(ctx);
+        }
+      });
+    }
+    rt.run_all();
+    return lk.stats().handoffs();
+  };
+  EXPECT_GT(run_mode(0), 0u);
+  EXPECT_EQ(run_mode(1), 0u);
+}
+
+TEST(GrantMode, RetryModeAvoidsGrantConvoyUnderOversubscription) {
+  // 4 compute-heavy threads per processor: a direct handoff charges the lock
+  // to a grantee that waits in its processor's run queue; barging lets any
+  // runnable thread take it. Barging must finish significantly sooner.
+  const auto run_mode = [](std::int64_t mode) {
+    ct::runtime rt(sim::machine_config::butterfly_gp1000());
+    simple_adapt_params p{2, 5, 15, 2};
+    p.pure_spin_on_idle = false;
+    adaptive_lock lk(0, lock_cost_model::butterfly_cthreads(), p);
+    lk.attributes().at("grant-mode").set(mode);
+    for (unsigned t = 0; t < 24; ++t) {
+      rt.fork(t % 6, [&](ct::context& ctx) -> ct::task<void> {
+        for (int i = 0; i < 30; ++i) {
+          co_await lk.lock(ctx);
+          co_await ctx.compute(sim::microseconds(40));
+          co_await lk.unlock(ctx);
+          co_await ctx.sleep_for(sim::microseconds(150));
+        }
+      });
+    }
+    return rt.run_all().end_time;
+  };
+  const auto handoff = run_mode(0);
+  const auto barging = run_mode(1);
+  EXPECT_LT(barging.ns, handoff.ns);
+}
+
+TEST(GrantMode, FactoryAppliesGrantMode) {
+  lock_params params;
+  params.grant_mode = 1;
+  const auto lk = make_lock(lock_kind::adaptive, 0, cost(), params);
+  auto* rl = dynamic_cast<reconfigurable_lock*>(lk.get());
+  ASSERT_NE(rl, nullptr);
+  EXPECT_EQ(rl->attributes().value("grant-mode"), 1);
+}
+
+TEST(GrantMode, TimedWaitersSurviveRetryMode) {
+  ct::runtime rt(mc());
+  reconfigurable_lock lk(0, cost(), waiting_policy::conditional(150, 2));
+  lk.attributes().at("grant-mode").set(1);
+  bool acquired = false;
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    co_await lk.lock(ctx);
+    co_await ctx.compute(sim::milliseconds(2));
+    co_await lk.unlock(ctx);
+  });
+  rt.fork(1, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.compute(sim::microseconds(30));
+    co_await lk.lock(ctx);
+    acquired = true;
+    co_await lk.unlock(ctx);
+  });
+  EXPECT_TRUE(rt.run_all().completed);
+  EXPECT_TRUE(acquired);
+}
+
+TEST(GrantMode, SchedulerSwapAdoptedInRetryMode) {
+  // Regression: pending-scheduler adoption must also happen on the
+  // release-and-retry unlock path, not only under direct handoff.
+  ct::runtime rt(mc());
+  reconfigurable_lock lk(0, cost(), waiting_policy::pure_sleep());
+  lk.attributes().at("grant-mode").set(1);
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    co_await lk.lock(ctx);
+    co_await ctx.compute(sim::milliseconds(2));
+    co_await lk.unlock(ctx);
+  });
+  rt.fork(1, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.compute(sim::microseconds(50));
+    co_await lk.lock(ctx);  // registers and blocks -> swap must defer
+    co_await lk.unlock(ctx);
+  });
+  rt.fork(2, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.sleep_for(sim::milliseconds(1));  // waiter registered
+    co_await lk.configure_scheduler(ctx, std::make_unique<priority_scheduler>());
+  });
+  EXPECT_TRUE(rt.run_all().completed);
+  EXPECT_EQ(lk.scheduler().name(), "priority");
+  EXPECT_FALSE(lk.scheduler_transition_pending());
+}
+
+}  // namespace
+}  // namespace adx::locks

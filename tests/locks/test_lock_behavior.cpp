@@ -1,0 +1,340 @@
+// Per-kind behavioural tests: the properties that distinguish the lock
+// family members from one another.
+#include <gtest/gtest.h>
+
+#include "ct/context.hpp"
+#include "locks/advisory_lock.hpp"
+#include "locks/backoff_lock.hpp"
+#include "locks/blocking_lock.hpp"
+#include "locks/combined_lock.hpp"
+#include "locks/factory.hpp"
+#include "locks/mcs_lock.hpp"
+#include "locks/spin_lock.hpp"
+#include "locks/tas_lock.hpp"
+#include "locks/ticket_lock.hpp"
+
+namespace adx::locks {
+namespace {
+
+sim::machine_config mc(unsigned nodes = 4) { return sim::machine_config::test_machine(nodes); }
+lock_cost_model cost() { return lock_cost_model::fast_test(); }
+
+/// Measures the virtual time of one uncontended lock or unlock operation.
+template <typename L, typename Op>
+sim::vdur time_op(L& lk, Op op, bool pre_lock) {
+  ct::runtime rt(mc());
+  sim::vdur measured{};
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    if (pre_lock) co_await lk.lock(ctx);
+    const auto t0 = ctx.now();
+    co_await op(ctx);
+    measured = ctx.now() - t0;
+  });
+  rt.run_all();
+  return measured;
+}
+
+TEST(TasLock, UncontendedCostIsOverheadPlusOneRmw) {
+  tas_lock lk(0, cost());
+  const auto d = time_op(
+      lk, [&](ct::context& ctx) { return lk.lock(ctx); }, false);
+  // 2us overhead + local rmw (0.1 + 1.0 + 0.1).
+  EXPECT_NEAR(d.us(), 3.2, 0.01);
+}
+
+TEST(SpinLock, CostExceedsTas) {
+  tas_lock t(0, cost());
+  spin_lock s(0, cost());
+  const auto dt = time_op(
+      t, [&](ct::context& ctx) { return t.lock(ctx); }, false);
+  const auto ds = time_op(
+      s, [&](ct::context& ctx) { return s.lock(ctx); }, false);
+  EXPECT_GT(ds.ns, dt.ns);
+}
+
+TEST(SpinUnlock, CheaperThanBlockingUnlock) {
+  spin_lock s(0, cost());
+  blocking_lock b(0, cost());
+  const auto ds = time_op(
+      s, [&](ct::context& ctx) { return s.unlock(ctx); }, true);
+  const auto db = time_op(
+      b, [&](ct::context& ctx) { return b.unlock(ctx); }, true);
+  EXPECT_LT(ds.ns, db.ns);
+}
+
+TEST(SpinLock, SpinnerOccupiesItsProcessor) {
+  // A spinning waiter prevents a same-processor peer from running.
+  ct::runtime rt(mc());
+  spin_lock lk(0, cost());
+  sim::vtime peer_ran{};
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    co_await lk.lock(ctx);
+    co_await ctx.compute(sim::milliseconds(2));
+    co_await lk.unlock(ctx);
+  });
+  rt.fork(1, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.compute(sim::microseconds(10));  // let p0 take the lock
+    co_await lk.lock(ctx);                        // spins ~2ms
+    co_await lk.unlock(ctx);
+  });
+  rt.fork(1, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.compute(sim::microseconds(1));
+    peer_ran = ctx.now();
+  });
+  rt.run_all();
+  // The peer on processor 1 only runs after the spinner acquires+releases.
+  EXPECT_GT(peer_ran.ms(), 1.9);
+}
+
+TEST(BlockingLock, WaiterReleasesItsProcessor) {
+  ct::runtime rt(mc());
+  blocking_lock lk(0, cost());
+  sim::vtime peer_ran{};
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    co_await lk.lock(ctx);
+    co_await ctx.compute(sim::milliseconds(2));
+    co_await lk.unlock(ctx);
+  });
+  rt.fork(1, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.compute(sim::microseconds(10));
+    co_await lk.lock(ctx);  // blocks: processor 1 is free meanwhile
+    co_await lk.unlock(ctx);
+  });
+  rt.fork(1, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.compute(sim::microseconds(1));
+    peer_ran = ctx.now();
+  });
+  rt.run_all();
+  EXPECT_LT(peer_ran.ms(), 1.0);  // ran while the waiter was blocked
+}
+
+TEST(BlockingLock, CountsBlocksNotSpins) {
+  ct::runtime rt(mc());
+  blocking_lock lk(0, cost());
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    co_await lk.lock(ctx);
+    co_await ctx.compute(sim::milliseconds(1));
+    co_await lk.unlock(ctx);
+  });
+  rt.fork(1, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.compute(sim::microseconds(50));
+    co_await lk.lock(ctx);
+    co_await lk.unlock(ctx);
+  });
+  rt.run_all();
+  EXPECT_GE(lk.stats().blocks(), 1u);
+  EXPECT_EQ(lk.stats().spin_iterations(), 0u);
+}
+
+TEST(BackoffLock, FewerWordAccessesThanPureSpin) {
+  const auto spins_for = [](lock_kind k) {
+    ct::runtime rt(mc());
+    auto lk = make_lock(k, 0, cost());
+    for (unsigned p = 0; p < 3; ++p) {
+      rt.fork(p, [&](ct::context& ctx) -> ct::task<void> {
+        for (int i = 0; i < 10; ++i) {
+          co_await lk->lock(ctx);
+          co_await ctx.compute(sim::microseconds(200));
+          co_await lk->unlock(ctx);
+        }
+      });
+    }
+    rt.run_all();
+    return lk->stats().spin_iterations();
+  };
+  EXPECT_LT(spins_for(lock_kind::backoff), spins_for(lock_kind::spin));
+}
+
+TEST(CombinedLock, SpinsUpToLimitThenBlocks) {
+  ct::runtime rt(mc());
+  combined_lock lk(0, cost(), /*spin_limit=*/5);
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    co_await lk.lock(ctx);
+    co_await ctx.compute(sim::milliseconds(5));
+    co_await lk.unlock(ctx);
+  });
+  rt.fork(1, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.compute(sim::microseconds(50));
+    co_await lk.lock(ctx);  // CS far exceeds the spin budget
+    co_await lk.unlock(ctx);
+  });
+  rt.run_all();
+  EXPECT_GE(lk.stats().spin_iterations(), 5u);
+  EXPECT_GE(lk.stats().blocks(), 1u);
+  EXPECT_GE(lk.stats().handoffs(), 1u);
+}
+
+TEST(CombinedLock, ShortCsResolvesBySpinningOnly) {
+  ct::runtime rt(mc());
+  combined_lock lk(0, cost(), /*spin_limit=*/64);
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    co_await lk.lock(ctx);
+    co_await ctx.compute(sim::microseconds(5));
+    co_await lk.unlock(ctx);
+  });
+  rt.fork(1, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.compute(sim::microseconds(3));
+    co_await lk.lock(ctx);
+    co_await lk.unlock(ctx);
+  });
+  rt.run_all();
+  EXPECT_EQ(lk.stats().blocks(), 0u);
+}
+
+TEST(AdvisoryLock, WaitersFollowSleepAdvice) {
+  ct::runtime rt(mc());
+  advisory_lock lk(0, cost());
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    co_await lk.lock(ctx);
+    co_await lk.set_advice(ctx, lock_advice::sleep);  // long phase coming
+    co_await ctx.compute(sim::milliseconds(3));
+    co_await lk.unlock(ctx);
+  });
+  rt.fork(1, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.compute(sim::microseconds(100));
+    co_await lk.lock(ctx);
+    co_await lk.unlock(ctx);
+  });
+  rt.run_all();
+  EXPECT_GE(lk.stats().blocks(), 1u);
+}
+
+TEST(AdvisoryLock, WaitersFollowSpinAdvice) {
+  ct::runtime rt(mc());
+  advisory_lock lk(0, cost());
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    co_await lk.lock(ctx);  // default advice: spin
+    co_await ctx.compute(sim::microseconds(300));
+    co_await lk.unlock(ctx);
+  });
+  rt.fork(1, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.compute(sim::microseconds(50));
+    co_await lk.lock(ctx);
+    co_await lk.unlock(ctx);
+  });
+  rt.run_all();
+  EXPECT_EQ(lk.stats().blocks(), 0u);
+  EXPECT_GT(lk.stats().spin_iterations(), 0u);
+}
+
+TEST(TicketLock, GrantsInFifoOrder) {
+  ct::runtime rt(mc(8));
+  ticket_lock lk(0, cost());
+  std::vector<unsigned> order;
+  for (unsigned p = 0; p < 6; ++p) {
+    rt.fork(p, [&, p](ct::context& ctx) -> ct::task<void> {
+      // Stagger arrivals so request order is well-defined.
+      co_await ctx.compute(sim::microseconds(30 * (p + 1)));
+      co_await lk.lock(ctx);
+      order.push_back(p);
+      co_await ctx.compute(sim::microseconds(400));
+      co_await lk.unlock(ctx);
+    });
+  }
+  rt.run_all();
+  EXPECT_EQ(order, (std::vector<unsigned>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(McsLock, WaitersSpinOnLocalFlag) {
+  // Contended MCS waiting must generate (almost) no remote reads: the spin
+  // happens on a flag homed at the waiter's own node.
+  ct::runtime rt(mc());
+  mcs_lock lk(0, cost());
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    co_await lk.lock(ctx);
+    co_await ctx.compute(sim::milliseconds(2));
+    co_await lk.unlock(ctx);
+  });
+  const auto before_fork = rt.mach().counts();
+  (void)before_fork;
+  rt.fork(1, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.compute(sim::microseconds(50));
+    const auto before = rt.mach().counts();
+    co_await lk.lock(ctx);
+    const auto waited = rt.mach().counts() - before;
+    // The ~2ms wait spins locally: local reads dominate remote ones.
+    EXPECT_GT(waited.local_reads, 20u);
+    EXPECT_LT(waited.remote_reads, 5u);
+    co_await lk.unlock(ctx);
+  });
+  rt.run_all();
+  EXPECT_GE(lk.stats().handoffs(), 1u);
+}
+
+TEST(McsLock, SpinLockHammersRemoteModuleByContrast) {
+  ct::runtime rt(mc());
+  spin_lock lk(2, cost());  // word on node 2: remote to both threads
+  std::uint64_t remote_reads = 0;
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    co_await lk.lock(ctx);
+    co_await ctx.compute(sim::milliseconds(2));
+    co_await lk.unlock(ctx);
+  });
+  rt.fork(1, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.compute(sim::microseconds(50));
+    const auto before = rt.mach().counts();
+    co_await lk.lock(ctx);
+    remote_reads = (rt.mach().counts() - before).remote_reads;
+    co_await lk.unlock(ctx);
+  });
+  rt.run_all();
+  EXPECT_GT(remote_reads, 20u);
+}
+
+TEST(LockStats, WaitTimeRecordedForContendedAcquisition) {
+  ct::runtime rt(mc());
+  spin_lock lk(0, cost());
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    co_await lk.lock(ctx);
+    co_await ctx.compute(sim::milliseconds(1));
+    co_await lk.unlock(ctx);
+  });
+  rt.fork(1, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.compute(sim::microseconds(20));
+    co_await lk.lock(ctx);
+    co_await lk.unlock(ctx);
+  });
+  rt.run_all();
+  EXPECT_EQ(lk.stats().contended(), 1u);
+  EXPECT_GT(lk.stats().wait_time_us().max(), 900.0);
+  EXPECT_EQ(lk.stats().peak_waiting(), 1);
+}
+
+TEST(LockStats, PatternTraceRecordsWaitingChanges) {
+  ct::runtime rt(mc());
+  spin_lock lk(0, cost());
+  sim::trace pattern("qlock");
+  lk.stats().attach_pattern_trace(&pattern);
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    co_await lk.lock(ctx);
+    co_await ctx.compute(sim::microseconds(500));
+    co_await lk.unlock(ctx);
+  });
+  rt.fork(1, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.compute(sim::microseconds(20));
+    co_await lk.lock(ctx);
+    co_await lk.unlock(ctx);
+  });
+  rt.run_all();
+  ASSERT_FALSE(pattern.empty());
+  EXPECT_EQ(pattern.max_value(), 1);
+}
+
+TEST(Factory, RoundTripsKindNames) {
+  for (auto k : {lock_kind::atomior, lock_kind::spin, lock_kind::backoff,
+                 lock_kind::blocking, lock_kind::combined, lock_kind::advisory,
+                 lock_kind::ticket, lock_kind::mcs, lock_kind::reconfigurable,
+                 lock_kind::adaptive}) {
+    EXPECT_EQ(parse_lock_kind(to_string(k)), k);
+  }
+  EXPECT_THROW((void)parse_lock_kind("nonsense"), std::invalid_argument);
+}
+
+TEST(Factory, ProducesRequestedKinds) {
+  const auto lk = make_lock(lock_kind::mcs, 1, cost());
+  EXPECT_EQ(lk->kind(), "mcs");
+  EXPECT_EQ(lk->home(), 1u);
+}
+
+}  // namespace
+}  // namespace adx::locks

@@ -1,0 +1,219 @@
+#include "locks/reconfigurable_lock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ct/context.hpp"
+
+namespace adx::locks {
+namespace {
+
+sim::machine_config mc() { return sim::machine_config::test_machine(4); }
+lock_cost_model cost() { return lock_cost_model::fast_test(); }
+
+TEST(WaitingPolicy, PresetsMatchPaperTable) {
+  // §5.1: spin-time/delay-time/sleep-time/timeout -> resulting lock.
+  EXPECT_TRUE(waiting_policy::pure_spin(8).is_pure_spin());
+  EXPECT_EQ(waiting_policy::pure_spin(8), (waiting_policy{8, 0, 0, 0}));
+  EXPECT_EQ(waiting_policy::spin_backoff(8, 2), (waiting_policy{8, 2, 0, 0}));
+  EXPECT_TRUE(waiting_policy::pure_sleep().is_pure_sleep());
+  EXPECT_EQ(waiting_policy::pure_sleep(), (waiting_policy{0, 0, 1, 0}));
+  EXPECT_EQ(waiting_policy::conditional(500, 4), (waiting_policy{4, 0, 0, 500}));
+  EXPECT_EQ(waiting_policy::mixed(10, 1), (waiting_policy{10, 1, 1, 0}));
+}
+
+TEST(ReconfigurableLock, DeclaresTheFourAttributes) {
+  reconfigurable_lock lk(0, cost(), waiting_policy::mixed(10));
+  EXPECT_EQ(lk.attributes().value("spin-time"), 10);
+  EXPECT_EQ(lk.attributes().value("delay-time"), 0);
+  EXPECT_EQ(lk.attributes().value("sleep-time"), 1);
+  EXPECT_EQ(lk.attributes().value("timeout"), 0);
+  EXPECT_EQ(lk.method_impl(), "fcfs");
+  EXPECT_EQ(lk.config_generation(), 0u);
+}
+
+TEST(ReconfigurableLock, ApplyWaitingPolicyIsPackedPsi) {
+  reconfigurable_lock lk(0, cost());
+  EXPECT_TRUE(lk.apply_waiting_policy(waiting_policy::pure_spin(32)));
+  EXPECT_EQ(lk.current_policy(), waiting_policy::pure_spin(32));
+  EXPECT_EQ(lk.costs().reconfigurations, (core::op_cost{1, 1}));
+  EXPECT_EQ(lk.config_generation(), 1u);
+}
+
+TEST(ReconfigurableLock, NoOpPolicyApplicationCostsNothing) {
+  reconfigurable_lock lk(0, cost(), waiting_policy::mixed(10));
+  EXPECT_TRUE(lk.apply_waiting_policy(waiting_policy::mixed(10)));
+  EXPECT_EQ(lk.costs().reconfiguration_ops, 0u);
+}
+
+TEST(ReconfigurableLock, OwnedAttributeBlocksPolicyApplication) {
+  reconfigurable_lock lk(0, cost());
+  ASSERT_TRUE(lk.attributes().at("spin-time").acquire(42));
+  EXPECT_FALSE(lk.apply_waiting_policy(waiting_policy::pure_sleep()));
+  // All-or-nothing: nothing changed.
+  EXPECT_EQ(lk.attributes().value("sleep-time"), 1);
+  EXPECT_TRUE(lk.apply_waiting_policy(waiting_policy::pure_sleep(), 42));
+}
+
+TEST(ReconfigurableLock, PureSpinConfigNeverBlocks) {
+  ct::runtime rt(mc());
+  reconfigurable_lock lk(0, cost(), waiting_policy::pure_spin(16));
+  for (unsigned p = 0; p < 3; ++p) {
+    rt.fork(p, [&](ct::context& ctx) -> ct::task<void> {
+      for (int i = 0; i < 15; ++i) {
+        co_await lk.lock(ctx);
+        co_await ctx.compute(sim::microseconds(20));
+        co_await lk.unlock(ctx);
+      }
+    });
+  }
+  rt.run_all();
+  EXPECT_EQ(lk.stats().blocks(), 0u);
+  EXPECT_GT(lk.stats().spin_iterations(), 0u);
+}
+
+TEST(ReconfigurableLock, PureSleepConfigNeverSpins) {
+  ct::runtime rt(mc());
+  reconfigurable_lock lk(0, cost(), waiting_policy::pure_sleep());
+  for (unsigned p = 0; p < 3; ++p) {
+    rt.fork(p, [&](ct::context& ctx) -> ct::task<void> {
+      for (int i = 0; i < 15; ++i) {
+        co_await lk.lock(ctx);
+        co_await ctx.compute(sim::microseconds(20));
+        co_await lk.unlock(ctx);
+      }
+    });
+  }
+  rt.run_all();
+  EXPECT_EQ(lk.stats().spin_iterations(), 0u);
+  EXPECT_GT(lk.stats().blocks(), 0u);
+}
+
+TEST(ReconfigurableLock, ConditionalConfigTimesOutAndRetries) {
+  ct::runtime rt(mc());
+  reconfigurable_lock lk(0, cost(), waiting_policy::conditional(/*timeout_us=*/100,
+                                                               /*spin=*/2));
+  bool acquired = false;
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    co_await lk.lock(ctx);
+    co_await ctx.compute(sim::milliseconds(2));  // much longer than timeout
+    co_await lk.unlock(ctx);
+  });
+  rt.fork(1, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.compute(sim::microseconds(20));
+    co_await lk.lock(ctx);
+    acquired = true;
+    co_await lk.unlock(ctx);
+  });
+  rt.run_all();
+  EXPECT_TRUE(acquired);
+  EXPECT_GE(lk.stats().blocks(), 2u);  // several timed-out waits
+}
+
+TEST(ReconfigurableLock, ConfigureWaitingPolicyChargesOneReadOneWrite) {
+  ct::runtime rt(mc());
+  reconfigurable_lock lk(0, cost());
+  sim::access_counts delta;
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    const auto before = rt.mach().counts();
+    co_await lk.configure_waiting_policy(ctx, waiting_policy::pure_spin(8));
+    delta = rt.mach().counts() - before;
+  });
+  rt.run_all();
+  EXPECT_EQ(delta.reads(), 1u);
+  EXPECT_EQ(delta.writes(), 1u);
+  EXPECT_EQ(lk.current_policy(), waiting_policy::pure_spin(8));
+}
+
+TEST(ReconfigurableLock, ConfigureSchedulerChargesFiveWrites) {
+  // Table 8: three sub-module writes + flag set + flag reset.
+  ct::runtime rt(mc());
+  reconfigurable_lock lk(0, cost());
+  sim::access_counts delta;
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    const auto before = rt.mach().counts();
+    co_await lk.configure_scheduler(ctx, std::make_unique<priority_scheduler>());
+    delta = rt.mach().counts() - before;
+  });
+  rt.run_all();
+  EXPECT_EQ(delta.writes(), 5u);
+  EXPECT_EQ(lk.scheduler().name(), "priority");
+  EXPECT_EQ(lk.method_impl(), "priority");
+}
+
+TEST(ReconfigurableLock, SchedulerSwapDeferredWhileWaitersRegistered) {
+  ct::runtime rt(mc());
+  reconfigurable_lock lk(0, cost(), waiting_policy::pure_sleep());
+  std::string mid_swap_name;
+  bool pending_mid_swap = false;
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    co_await lk.lock(ctx);
+    co_await ctx.compute(sim::milliseconds(2));
+    co_await lk.unlock(ctx);
+  });
+  rt.fork(1, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.compute(sim::microseconds(50));
+    co_await lk.lock(ctx);  // registers and blocks
+    co_await lk.unlock(ctx);
+  });
+  rt.fork(2, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.sleep_for(sim::milliseconds(1));  // waiter now registered
+    co_await lk.configure_scheduler(ctx, std::make_unique<handoff_scheduler>());
+    mid_swap_name = std::string(lk.scheduler().name());
+    pending_mid_swap = lk.scheduler_transition_pending();
+  });
+  rt.run_all();
+  // During the transition the old scheduler still served; afterwards the new
+  // one was adopted.
+  EXPECT_EQ(mid_swap_name, "fcfs");
+  EXPECT_TRUE(pending_mid_swap);
+  EXPECT_EQ(lk.scheduler().name(), "handoff");
+  EXPECT_FALSE(lk.scheduler_transition_pending());
+}
+
+TEST(ReconfigurableLock, AcquireAttributeOperation) {
+  ct::runtime rt(mc());
+  reconfigurable_lock lk(0, cost());
+  bool first = false;
+  bool second = true;
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    first = co_await lk.acquire_attribute(ctx, "spin-time", 5);
+    second = co_await lk.acquire_attribute(ctx, "spin-time", 6);
+    co_await lk.release_attribute(ctx, "spin-time", 5);
+  });
+  rt.run_all();
+  EXPECT_TRUE(first);
+  EXPECT_FALSE(second);
+  EXPECT_FALSE(lk.attributes().at("spin-time").owner().has_value());
+}
+
+TEST(ReconfigurableLock, MidWaitPolicyChangeTakesEffect) {
+  // A waiter sleeping under pure_sleep wakes via handoff even after the
+  // policy changes; and a policy change to pure_spin converts new waiters.
+  ct::runtime rt(mc());
+  reconfigurable_lock lk(0, cost(), waiting_policy::pure_sleep());
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    co_await lk.lock(ctx);
+    co_await ctx.compute(sim::milliseconds(1));
+    lk.apply_waiting_policy(waiting_policy::pure_spin(64));
+    co_await ctx.compute(sim::milliseconds(1));
+    co_await lk.unlock(ctx);
+  });
+  std::uint64_t spins_after = 0;
+  rt.fork(1, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.sleep_for(sim::microseconds(1500));  // after the change
+    co_await lk.lock(ctx);
+    spins_after = lk.stats().spin_iterations();
+    co_await lk.unlock(ctx);
+  });
+  rt.run_all();
+  EXPECT_GT(spins_after, 0u);
+  EXPECT_EQ(lk.stats().blocks(), 0u);
+}
+
+TEST(ReconfigurableLock, KindString) {
+  reconfigurable_lock lk(0, cost());
+  EXPECT_EQ(lk.kind(), "reconfigurable");
+}
+
+}  // namespace
+}  // namespace adx::locks

@@ -1,0 +1,271 @@
+#include "locks/rw_lock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ct/context.hpp"
+
+namespace adx::locks {
+namespace {
+
+sim::machine_config mc(unsigned nodes = 8) { return sim::machine_config::test_machine(nodes); }
+lock_cost_model cost() { return lock_cost_model::fast_test(); }
+
+TEST(RwLock, DeclaresAttributes) {
+  reconfigurable_rw_lock lk(0, cost(), 50, 10);
+  EXPECT_EQ(lk.read_bias(), 50);
+  EXPECT_EQ(lk.attributes().value("spin-time"), 10);
+}
+
+TEST(RwLock, BiasClampedToRange) {
+  reconfigurable_rw_lock lk(0, cost(), 250);
+  EXPECT_EQ(lk.read_bias(), 100);
+  EXPECT_TRUE(lk.apply_read_bias(-5));
+  EXPECT_EQ(lk.read_bias(), 0);
+}
+
+TEST(RwLock, ApplyBiasIsPackedPsi) {
+  reconfigurable_rw_lock lk(0, cost());
+  EXPECT_TRUE(lk.apply_read_bias(75));
+  EXPECT_EQ(lk.costs().reconfigurations, (core::op_cost{1, 1}));
+  EXPECT_TRUE(lk.apply_read_bias(75));  // no-op
+  EXPECT_EQ(lk.costs().reconfiguration_ops, 1u);
+}
+
+TEST(RwLock, ReadersShareTheLock) {
+  ct::runtime rt(mc());
+  reconfigurable_rw_lock lk(0, cost());
+  std::int64_t peak_readers = 0;
+  for (unsigned p = 0; p < 4; ++p) {
+    rt.fork(p, [&](ct::context& ctx) -> ct::task<void> {
+      co_await lk.lock_shared(ctx);
+      peak_readers = std::max(peak_readers, lk.readers_raw());
+      co_await ctx.compute(sim::microseconds(500));
+      co_await lk.unlock_shared(ctx);
+    });
+  }
+  rt.run_all();
+  EXPECT_GT(peak_readers, 1);  // genuine concurrency
+  EXPECT_EQ(lk.read_acquisitions(), 4u);
+}
+
+TEST(RwLock, WriterExcludesEveryone) {
+  ct::runtime rt(mc());
+  reconfigurable_rw_lock lk(0, cost());
+  bool violated = false;
+  ct::svar<std::int64_t> value(0, 0);
+  for (unsigned p = 0; p < 3; ++p) {
+    rt.fork(p, [&](ct::context& ctx) -> ct::task<void> {
+      for (int i = 0; i < 20; ++i) {
+        co_await lk.lock_exclusive(ctx);
+        if (lk.readers_raw() != 0) violated = true;
+        const auto v = co_await ctx.read(value);
+        co_await ctx.compute(sim::microseconds(30));
+        co_await ctx.write(value, v + 1);
+        co_await lk.unlock_exclusive(ctx);
+      }
+    });
+  }
+  for (unsigned p = 3; p < 6; ++p) {
+    rt.fork(p, [&](ct::context& ctx) -> ct::task<void> {
+      for (int i = 0; i < 20; ++i) {
+        co_await lk.lock_shared(ctx);
+        if (lk.writer_raw()) violated = true;
+        co_await ctx.compute(sim::microseconds(15));
+        co_await lk.unlock_shared(ctx);
+      }
+    });
+  }
+  const auto r = rt.run_all();
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(violated);
+  EXPECT_EQ(value.raw(), 60);
+}
+
+TEST(RwLock, WriterPreferenceBlocksNewReaders) {
+  // bias 0: once a writer waits, arriving readers must queue behind it.
+  ct::runtime rt(mc());
+  reconfigurable_rw_lock lk(0, cost(), /*bias=*/0, /*spin=*/0);
+  std::vector<int> order;
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    co_await lk.lock_shared(ctx);  // long-running initial reader
+    co_await ctx.compute(sim::milliseconds(2));
+    co_await lk.unlock_shared(ctx);
+  });
+  rt.fork(1, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.compute(sim::microseconds(100));
+    co_await lk.lock_exclusive(ctx);  // queues behind the reader
+    order.push_back(1);
+    co_await lk.unlock_exclusive(ctx);
+  });
+  rt.fork(2, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.compute(sim::microseconds(500));  // arrives after the writer
+    co_await lk.lock_shared(ctx);
+    order.push_back(2);
+    co_await lk.unlock_shared(ctx);
+  });
+  rt.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));  // writer first
+}
+
+TEST(RwLock, ReaderPreferenceAdmitsReadersPastWaitingWriter) {
+  // bias 100: readers keep flowing while a writer waits (within allowance).
+  ct::runtime rt(mc());
+  reconfigurable_rw_lock lk(0, cost(), /*bias=*/100, /*spin=*/0);
+  std::vector<int> order;
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    co_await lk.lock_shared(ctx);
+    co_await ctx.compute(sim::milliseconds(2));
+    co_await lk.unlock_shared(ctx);
+  });
+  rt.fork(1, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.compute(sim::microseconds(100));
+    co_await lk.lock_exclusive(ctx);
+    order.push_back(1);
+    co_await lk.unlock_exclusive(ctx);
+  });
+  rt.fork(2, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.compute(sim::microseconds(500));
+    co_await lk.lock_shared(ctx);  // admitted alongside the running reader
+    order.push_back(2);
+    co_await ctx.compute(sim::milliseconds(1));
+    co_await lk.unlock_shared(ctx);
+  });
+  rt.run_all();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));  // reader slipped in first
+}
+
+TEST(RwLock, BiasAllowanceBoundsWriterStarvation) {
+  // Even at bias 100, at most `bias` readers pass between writer grants.
+  ct::runtime rt(mc());
+  reconfigurable_rw_lock lk(0, cost(), /*bias=*/3, /*spin=*/0);
+  bool writer_done = false;
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.compute(sim::microseconds(200));
+    co_await lk.lock_exclusive(ctx);
+    writer_done = true;
+    co_await lk.unlock_exclusive(ctx);
+  });
+  // A stream of readers that would starve the writer under pure reader pref.
+  for (unsigned p = 1; p < 5; ++p) {
+    rt.fork(p, [&](ct::context& ctx) -> ct::task<void> {
+      for (int i = 0; i < 30; ++i) {
+        co_await lk.lock_shared(ctx);
+        co_await ctx.compute(sim::microseconds(120));
+        co_await lk.unlock_shared(ctx);
+        co_await ctx.compute(sim::microseconds(10));
+      }
+    });
+  }
+  const auto r = rt.run_all();
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(writer_done);
+}
+
+TEST(RwLock, WaitersBlockAfterSpinBudget) {
+  ct::runtime rt(mc());
+  reconfigurable_rw_lock lk(0, cost(), /*bias=*/50, /*spin=*/3);
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    co_await lk.lock_exclusive(ctx);
+    co_await ctx.compute(sim::milliseconds(3));
+    co_await lk.unlock_exclusive(ctx);
+  });
+  rt.fork(1, [&](ct::context& ctx) -> ct::task<void> {
+    co_await ctx.compute(sim::microseconds(50));
+    co_await lk.lock_shared(ctx);
+    co_await lk.unlock_shared(ctx);
+  });
+  rt.run_all();
+  EXPECT_GE(lk.stats().blocks(), 1u);
+  EXPECT_GE(lk.stats().spin_iterations(), 3u);
+}
+
+TEST(RwLock, Deterministic) {
+  const auto once = [] {
+    ct::runtime rt(mc());
+    adaptive_rw_lock lk(0, cost());
+    for (unsigned p = 0; p < 6; ++p) {
+      rt.fork(p, [&, p](ct::context& ctx) -> ct::task<void> {
+        for (int i = 0; i < 15; ++i) {
+          if (p < 4) {
+            co_await lk.lock_shared(ctx);
+            co_await ctx.compute(sim::microseconds(40));
+            co_await lk.unlock_shared(ctx);
+          } else {
+            co_await lk.lock_exclusive(ctx);
+            co_await ctx.compute(sim::microseconds(80));
+            co_await lk.unlock_exclusive(ctx);
+          }
+          co_await ctx.sleep_for(sim::microseconds(30 + 7 * p));
+        }
+      });
+    }
+    return rt.run_all().end_time;
+  };
+  EXPECT_EQ(once().ns, once().ns);
+}
+
+TEST(AdaptiveRwLock, HasBothSensors) {
+  adaptive_rw_lock lk(0, cost());
+  EXPECT_EQ(lk.object_monitor().sensor_count(), 2u);
+  EXPECT_EQ(lk.object_monitor().sensor_at(0).name(), "read-ratio-pct");
+  EXPECT_EQ(lk.object_monitor().sensor_at(1).name(), "waiting-writers");
+}
+
+TEST(AdaptiveRwLock, ReadMostlyPhaseRaisesBias) {
+  ct::runtime rt(mc());
+  rw_adapt_params p;
+  p.sample_period = 2;
+  adaptive_rw_lock lk(0, cost(), p);
+  const auto initial = lk.read_bias();
+  for (unsigned proc = 0; proc < 4; ++proc) {
+    rt.fork(proc, [&](ct::context& ctx) -> ct::task<void> {
+      for (int i = 0; i < 25; ++i) {
+        co_await lk.lock_shared(ctx);
+        co_await ctx.compute(sim::microseconds(40));
+        co_await lk.unlock_shared(ctx);
+        co_await ctx.sleep_for(sim::microseconds(60));
+      }
+    });
+  }
+  rt.run_all();
+  EXPECT_GT(lk.read_bias(), initial);
+  EXPECT_GT(lk.policy()->decisions(), 0u);
+}
+
+TEST(AdaptiveRwLock, WriteHeavyPhaseLowersBias) {
+  ct::runtime rt(mc());
+  rw_adapt_params p;
+  p.sample_period = 2;
+  adaptive_rw_lock lk(0, cost(), p);
+  const auto initial = lk.read_bias();
+  for (unsigned proc = 0; proc < 4; ++proc) {
+    rt.fork(proc, [&](ct::context& ctx) -> ct::task<void> {
+      for (int i = 0; i < 25; ++i) {
+        co_await lk.lock_exclusive(ctx);
+        co_await ctx.compute(sim::microseconds(40));
+        co_await lk.unlock_exclusive(ctx);
+        co_await ctx.sleep_for(sim::microseconds(60));
+      }
+    });
+  }
+  rt.run_all();
+  EXPECT_LT(lk.read_bias(), initial);
+}
+
+TEST(AdaptiveRwLock, PolicyIgnoresForeignSensor) {
+  reconfigurable_rw_lock lk(0, cost(), 50);
+  rw_adapt_policy pol(lk, {});
+  pol.observe({"bogus", 99});
+  EXPECT_EQ(lk.read_bias(), 50);
+  EXPECT_EQ(pol.decisions(), 0u);
+}
+
+TEST(AdaptiveRwLock, PinnedBiasResistsPolicy) {
+  reconfigurable_rw_lock lk(0, cost(), 50);
+  lk.attributes().at("read-bias").set_mutable(false);
+  EXPECT_FALSE(lk.apply_read_bias(100));
+  EXPECT_EQ(lk.read_bias(), 50);
+}
+
+}  // namespace
+}  // namespace adx::locks

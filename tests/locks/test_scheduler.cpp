@@ -1,0 +1,117 @@
+#include "locks/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adx::locks {
+namespace {
+
+TEST(Fcfs, GrantsInRegistrationOrder) {
+  fcfs_scheduler s;
+  s.register_waiter(3, 0);
+  s.register_waiter(1, 9);  // priority ignored
+  s.register_waiter(2, 5);
+  EXPECT_EQ(s.pick_next(), std::optional<ct::thread_id>{3});
+  EXPECT_EQ(s.pick_next(), std::optional<ct::thread_id>{1});
+  EXPECT_EQ(s.pick_next(), std::optional<ct::thread_id>{2});
+  EXPECT_EQ(s.pick_next(), std::nullopt);
+}
+
+TEST(Fcfs, DeregisterRemovesWaiter) {
+  fcfs_scheduler s;
+  s.register_waiter(1, 0);
+  s.register_waiter(2, 0);
+  EXPECT_TRUE(s.deregister(1));
+  EXPECT_FALSE(s.deregister(1));
+  EXPECT_EQ(s.waiting(), 1u);
+  EXPECT_EQ(s.pick_next(), std::optional<ct::thread_id>{2});
+}
+
+TEST(Priority, GrantsHighestPriorityFirst) {
+  priority_scheduler s;
+  s.register_waiter(1, 2);
+  s.register_waiter(2, 9);
+  s.register_waiter(3, 5);
+  EXPECT_EQ(s.pick_next(), std::optional<ct::thread_id>{2});
+  EXPECT_EQ(s.pick_next(), std::optional<ct::thread_id>{3});
+  EXPECT_EQ(s.pick_next(), std::optional<ct::thread_id>{1});
+}
+
+TEST(Priority, FifoWithinSameLevel) {
+  priority_scheduler s;
+  s.register_waiter(5, 1);
+  s.register_waiter(6, 1);
+  s.register_waiter(7, 1);
+  EXPECT_EQ(s.pick_next(), std::optional<ct::thread_id>{5});
+  EXPECT_EQ(s.pick_next(), std::optional<ct::thread_id>{6});
+  EXPECT_EQ(s.pick_next(), std::optional<ct::thread_id>{7});
+}
+
+TEST(Priority, NegativePrioritiesOrdered) {
+  priority_scheduler s;
+  s.register_waiter(1, -5);
+  s.register_waiter(2, 0);
+  EXPECT_EQ(s.pick_next(), std::optional<ct::thread_id>{2});
+  EXPECT_EQ(s.pick_next(), std::optional<ct::thread_id>{1});
+}
+
+TEST(Priority, Deregister) {
+  priority_scheduler s;
+  s.register_waiter(1, 3);
+  s.register_waiter(2, 8);
+  EXPECT_TRUE(s.deregister(2));
+  EXPECT_EQ(s.pick_next(), std::optional<ct::thread_id>{1});
+}
+
+TEST(Handoff, DesignatedWaiterJumpsQueue) {
+  handoff_scheduler s;
+  s.register_waiter(1, 0);
+  s.register_waiter(2, 0);
+  s.register_waiter(3, 0);
+  s.designate(3);
+  EXPECT_EQ(s.pick_next(), std::optional<ct::thread_id>{3});
+  // Designation is consumed: back to FCFS.
+  EXPECT_EQ(s.pick_next(), std::optional<ct::thread_id>{1});
+}
+
+TEST(Handoff, UnregisteredDesignationFallsBackToFcfs) {
+  handoff_scheduler s;
+  s.register_waiter(1, 0);
+  s.designate(99);  // not registered
+  EXPECT_EQ(s.pick_next(), std::optional<ct::thread_id>{1});
+  // Designation stays armed until the designated thread actually registers.
+  EXPECT_EQ(s.designated(), std::optional<ct::thread_id>{99});
+}
+
+TEST(Handoff, DesignationSurvivesUntilRegistration) {
+  handoff_scheduler s;
+  s.designate(7);
+  s.register_waiter(1, 0);
+  s.register_waiter(7, 0);
+  EXPECT_EQ(s.pick_next(), std::optional<ct::thread_id>{7});
+}
+
+TEST(Handoff, Deregister) {
+  handoff_scheduler s;
+  s.register_waiter(4, 0);
+  EXPECT_TRUE(s.deregister(4));
+  EXPECT_EQ(s.pick_next(), std::nullopt);
+}
+
+TEST(Schedulers, NamesAreStable) {
+  EXPECT_EQ(fcfs_scheduler{}.name(), "fcfs");
+  EXPECT_EQ(priority_scheduler{}.name(), "priority");
+  EXPECT_EQ(handoff_scheduler{}.name(), "handoff");
+}
+
+TEST(Schedulers, WaitingCounts) {
+  fcfs_scheduler s;
+  EXPECT_EQ(s.waiting(), 0u);
+  s.register_waiter(1, 0);
+  s.register_waiter(2, 0);
+  EXPECT_EQ(s.waiting(), 2u);
+  s.pick_next();
+  EXPECT_EQ(s.waiting(), 1u);
+}
+
+}  // namespace
+}  // namespace adx::locks

@@ -1,0 +1,122 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace adx::sim {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtTimeZero) {
+  event_queue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.now().ns, 0u);
+  EXPECT_FALSE(q.run_one());
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  event_queue q;
+  std::vector<int> order;
+  q.schedule_at(vtime{300}, [&] { order.push_back(3); });
+  q.schedule_at(vtime{100}, [&] { order.push_back(1); });
+  q.schedule_at(vtime{200}, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now().ns, 300u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  event_queue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(vtime{100}, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, SchedulingInPastClampsToNow) {
+  event_queue q;
+  vtime seen{};
+  q.schedule_at(vtime{500}, [&] {
+    q.schedule_at(vtime{100}, [&] { seen = q.now(); });  // "in the past"
+  });
+  q.run();
+  EXPECT_EQ(seen.ns, 500u);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  event_queue q;
+  vtime seen{};
+  q.schedule_at(vtime{100}, [&] {
+    q.schedule_after(vdur{50}, [&] { seen = q.now(); });
+  });
+  q.run();
+  EXPECT_EQ(seen.ns, 150u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  event_queue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) q.schedule_after(vdur{10}, recurse);
+  };
+  q.schedule_at(vtime{0}, recurse);
+  q.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(q.now().ns, 90u);
+}
+
+TEST(EventQueue, RunLimitStopsEarly) {
+  event_queue q;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) q.schedule_at(vtime{static_cast<std::uint64_t>(i)}, [&] { ++count; });
+  EXPECT_EQ(q.run(4), 4u);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(q.pending(), 6u);
+}
+
+TEST(EventQueue, RunUntilRespectsDeadline) {
+  event_queue q;
+  int count = 0;
+  for (std::uint64_t t : {10u, 20u, 30u, 40u}) q.schedule_at(vtime{t}, [&] { ++count; });
+  q.run_until(vtime{25});
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(q.pending(), 2u);
+}
+
+TEST(EventQueue, RunUntilIncludesNewlyDueEvents) {
+  event_queue q;
+  int count = 0;
+  q.schedule_at(vtime{10}, [&] {
+    ++count;
+    q.schedule_at(vtime{15}, [&] { ++count; });
+  });
+  q.run_until(vtime{20});
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, ProcessedCounterAccumulates) {
+  event_queue q;
+  q.schedule_at(vtime{1}, [] {});
+  q.schedule_at(vtime{2}, [] {});
+  q.run();
+  EXPECT_EQ(q.processed(), 2u);
+}
+
+TEST(EventQueue, NowMonotoneNonDecreasing) {
+  event_queue q;
+  vtime last{};
+  bool monotone = true;
+  for (std::uint64_t t : {5u, 3u, 9u, 3u, 7u}) {
+    q.schedule_at(vtime{t}, [&] {
+      monotone = monotone && q.now() >= last;
+      last = q.now();
+    });
+  }
+  q.run();
+  EXPECT_TRUE(monotone);
+}
+
+}  // namespace
+}  // namespace adx::sim

@@ -1,0 +1,111 @@
+#include "sim/interconnect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+
+namespace adx::sim {
+namespace {
+
+TEST(ButterflyNetwork, StageCountIsLog4) {
+  EXPECT_EQ(butterfly_network(4, microseconds(1), microseconds(1)).stages(), 1u);
+  EXPECT_EQ(butterfly_network(16, microseconds(1), microseconds(1)).stages(), 2u);
+  EXPECT_EQ(butterfly_network(32, microseconds(1), microseconds(1)).stages(), 3u);
+  EXPECT_EQ(butterfly_network(64, microseconds(1), microseconds(1)).stages(), 3u);
+}
+
+TEST(ButterflyNetwork, UncontendedLatencyIsStagesTimesStep) {
+  butterfly_network net(32, microseconds(0.3), microseconds(0.13));
+  const auto t = net.traverse(0, 17, vtime{});
+  EXPECT_EQ(t.ns, 3 * (microseconds(0.3).ns + microseconds(0.13).ns));
+  EXPECT_EQ(net.total_switch_delay().ns, 0);
+}
+
+TEST(ButterflyNetwork, RouteIsDeterministicAndInRange) {
+  butterfly_network net(32, microseconds(0.3), microseconds(0.13));
+  for (node_id s = 0; s < 32; ++s) {
+    for (node_id d = 0; d < 32; ++d) {
+      for (unsigned stage = 0; stage < net.stages(); ++stage) {
+        const auto a = net.route(s, d, stage);
+        EXPECT_EQ(a, net.route(s, d, stage));
+        EXPECT_LT(a, net.switches_per_stage());
+      }
+    }
+  }
+}
+
+TEST(ButterflyNetwork, FinalStageDependsOnlyOnDestinationGroup) {
+  // Destination-tag routing: at the last stage, the switch serving a packet
+  // is determined by the destination (its output port group), regardless of
+  // source.
+  butterfly_network net(16, microseconds(0.3), microseconds(0.13));
+  const unsigned last = net.stages() - 1;
+  for (node_id d = 0; d < 16; ++d) {
+    const auto sw = net.route(0, d, last);
+    for (node_id s = 1; s < 16; ++s) {
+      EXPECT_EQ(net.route(s, d, last), sw) << "src " << s << " dst " << (int)d;
+    }
+  }
+}
+
+TEST(ButterflyNetwork, ConcurrentPacketsToOneDestinationQueue) {
+  butterfly_network net(16, microseconds(0.3), microseconds(0.13));
+  // Many sources fire at the same destination at t=0: the shared final-stage
+  // switch serializes them.
+  vtime last{};
+  for (node_id s = 0; s < 8; ++s) {
+    last = max(last, net.traverse(s, 15, vtime{}));
+  }
+  EXPECT_GT(net.total_switch_delay().ns, 0);
+  butterfly_network net2(16, microseconds(0.3), microseconds(0.13));
+  const auto lone = net2.traverse(0, 15, vtime{});
+  EXPECT_GT(last.ns, lone.ns);
+}
+
+TEST(ButterflyNetwork, DisjointPathsDoNotInterfere) {
+  butterfly_network net(16, microseconds(0.3), microseconds(0.13));
+  const auto a = net.traverse(0, 0, vtime{});   // same-group path
+  const auto b = net.traverse(15, 15, vtime{});  // disjoint at every stage
+  EXPECT_EQ(a.ns, b.ns);
+  EXPECT_EQ(net.total_switch_delay().ns, 0);
+}
+
+TEST(Machine, ButterflyModelMatchesConstantWhenIdle) {
+  auto base = machine_config::butterfly_gp1000();
+  auto staged = base;
+  staged.wire_model = interconnect_model::butterfly;
+
+  machine m1(base);
+  machine m2(staged);
+  const auto a = m1.access(0, 9, access_kind::read);
+  const auto b = m2.access(0, 9, access_kind::read);
+  // Defaults are calibrated to agree when idle: 3 x (0.3 + 0.13) = 1.29 vs
+  // remote_wire 1.3 (within one switch step).
+  EXPECT_NEAR(static_cast<double>(a.ns), static_cast<double>(b.ns), 100.0);
+}
+
+TEST(Machine, ButterflyModelShowsTreeSaturation) {
+  // Hot-spot traffic from every node to module 0: the staged network's
+  // switch queueing adds delay beyond the module's own serialization.
+  auto staged = machine_config::butterfly_gp1000();
+  staged.wire_model = interconnect_model::butterfly;
+  machine m(staged);
+  vtime last{};
+  for (node_id n = 1; n < 32; ++n) {
+    last = max(last, m.access(n, 0, access_kind::read));
+  }
+  ASSERT_NE(m.network(), nullptr);
+  EXPECT_GT(m.network()->total_switch_delay().ns, 0);
+  EXPECT_EQ(m.network()->packets(), 2u * 31u);  // out and back per access
+}
+
+TEST(Machine, LocalAccessesBypassTheNetwork) {
+  auto staged = machine_config::butterfly_gp1000();
+  staged.wire_model = interconnect_model::butterfly;
+  machine m(staged);
+  m.access(3, 3, access_kind::read);
+  EXPECT_EQ(m.network()->packets(), 0u);
+}
+
+}  // namespace
+}  // namespace adx::sim

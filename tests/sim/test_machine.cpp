@@ -1,0 +1,132 @@
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adx::sim {
+namespace {
+
+machine_config flat_config() {
+  auto c = machine_config::test_machine(4);
+  c.local_wire = microseconds(0.1);
+  c.remote_wire = microseconds(1.0);
+  c.mem_service = microseconds(0.5);
+  c.atomic_service = microseconds(1.0);
+  return c;
+}
+
+TEST(Machine, RejectsZeroNodes) {
+  machine_config c;
+  c.nodes = 0;
+  EXPECT_THROW(machine m(c), std::invalid_argument);
+}
+
+TEST(Machine, RejectsOutOfRangeNodes) {
+  machine m(flat_config());
+  EXPECT_THROW(m.access(0, 99, access_kind::read), std::out_of_range);
+  EXPECT_THROW(m.access(99, 0, access_kind::read), std::out_of_range);
+}
+
+TEST(Machine, LocalReadLatency) {
+  machine m(flat_config());
+  const auto done = m.access(0, 0, access_kind::read);
+  // wire out + service + wire back = 0.1 + 0.5 + 0.1
+  EXPECT_EQ(done.ns, static_cast<std::uint64_t>(microseconds(0.7).ns));
+}
+
+TEST(Machine, RemoteReadLatency) {
+  machine m(flat_config());
+  const auto done = m.access(0, 1, access_kind::read);
+  EXPECT_EQ(done.ns, static_cast<std::uint64_t>(microseconds(2.5).ns));
+}
+
+TEST(Machine, RemoteCostsMoreThanLocal) {
+  machine m(flat_config());
+  const auto local = m.access(0, 0, access_kind::read);
+  machine m2(flat_config());
+  const auto remote = m2.access(0, 1, access_kind::read);
+  EXPECT_GT(remote.ns, local.ns);
+}
+
+TEST(Machine, AtomicUsesAtomicService) {
+  machine m(flat_config());
+  const auto done = m.access(0, 0, access_kind::rmw);
+  EXPECT_EQ(done.ns, static_cast<std::uint64_t>(microseconds(1.2).ns));
+}
+
+TEST(Machine, ModuleQueuesConcurrentAccesses) {
+  machine m(flat_config());
+  // Two accesses to the same module issued at t=0: the second queues.
+  const auto first = m.access(0, 0, access_kind::read);
+  const auto second = m.access(1, 0, access_kind::read);
+  EXPECT_GT(second.ns, first.ns);
+  // Different modules do not interfere.
+  machine m2(flat_config());
+  const auto a = m2.access(0, 0, access_kind::read);
+  const auto b = m2.access(1, 1, access_kind::read);
+  EXPECT_EQ(a.ns, b.ns);
+}
+
+TEST(Machine, QueueDelayRecorded) {
+  machine m(flat_config());
+  m.access(0, 0, access_kind::read);
+  m.access(1, 0, access_kind::read);
+  m.access(2, 0, access_kind::read);
+  EXPECT_GT(m.total_queue_delay().ns, 0);
+  EXPECT_EQ(m.module_at(0).serviced(), 3u);
+}
+
+TEST(Machine, LedgerCountsByKindAndLocality) {
+  machine m(flat_config());
+  m.access(0, 0, access_kind::read);
+  m.access(0, 1, access_kind::read);
+  m.access(0, 0, access_kind::write);
+  m.access(0, 2, access_kind::write);
+  m.access(0, 0, access_kind::rmw);
+  m.access(0, 3, access_kind::rmw);
+  const auto& c = m.counts();
+  EXPECT_EQ(c.local_reads, 1u);
+  EXPECT_EQ(c.remote_reads, 1u);
+  EXPECT_EQ(c.local_writes, 1u);
+  EXPECT_EQ(c.remote_writes, 1u);
+  EXPECT_EQ(c.local_rmws, 1u);
+  EXPECT_EQ(c.remote_rmws, 1u);
+  EXPECT_EQ(c.total(), 6u);
+}
+
+TEST(Machine, LedgerSnapshotDiff) {
+  machine m(flat_config());
+  m.access(0, 0, access_kind::read);
+  const auto before = m.counts();
+  m.access(0, 0, access_kind::write);
+  m.access(0, 1, access_kind::write);
+  const auto delta = m.counts() - before;
+  EXPECT_EQ(delta.reads(), 0u);
+  EXPECT_EQ(delta.writes(), 2u);
+}
+
+TEST(Machine, AccessNChainsThroughModule) {
+  machine m(flat_config());
+  const auto done = m.access_n(0, 0, access_kind::read, 10);
+  // 10 accesses serialize on the module: >= 10 * service.
+  EXPECT_GE(done.ns, static_cast<std::uint64_t>(microseconds(5.0).ns));
+  EXPECT_EQ(m.counts().local_reads, 10u);
+}
+
+TEST(Machine, ButterflyPresetShape) {
+  const auto c = machine_config::butterfly_gp1000();
+  EXPECT_EQ(c.nodes, 32u);
+  EXPECT_GT(c.remote_wire, c.local_wire);
+  EXPECT_GT(c.atomic_service, c.mem_service);
+  EXPECT_GT(c.context_switch, microseconds(100));
+}
+
+TEST(Machine, RandomStreamSeededFromConfig) {
+  auto cfg = flat_config();
+  cfg.seed = 2024;
+  machine a(cfg);
+  machine b(cfg);
+  EXPECT_EQ(a.random()(), b.random()());
+}
+
+}  // namespace
+}  // namespace adx::sim

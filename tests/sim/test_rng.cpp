@@ -1,0 +1,105 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace adx::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  rng a(123);
+  rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  rng a(1);
+  rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  rng r(7);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 8000; ++i) ++seen[r.below(8)];
+  for (int k = 0; k < 8; ++k) EXPECT_GT(seen[k], 700) << "bucket " << k;
+}
+
+TEST(Rng, UniformInclusiveBounds) {
+  rng r(9);
+  bool lo_hit = false;
+  bool hi_hit = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.uniform(3, 6);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 6);
+    lo_hit |= v == 3;
+    hi_hit |= v == 6;
+  }
+  EXPECT_TRUE(lo_hit);
+  EXPECT_TRUE(hi_hit);
+}
+
+TEST(Rng, Uniform01InHalfOpenUnitInterval) {
+  rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  rng r(13);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += r.exponential(50.0);
+  EXPECT_NEAR(sum / kN, 50.0, 2.5);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  rng r(17);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto w = v;
+  r.shuffle(w.begin(), w.end());
+  EXPECT_NE(v, w);  // astronomically unlikely to be identity
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  rng r(99);
+  const auto first = r();
+  r();
+  r.reseed(99);
+  EXPECT_EQ(r(), first);
+}
+
+TEST(Splitmix, KnownToBeStateAdvancing) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s, 0u);
+}
+
+}  // namespace
+}  // namespace adx::sim

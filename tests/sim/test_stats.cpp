@@ -1,0 +1,96 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adx::sim {
+namespace {
+
+TEST(Accumulator, EmptyIsZeroed) {
+  accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  accumulator a;
+  a.add(5.0);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, MeanMinMaxSum) {
+  accumulator a;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) a.add(v);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 10.0);
+}
+
+TEST(Accumulator, SampleVariance) {
+  accumulator a;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(v);
+  EXPECT_NEAR(a.variance(), 4.571428, 1e-5);  // n-1 denominator
+}
+
+TEST(Accumulator, NegativeValues) {
+  accumulator a;
+  a.add(-3.0);
+  a.add(3.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), -3.0);
+}
+
+TEST(Accumulator, ResetClears) {
+  accumulator a;
+  a.add(1.0);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsValues) {
+  histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.7);
+  h.add(9.99);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OverflowUnderflow) {
+  histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(10.0);  // hi edge is exclusive
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BucketLowerEdges) {
+  histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 8.0);
+}
+
+TEST(Histogram, NonZeroOrigin) {
+  histogram h(100.0, 200.0, 4);
+  h.add(125.0);
+  h.add(199.0);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+}
+
+}  // namespace
+}  // namespace adx::sim

@@ -1,0 +1,78 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adx::sim {
+namespace {
+
+TEST(VDur, LiteralConstructorsAgree) {
+  EXPECT_EQ(nanoseconds(1000).ns, 1000);
+  EXPECT_EQ(microseconds(1.0).ns, 1000);
+  EXPECT_EQ(milliseconds(1.0).ns, 1'000'000);
+  EXPECT_EQ(seconds(1.0).ns, 1'000'000'000);
+}
+
+TEST(VDur, FractionalMicroseconds) {
+  EXPECT_EQ(microseconds(0.5).ns, 500);
+  EXPECT_EQ(microseconds(30.73).ns, 30730);
+}
+
+TEST(VDur, Arithmetic) {
+  const auto a = microseconds(10);
+  const auto b = microseconds(3);
+  EXPECT_EQ((a + b).ns, 13000);
+  EXPECT_EQ((a - b).ns, 7000);
+  EXPECT_EQ((a * 3).ns, 30000);
+  EXPECT_EQ((3 * a).ns, 30000);
+  EXPECT_EQ((a / 2).ns, 5000);
+}
+
+TEST(VDur, CompoundAssignment) {
+  auto a = microseconds(5);
+  a += microseconds(2);
+  EXPECT_EQ(a.ns, 7000);
+  a -= microseconds(3);
+  EXPECT_EQ(a.ns, 4000);
+}
+
+TEST(VDur, Comparisons) {
+  EXPECT_LT(microseconds(1), microseconds(2));
+  EXPECT_EQ(microseconds(1), nanoseconds(1000));
+  EXPECT_GE(milliseconds(1), microseconds(1000));
+}
+
+TEST(VDur, NegativeDifferencesRepresentable) {
+  const auto d = microseconds(1) - microseconds(2);
+  EXPECT_EQ(d.ns, -1000);
+  EXPECT_LT(d, vdur{});
+}
+
+TEST(VDur, ReportingConversions) {
+  EXPECT_DOUBLE_EQ(microseconds(1.5).us(), 1.5);
+  EXPECT_DOUBLE_EQ(milliseconds(2.5).ms(), 2.5);
+}
+
+TEST(VTime, AdvanceAndDifference) {
+  vtime t{};
+  const auto t2 = t + microseconds(10);
+  EXPECT_EQ(t2.ns, 10000u);
+  EXPECT_EQ((t2 - t).ns, 10000);
+  EXPECT_EQ((t - t2).ns, -10000);
+}
+
+TEST(VTime, Ordering) {
+  const vtime a{100};
+  const vtime b{200};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(max(a, b), b);
+  EXPECT_EQ(max(b, a), b);
+}
+
+TEST(VTime, ReportingConversions) {
+  const vtime t{2'500'000};
+  EXPECT_DOUBLE_EQ(t.ms(), 2.5);
+  EXPECT_DOUBLE_EQ(t.us(), 2500.0);
+}
+
+}  // namespace
+}  // namespace adx::sim

@@ -1,0 +1,94 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adx::sim {
+namespace {
+
+trace make_ramp() {
+  trace t("ramp");
+  t.record(vtime{0}, 0);
+  t.record(vtime{250}, 2);
+  t.record(vtime{500}, 5);
+  t.record(vtime{750}, 1);
+  return t;
+}
+
+TEST(Trace, RecordsSamplesInOrder) {
+  const auto t = make_ramp();
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.samples()[2].value, 5);
+  EXPECT_EQ(t.samples()[2].at.ns, 500u);
+}
+
+TEST(Trace, MaxAndMean) {
+  const auto t = make_ramp();
+  EXPECT_EQ(t.max_value(), 5);
+  EXPECT_DOUBLE_EQ(t.mean_value(), 2.0);
+}
+
+TEST(Trace, EmptyTraceSafeAccessors) {
+  trace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.max_value(), 0);
+  EXPECT_DOUBLE_EQ(t.mean_value(), 0.0);
+}
+
+TEST(Trace, RebucketMaxTakesWindowMax) {
+  trace t;
+  t.record(vtime{100}, 1);
+  t.record(vtime{150}, 7);
+  t.record(vtime{190}, 2);
+  t.record(vtime{900}, 3);
+  const auto b = t.rebucket_max(vtime{1000}, 10);
+  ASSERT_EQ(b.size(), 10u);
+  EXPECT_EQ(b[1], 7);  // max of the 100-200ns window
+  EXPECT_EQ(b[9], 3);
+}
+
+TEST(Trace, RebucketCarriesLastValueThroughGaps) {
+  trace t;
+  t.record(vtime{0}, 4);
+  t.record(vtime{990}, 1);
+  const auto b = t.rebucket_max(vtime{1000}, 10);
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_EQ(b[i], 4) << i;
+  EXPECT_EQ(b[9], 1);
+}
+
+TEST(Trace, RebucketIgnoresSamplesBeyondHorizon) {
+  trace t;
+  t.record(vtime{50}, 2);
+  t.record(vtime{5000}, 9);
+  const auto b = t.rebucket_max(vtime{1000}, 4);
+  for (auto v : b) EXPECT_NE(v, 9);
+}
+
+TEST(Trace, RebucketZeroBucketsSafe) {
+  const auto t = make_ramp();
+  EXPECT_TRUE(t.rebucket_max(vtime{1000}, 0).empty());
+}
+
+TEST(Trace, CsvFormat) {
+  trace t("waiters");
+  t.record(vtime{1000}, 3);
+  const auto csv = t.to_csv();
+  EXPECT_NE(csv.find("time_us,waiters"), std::string::npos);
+  EXPECT_NE(csv.find("1,3"), std::string::npos);
+}
+
+TEST(Trace, AsciiChartHasAxesAndMarks) {
+  const auto t = make_ramp();
+  const auto chart = t.ascii_chart(vtime{1000}, 20, 5);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+  EXPECT_NE(chart.find('+'), std::string::npos);
+  EXPECT_NE(chart.find("5"), std::string::npos);  // peak label
+}
+
+TEST(Trace, ClearEmpties) {
+  auto t = make_ramp();
+  t.clear();
+  EXPECT_TRUE(t.empty());
+}
+
+}  // namespace
+}  // namespace adx::sim

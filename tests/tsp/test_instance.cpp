@@ -1,0 +1,79 @@
+#include "tsp/instance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adx::tsp {
+namespace {
+
+TEST(Instance, RejectsTinyProblems) {
+  EXPECT_THROW(instance(2, std::vector<std::int32_t>(4, 1)), std::invalid_argument);
+}
+
+TEST(Instance, RejectsSizeMismatch) {
+  EXPECT_THROW(instance(4, std::vector<std::int32_t>(10, 1)), std::invalid_argument);
+}
+
+TEST(Instance, DiagonalForcedToInf) {
+  auto inst = instance(3, std::vector<std::int32_t>(9, 5));
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(inst.at(i, i), kInf);
+  EXPECT_EQ(inst.at(0, 1), 5);
+}
+
+TEST(Instance, RandomAsymmetricDeterministic) {
+  const auto a = instance::random_asymmetric(10, 42);
+  const auto b = instance::random_asymmetric(10, 42);
+  EXPECT_EQ(a.data(), b.data());
+  const auto c = instance::random_asymmetric(10, 43);
+  EXPECT_NE(a.data(), c.data());
+}
+
+TEST(Instance, RandomAsymmetricInRange) {
+  const auto inst = instance::random_asymmetric(12, 7, 5, 9);
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 12; ++j) {
+      if (i == j) continue;
+      EXPECT_GE(inst.at(i, j), 5);
+      EXPECT_LE(inst.at(i, j), 9);
+    }
+  }
+}
+
+TEST(Instance, RandomAsymmetricIsActuallyAsymmetric) {
+  const auto inst = instance::random_asymmetric(10, 1);
+  bool asym = false;
+  for (int i = 0; i < 10 && !asym; ++i) {
+    for (int j = i + 1; j < 10; ++j) {
+      if (inst.at(i, j) != inst.at(j, i)) {
+        asym = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(asym);
+}
+
+TEST(Instance, EuclideanSymmetricAndTriangleFriendly) {
+  const auto inst = instance::random_euclidean(8, 3);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(inst.at(i, j), inst.at(j, i));
+      EXPECT_GE(inst.at(i, j), 1);
+    }
+  }
+}
+
+TEST(Instance, TourCostSumsCycle) {
+  // 3-cycle with known weights.
+  std::vector<std::int32_t> d = {0, 1, 9, 9, 0, 2, 3, 9, 0};
+  instance inst(3, std::move(d));
+  EXPECT_EQ(inst.tour_cost({0, 1, 2}), 1 + 2 + 3);
+}
+
+TEST(Instance, TourCostRejectsWrongLength) {
+  const auto inst = instance::random_asymmetric(5, 1);
+  EXPECT_THROW((void)inst.tour_cost({0, 1, 2}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adx::tsp

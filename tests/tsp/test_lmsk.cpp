@@ -1,0 +1,173 @@
+#include "tsp/lmsk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace adx::tsp {
+namespace {
+
+TEST(Lmsk, RootBoundIsReductionSum) {
+  // Hand-checkable 3-city matrix.
+  std::vector<std::int32_t> d = {0, 4, 7, 5, 0, 3, 6, 8, 0};
+  instance inst(3, std::move(d));
+  lmsk engine(inst);
+  const auto root = engine.root();
+  // Row minima 4,3,6 = 13; after row subtraction every column has a zero.
+  EXPECT_EQ(root.bound, 13);
+  EXPECT_EQ(root.k(), 3);
+}
+
+TEST(Lmsk, RootMatrixHasZeroInEveryRowAndColumn) {
+  const auto inst = instance::random_asymmetric(12, 5);
+  lmsk engine(inst);
+  const auto root = engine.root();
+  for (int i = 0; i < root.k(); ++i) {
+    bool row_zero = false;
+    bool col_zero = false;
+    for (int j = 0; j < root.k(); ++j) {
+      row_zero |= root.cell(i, j) == 0;
+      col_zero |= root.cell(j, i) == 0;
+    }
+    EXPECT_TRUE(row_zero) << "row " << i;
+    EXPECT_TRUE(col_zero) << "col " << i;
+  }
+}
+
+TEST(Lmsk, ChildBoundsNeverDecrease) {
+  const auto inst = instance::random_asymmetric(10, 11);
+  lmsk engine(inst);
+  std::uint32_t seq = 1;
+  std::vector<subproblem> stack;
+  stack.push_back(engine.root());
+  int checked = 0;
+  while (!stack.empty() && checked < 200) {
+    auto sp = std::move(stack.back());
+    stack.pop_back();
+    const auto parent_bound = sp.bound;
+    auto er = engine.expand(std::move(sp), kInfBound, seq);
+    for (auto& c : er.children) {
+      EXPECT_GE(c.bound, parent_bound);
+      ++checked;
+      stack.push_back(std::move(c));
+    }
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(Lmsk, ExpandProducesAtMostTwoChildren) {
+  const auto inst = instance::random_asymmetric(9, 2);
+  lmsk engine(inst);
+  std::uint32_t seq = 1;
+  auto er = engine.expand(engine.root(), kInfBound, seq);
+  EXPECT_LE(er.children.size(), 2u);
+  EXPECT_FALSE(er.completed.has_value());
+}
+
+TEST(Lmsk, PruneParameterDropsChildren) {
+  const auto inst = instance::random_asymmetric(9, 2);
+  lmsk engine(inst);
+  std::uint32_t seq = 1;
+  const auto root = engine.root();
+  auto er = engine.expand(root, /*best=*/root.bound, seq);  // nothing can beat it
+  EXPECT_TRUE(er.children.empty());
+}
+
+TEST(Lmsk, OpsAreCounted) {
+  const auto inst = instance::random_asymmetric(10, 3);
+  lmsk engine(inst);
+  std::uint32_t seq = 1;
+  (void)engine.expand(engine.root(), kInfBound, seq);
+  EXPECT_GT(engine.total_ops(), 100u);
+  EXPECT_EQ(engine.total_expansions(), 1u);
+}
+
+struct brute_case {
+  int n;
+  std::uint64_t seed;
+  bool euclidean;
+};
+
+class LmskVsBruteForce : public testing::TestWithParam<brute_case> {};
+
+TEST_P(LmskVsBruteForce, FindsOptimalTour) {
+  const auto& pc = GetParam();
+  const auto inst = pc.euclidean ? instance::random_euclidean(pc.n, pc.seed)
+                                 : instance::random_asymmetric(pc.n, pc.seed);
+  const auto bf = solve_brute_force(inst);
+  const auto lm = solve_sequential(inst);
+  ASSERT_TRUE(lm.best.valid());
+  EXPECT_EQ(lm.best.cost, bf.cost);
+  // The reported tour must be a real Hamiltonian cycle with that cost.
+  EXPECT_EQ(inst.tour_cost(lm.best.order), lm.best.cost);
+  std::set<std::int16_t> cities(lm.best.order.begin(), lm.best.order.end());
+  EXPECT_EQ(cities.size(), static_cast<std::size_t>(pc.n));
+}
+
+std::vector<brute_case> brute_cases() {
+  std::vector<brute_case> v;
+  for (int n : {5, 6, 7, 8}) {
+    for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 17ULL}) {
+      v.push_back({n, seed, false});
+    }
+  }
+  for (std::uint64_t seed : {4ULL, 5ULL}) v.push_back({7, seed, true});
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallInstances, LmskVsBruteForce,
+                         testing::ValuesIn(brute_cases()),
+                         [](const testing::TestParamInfo<brute_case>& info) {
+                           return (info.param.euclidean ? std::string("euc")
+                                                        : std::string("asym")) +
+                                  "_n" + std::to_string(info.param.n) + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+TEST(Lmsk, SequentialSolverStatsPopulated) {
+  const auto inst = instance::random_asymmetric(14, 21);
+  const auto r = solve_sequential(inst);
+  EXPECT_TRUE(r.best.valid());
+  EXPECT_GT(r.expansions, 0u);
+  EXPECT_GT(r.ops, 0u);
+  EXPECT_GT(r.peak_queue, 0u);
+}
+
+TEST(Lmsk, SequentialDeterministic) {
+  const auto inst = instance::random_asymmetric(16, 77);
+  const auto a = solve_sequential(inst);
+  const auto b = solve_sequential(inst);
+  EXPECT_EQ(a.best.cost, b.best.cost);
+  EXPECT_EQ(a.expansions, b.expansions);
+  EXPECT_EQ(a.best.order, b.best.order);
+}
+
+TEST(Lmsk, OptimalNeverWorseThanGreedyUpperBound) {
+  const auto inst = instance::random_asymmetric(18, 99);
+  // Greedy nearest-neighbour tour as an upper bound.
+  std::vector<std::int16_t> order{0};
+  std::set<int> left;
+  for (int i = 1; i < 18; ++i) left.insert(i);
+  while (!left.empty()) {
+    const int cur = order.back();
+    int best = -1;
+    for (int c : left) {
+      if (best < 0 || inst.at(cur, c) < inst.at(cur, best)) best = c;
+    }
+    order.push_back(static_cast<std::int16_t>(best));
+    left.erase(best);
+  }
+  const auto r = solve_sequential(inst);
+  EXPECT_LE(r.best.cost, inst.tour_cost(order));
+}
+
+TEST(Lmsk, RootBoundLowerBoundsOptimal) {
+  const auto inst = instance::random_asymmetric(12, 123);
+  lmsk engine(inst);
+  const auto root = engine.root();
+  const auto r = solve_sequential(inst);
+  EXPECT_LE(root.bound, r.best.cost);
+}
+
+}  // namespace
+}  // namespace adx::tsp

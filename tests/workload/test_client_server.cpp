@@ -1,0 +1,70 @@
+#include "workload/client_server.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adx::workload {
+namespace {
+
+client_server_config fast(sched_kind s) {
+  client_server_config c;
+  c.processors = 6;
+  c.clients = 5;
+  c.total_requests = 120;
+  c.sched = s;
+  c.cost = locks::lock_cost_model::fast_test();
+  c.machine = sim::machine_config::test_machine(6);
+  return c;
+}
+
+TEST(ClientServer, CompletesAllRequests) {
+  const auto r = run_client_server(fast(sched_kind::fcfs));
+  EXPECT_GT(r.server_rounds, 0u);
+  EXPECT_GT(r.throughput, 0.0);
+}
+
+TEST(ClientServer, Deterministic) {
+  const auto a = run_client_server(fast(sched_kind::priority));
+  const auto b = run_client_server(fast(sched_kind::priority));
+  EXPECT_EQ(a.elapsed.ns, b.elapsed.ns);
+}
+
+TEST(ClientServer, PriorityBeatsFcfs) {
+  // The §2 claim: priority locks best, FCFS worst for client-server apps —
+  // on the metric the lock scheduler controls, the server's lock wait and
+  // hence the request service latency (makespan in this closed system is
+  // client-production-bound).
+  const auto fcfs = run_client_server(fast(sched_kind::fcfs));
+  const auto prio = run_client_server(fast(sched_kind::priority));
+  EXPECT_LT(prio.mean_request_latency_us, fcfs.mean_request_latency_us);
+}
+
+TEST(ClientServer, PriorityCutsServerWaiting) {
+  const auto fcfs = run_client_server(fast(sched_kind::fcfs));
+  const auto prio = run_client_server(fast(sched_kind::priority));
+  EXPECT_LT(prio.mean_server_wait_us, fcfs.mean_server_wait_us);
+}
+
+TEST(ClientServer, HandoffNoWorseThanFcfs) {
+  const auto fcfs = run_client_server(fast(sched_kind::fcfs));
+  const auto handoff = run_client_server(fast(sched_kind::handoff));
+  EXPECT_LE(handoff.mean_request_latency_us, fcfs.mean_request_latency_us);
+  EXPECT_LE(handoff.mean_server_wait_us, fcfs.mean_server_wait_us);
+}
+
+TEST(ClientServer, ValidatesConfig) {
+  auto c = fast(sched_kind::fcfs);
+  c.clients = 0;
+  EXPECT_THROW((void)run_client_server(c), std::invalid_argument);
+  c = fast(sched_kind::fcfs);
+  c.clients = 10;  // clients + server exceed processors
+  EXPECT_THROW((void)run_client_server(c), std::invalid_argument);
+}
+
+TEST(ClientServer, SchedNames) {
+  EXPECT_STREQ(to_string(sched_kind::fcfs), "fcfs");
+  EXPECT_STREQ(to_string(sched_kind::priority), "priority");
+  EXPECT_STREQ(to_string(sched_kind::handoff), "handoff");
+}
+
+}  // namespace
+}  // namespace adx::workload

@@ -1,0 +1,52 @@
+#include "workload/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace adx::workload {
+namespace {
+
+TEST(Table, PrintsHeadersAndRows) {
+  table t({"lock", "time (ms)"});
+  t.row({"blocking", "3207"});
+  t.row({"adaptive", "2636"});
+  std::ostringstream os;
+  t.print(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("lock"), std::string::npos);
+  EXPECT_NE(s.find("blocking"), std::string::npos);
+  EXPECT_NE(s.find("2636"), std::string::npos);
+}
+
+TEST(Table, PadsToWidestCell) {
+  table t({"a"});
+  t.row({"longer-cell-content"});
+  std::ostringstream os;
+  t.print(os);
+  // The header row must be padded at least as wide as the widest cell.
+  const auto s = os.str();
+  const auto header_pos = s.find("| a");
+  const auto header_end = s.find('\n', header_pos);
+  EXPECT_GE(header_end - header_pos, std::string("| longer-cell-content |").size());
+}
+
+TEST(Table, ShortRowsTolerated) {
+  table t({"x", "y"});
+  t.row({"only-one"});
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.print(os));
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(table::num(17.0, 0), "17");
+}
+
+TEST(Table, PctFormatting) {
+  EXPECT_EQ(table::pct(0.178), "17.8%");
+  EXPECT_EQ(table::pct(0.065), "6.5%");
+}
+
+}  // namespace
+}  // namespace adx::workload
