@@ -4,22 +4,43 @@
 //
 // Every bench accepts optional flags:
 //   --cities=N --seeds=a,b,c --processors=P  (TSP benches)
+//   --format=table|csv|json                  (table benches)
+//   --trace-json=PATH --lock=KIND            (pattern-figure benches)
 // and prints deterministic virtual-time results.
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "ct/context.hpp"
 #include "locks/adaptive_lock.hpp"
 #include "locks/factory.hpp"
+#include "obs/report_sink.hpp"
+#include "obs/tracer.hpp"
 #include "tsp/parallel.hpp"
 #include "workload/report.hpp"
 
 namespace adx::bench {
+
+/// `--name=value` or `--name value`; fallback when absent.
+inline std::string arg_str(int argc, char** argv, const char* name,
+                           std::string fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+    if (flag == argv[i] && i + 1 < argc) return argv[i + 1];
+  }
+  return fallback;
+}
 
 inline std::uint64_t arg_u64(int argc, char** argv, const char* name,
                              std::uint64_t fallback) {
@@ -38,6 +59,32 @@ inline bool arg_flag(int argc, char** argv, const char* name) {
     if (flag == argv[i]) return true;
   }
   return false;
+}
+
+/// Parses `--format=`; defaults to the classic table, exits on bad values.
+inline obs::report_format report_format_from_args(int argc, char** argv) {
+  const auto s = arg_str(argc, argv, "format", "table");
+  const auto f = obs::parse_report_format(s);
+  if (!f) {
+    std::fprintf(stderr, "unknown --format '%s' (expected table, csv or json)\n",
+                 s.c_str());
+    std::exit(2);
+  }
+  return *f;
+}
+
+/// printf into a std::string, for report preamble/note lines.
+[[gnu::format(printf, 1, 2)]] inline std::string strf(const char* fmt, ...) {
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  va_end(ap2);
+  return out;
 }
 
 inline std::vector<std::uint64_t> default_seeds() {
@@ -111,18 +158,15 @@ inline double sequential_virtual_ms(unsigned cities, std::uint64_t seed,
   return compute_ms + words * word_us / 1000.0;
 }
 
-/// Prints the standard Tables 1-3 layout: paper row + measured row.
+/// Prints the standard Tables 1-3 layout (paper row + measured row) through a
+/// report_sink, honouring `--format=table|csv|json`.
 inline void print_tsp_table(const char* title, tsp::variant v, int paper_blocking_ms,
                             int paper_adaptive_ms, double paper_improvement,
                             int paper_sequential_ms, int argc, char** argv) {
+  const auto fmt = report_format_from_args(argc, argv);
   const auto cities = static_cast<unsigned>(arg_u64(argc, argv, "cities", 32));
   const auto processors = static_cast<unsigned>(arg_u64(argc, argv, "processors", 10));
   const auto seeds = default_seeds();
-
-  std::printf("%s\n", title);
-  std::printf("(measured: %u cities, %u processors, 1 searcher thread/processor, "
-              "mean over %zu seeds)\n\n",
-              cities, processors, seeds.size());
 
   const auto blocking = run_tsp(v, locks::lock_kind::blocking, cities, processors, seeds);
   const auto adaptive = run_tsp(v, locks::lock_kind::adaptive, cities, processors, seeds);
@@ -130,6 +174,10 @@ inline void print_tsp_table(const char* title, tsp::variant v, int paper_blockin
 
   workload::table t({"", "sequential (ms)", "blocking lock (ms)", "adaptive lock (ms)",
                      "improvement"});
+  t.title(title);
+  t.preamble(strf("(measured: %u cities, %u processors, 1 searcher thread/processor, "
+                  "mean over %zu seeds)",
+                  cities, processors, seeds.size()));
   t.row({"paper (BBN GP1000)",
          paper_sequential_ms > 0 ? std::to_string(paper_sequential_ms) : "-",
          std::to_string(paper_blocking_ms), std::to_string(paper_adaptive_ms),
@@ -140,42 +188,68 @@ inline void print_tsp_table(const char* title, tsp::variant v, int paper_blockin
   t.row({"measured (simulator)", workload::table::num(seq_ms, 0),
          workload::table::num(blocking.mean_ms, 0),
          workload::table::num(adaptive.mean_ms, 0), workload::table::pct(improvement)});
-  t.print();
 
   const double work_norm =
       (blocking.mean_ms_per_expansion - adaptive.mean_ms_per_expansion) /
       blocking.mean_ms_per_expansion;
-  std::printf("\nwork-normalized improvement (per node expanded; removes the "
-              "B&B exploration luck between runs): %.1f%%\n",
-              100 * work_norm);
-  std::printf("qlock: blocking %.0f%% contended (peak %lld waiting) vs adaptive "
-              "%.0f%% (peak %lld); expansions %llu vs %llu\n",
+  t.note(strf("work-normalized improvement (per node expanded; removes the "
+              "B&B exploration luck between runs): %.1f%%",
+              100 * work_norm));
+  t.note(strf("qlock: blocking %.0f%% contended (peak %lld waiting) vs adaptive "
+              "%.0f%% (peak %lld); expansions %llu vs %llu",
               100 * blocking.qlock_contention,
               static_cast<long long>(blocking.qlock_peak),
               100 * adaptive.qlock_contention,
               static_cast<long long>(adaptive.qlock_peak),
               static_cast<unsigned long long>(blocking.mean_expansions),
-              static_cast<unsigned long long>(adaptive.mean_expansions));
-  std::printf("speedup over sequential: blocking %.1fx, adaptive %.1fx\n",
-              seq_ms / blocking.mean_ms, seq_ms / adaptive.mean_ms);
+              static_cast<unsigned long long>(adaptive.mean_expansions)));
+  t.note(strf("speedup over sequential: blocking %.1fx, adaptive %.1fx",
+              seq_ms / blocking.mean_ms, seq_ms / adaptive.mean_ms));
+  t.emit(fmt);
 }
 
 /// Runs one TSP config with pattern recording and prints the requested
 /// lock's waiting-count series as an ASCII chart (Figures 4-9).
+///
+/// `--trace-json=PATH` additionally records a structured-event trace of the
+/// run — thread run slices, lock acquire/held spans, reconfiguration
+/// decisions annotated with v_i / d_c — and writes Chrome trace-event JSON
+/// (Perfetto-loadable) to PATH. When tracing, the lock kind defaults to
+/// adaptive (so the trace contains reconfiguration events); `--lock=KIND`
+/// overrides it either way.
 inline void print_pattern_figure(const char* title, tsp::variant v, bool qlock,
                                  int argc, char** argv) {
   const auto cities = static_cast<unsigned>(arg_u64(argc, argv, "cities", 32));
   const auto processors = static_cast<unsigned>(arg_u64(argc, argv, "processors", 10));
   const auto seed = arg_u64(argc, argv, "seed", 9001);
+  const auto trace_path = arg_str(argc, argv, "trace-json", "");
+  const auto lock_name = arg_str(argc, argv, "lock",
+                                 trace_path.empty() ? "blocking" : "adaptive");
+  locks::lock_kind kind;
+  try {
+    kind = locks::parse_lock_kind(lock_name);
+  } catch (const std::invalid_argument&) {
+    std::fprintf(stderr, "unknown --lock '%s' (expected a lock kind, e.g. "
+                 "blocking, combined, adaptive)\n", lock_name.c_str());
+    std::exit(2);
+  }
 
-  auto cfg = tsp_cfg(v, locks::lock_kind::blocking, processors);
+  auto cfg = tsp_cfg(v, kind, processors);
   cfg.record_patterns = true;
+  obs::tracer tr;
+  if (!trace_path.empty()) {
+    tr.enable();
+    cfg.tracer = &tr;
+  }
   const auto inst = tsp::instance::random_asymmetric(static_cast<int>(cities), seed);
   const auto r = tsp::solve_parallel(inst, cfg);
   const auto& pattern = qlock ? r.qlock_pattern : r.act_pattern;
   const auto& report = qlock ? r.lock_reports[0] : r.lock_reports[2];
 
   std::printf("%s\n", title);
+  if (kind != locks::lock_kind::blocking) {
+    std::printf("(lock kind: %s)\n", locks::to_string(kind));
+  }
   std::printf("(measured: %u cities, seed %llu, %u processors; waiting threads over "
               "virtual time)\n\n",
               cities, static_cast<unsigned long long>(seed), processors);
@@ -187,6 +261,20 @@ inline void print_pattern_figure(const char* title, tsp::variant v, bool qlock,
               report.mean_wait_us, r.elapsed.ms());
   if (arg_flag(argc, argv, "csv")) {
     std::printf("\n%s", pattern.to_csv().c_str());
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", trace_path.c_str());
+      std::exit(1);
+    }
+    out << tr.chrome_json();
+    std::printf("\nChrome trace (%zu events%s) written to %s\n", tr.size(),
+                tr.dropped() ? strf(", %llu dropped",
+                                    static_cast<unsigned long long>(tr.dropped()))
+                                   .c_str()
+                             : "",
+                trace_path.c_str());
   }
 }
 

@@ -3,7 +3,7 @@
 // blocking 88.59/91.73, adaptive 40.79/41.17 microseconds).
 #include "bench_common.hpp"
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   using adx::locks::lock_kind;
   using adx::workload::table;
 
@@ -21,15 +21,15 @@ int main(int, char**) {
       {lock_kind::adaptive, "adaptive lock", 40.79, 41.17},
   };
 
-  std::printf("Table 4: Cost of the Lock operation for different locks (us)\n"
-              "(uncontended acquisition; lock word local vs. remote)\n\n");
   table t({"lock type", "paper local", "meas. local", "paper remote", "meas. remote"});
+  t.title("Table 4: Cost of the Lock operation for different locks (us)");
+  t.preamble("(uncontended acquisition; lock word local vs. remote)");
   for (const auto& r : rows) {
     const auto local = adx::bench::time_lock_ops(r.kind, false);
     const auto remote = adx::bench::time_lock_ops(r.kind, true);
     t.row({r.name, table::num(r.paper_local), table::num(local.lock_us),
            table::num(r.paper_remote), table::num(remote.lock_us)});
   }
-  t.print();
+  t.emit(adx::bench::report_format_from_args(argc, argv));
   return 0;
 }

@@ -28,7 +28,7 @@ double mean_unlock_us(adx::locks::lock_kind k, bool remote, int reps = 8) {
 
 }  // namespace
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   using adx::locks::lock_kind;
   using adx::workload::table;
 
@@ -45,14 +45,14 @@ int main(int, char**) {
       {lock_kind::adaptive, "adaptive lock", 50.07, 61.69},
   };
 
-  std::printf("Table 5: Cost of the Unlock operation for different locks (us)\n"
-              "(uncontended; adaptive amortizes its every-2nd-unlock monitor "
-              "sample)\n\n");
   table t({"lock type", "paper local", "meas. local", "paper remote", "meas. remote"});
+  t.title("Table 5: Cost of the Unlock operation for different locks (us)");
+  t.preamble("(uncontended; adaptive amortizes its every-2nd-unlock monitor "
+             "sample)");
   for (const auto& r : rows) {
     t.row({r.name, table::num(r.paper_local), table::num(mean_unlock_us(r.kind, false)),
            table::num(r.paper_remote), table::num(mean_unlock_us(r.kind, true))});
   }
-  t.print();
+  t.emit(adx::bench::report_format_from_args(argc, argv));
   return 0;
 }

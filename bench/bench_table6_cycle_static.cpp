@@ -4,7 +4,7 @@
 // 510.55/563.79 microseconds).
 #include "bench_common.hpp"
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   using namespace adx;
   using workload::table;
 
@@ -20,9 +20,9 @@ int main(int, char**) {
       {locks::lock_kind::blocking, "blocking-lock", 510.55, 563.79},
   };
 
-  std::printf("Table 6: Locking cycle (unlock then lock on a busy lock), static "
-              "locks (us)\n\n");
   table t({"lock type", "paper local", "meas. local", "paper remote", "meas. remote"});
+  t.title("Table 6: Locking cycle (unlock then lock on a busy lock), static "
+          "locks (us)");
   for (const auto& r : rows) {
     const auto make = [&](ct::runtime&, sim::node_id home) {
       return locks::make_lock(r.kind, home,
@@ -32,6 +32,6 @@ int main(int, char**) {
            table::num(bench::time_cycle_us(make, false)), table::num(r.paper_remote),
            table::num(bench::time_cycle_us(make, true))});
   }
-  t.print();
+  t.emit(bench::report_format_from_args(argc, argv));
   return 0;
 }

@@ -4,7 +4,7 @@
 // extremes depending on its current configuration.
 #include "bench_common.hpp"
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   using namespace adx;
   using workload::table;
 
@@ -19,10 +19,10 @@ int main(int, char**) {
       {"configured as blocking", locks::waiting_policy::pure_sleep(), 565.16, 625.63},
   };
 
-  std::printf("Table 7: Locking cycle of the adaptive lock by configuration (us)\n"
-              "(adaptation disabled for the measurement: the policy is pinned)\n\n");
   table t({"configured as", "paper local", "meas. local", "paper remote",
            "meas. remote"});
+  t.title("Table 7: Locking cycle of the adaptive lock by configuration (us)");
+  t.preamble("(adaptation disabled for the measurement: the policy is pinned)");
   for (const auto& r : rows) {
     const auto make = [&](ct::runtime&, sim::node_id home) {
       // A reconfigurable lock pinned to the configuration (no monitor/policy
@@ -34,6 +34,6 @@ int main(int, char**) {
            table::num(bench::time_cycle_us(make, false)), table::num(r.paper_remote),
            table::num(bench::time_cycle_us(make, true))});
   }
-  t.print();
+  t.emit(bench::report_format_from_args(argc, argv));
   return 0;
 }

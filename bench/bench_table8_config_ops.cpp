@@ -75,11 +75,11 @@ double time_monitor_sample() {
 
 }  // namespace
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   using workload::table;
 
-  std::printf("Table 8: Cost of lock configuration operations (us)\n\n");
   table t({"operation", "paper local", "meas. local", "paper remote", "meas. remote"});
+  t.title("Table 8: Cost of lock configuration operations (us)");
   t.row({"acquisition", table::num(30.75), table::num(time_acquisition(false)),
          table::num(33.92), table::num(time_acquisition(true))});
   t.row({"configure(waiting policy)", table::num(9.87),
@@ -90,6 +90,6 @@ int main(int, char**) {
          table::num(time_configure_scheduler(true))});
   t.row({"monitor (one state variable)", table::num(66.03),
          table::num(time_monitor_sample()), "-", "-"});
-  t.print();
+  t.emit(adx::bench::report_format_from_args(argc, argv));
   return 0;
 }

@@ -44,6 +44,7 @@ runtime::~runtime() = default;
 
 thread_id runtime::fork(proc_id p, thread_fn fn, int priority) {
   if (p >= procs_.size()) throw std::out_of_range("runtime::fork: bad processor");
+  ++forks_;
   auto t = std::make_unique<tcb>();
   t->id = static_cast<thread_id>(threads_.size());
   t->proc = p;
@@ -108,7 +109,27 @@ void runtime::schedule_resume(tcb& t, std::coroutine_handle<> h, sim::vtime at) 
   });
 }
 
+void runtime::end_run_span(tcb& t, const char* how) {
+  if (!tracing()) return;
+  const auto now = mach_.now();
+  tracer_->complete("run", "ct", t.run_started, now - t.run_started,
+                    static_cast<std::uint32_t>(t.proc), t.id);
+  tracer_->instant(how, "ct", now, static_cast<std::uint32_t>(t.proc), t.id);
+}
+
+void runtime::export_metrics(obs::metrics& m, const std::string& prefix) const {
+  m.get_counter(prefix + ".forks").set(forks_);
+  m.get_counter(prefix + ".dispatches").set(dispatches_);
+  m.get_counter(prefix + ".blocks").set(blocks_);
+  m.get_counter(prefix + ".unblocks").set(unblocks_);
+  m.get_counter(prefix + ".yields").set(yields_);
+  m.get_counter(prefix + ".sleeps").set(sleeps_);
+  m.get_counter(prefix + ".exits").set(exits_);
+}
+
 void runtime::suspend_block(tcb& t, std::coroutine_handle<> h) {
+  ++blocks_;
+  end_run_span(t, "block");
   t.state = thread_state::blocked;
   t.resume_point = h;
   ++t.epoch;
@@ -131,12 +152,19 @@ void runtime::suspend_block_for(tcb& t, std::coroutine_handle<> h, sim::vdur tim
 bool runtime::unblock(thread_id id) {
   tcb& t = thread_ref(id);
   if (t.state != thread_state::blocked && t.state != thread_state::sleeping) return false;
+  ++unblocks_;
+  if (tracing()) {
+    tracer_->instant("unblock", "ct", mach_.now(),
+                     static_cast<std::uint32_t>(t.proc), t.id);
+  }
   t.last_block_timed_out = false;
   make_ready(t);
   return true;
 }
 
 void runtime::suspend_yield(tcb& t, std::coroutine_handle<> h) {
+  ++yields_;
+  end_run_span(t, "yield");
   t.resume_point = h;
   t.state = thread_state::ready;
   ++t.epoch;
@@ -146,6 +174,8 @@ void runtime::suspend_yield(tcb& t, std::coroutine_handle<> h) {
 }
 
 void runtime::suspend_sleep(tcb& t, std::coroutine_handle<> h, sim::vdur d) {
+  ++sleeps_;
+  end_run_span(t, "sleep");
   t.state = thread_state::sleeping;
   t.resume_point = h;
   ++t.epoch;
@@ -166,6 +196,8 @@ bool runtime::add_joiner(thread_id target, thread_id waiter) {
 }
 
 void runtime::on_thread_exit(tcb& t) {
+  ++exits_;
+  end_run_span(t, "exit");
   t.state = thread_state::done;
   ++t.epoch;
   --live_threads_;
@@ -197,6 +229,8 @@ void runtime::dispatch(proc_id p) {
   proc.current = t;
   t->state = thread_state::running;
   ++t->epoch;
+  ++dispatches_;
+  t->run_started = mach_.now();
   // The context switch is charged on the switch-IN edge: restoring the
   // incoming thread's state occupies the processor for a full switch before
   // the thread runs (this is what makes a blocked lock waiter's wakeup cost

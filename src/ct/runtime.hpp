@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "ct/task.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/machine.hpp"
 
 namespace adx::ct {
@@ -43,6 +45,9 @@ struct tcb {
   std::coroutine_handle<> resume_point{};
   /// Bumped on every state transition; invalidates in-flight timer events.
   std::uint64_t epoch{0};
+  /// When the current dispatch put this thread on its processor; closes the
+  /// "run" span when the thread next gives the processor up.
+  sim::vtime run_started{};
   /// Result of the last block_for(): true if the wait timed out.
   bool last_block_timed_out{false};
 
@@ -145,6 +150,22 @@ class runtime {
 
   void on_thread_exit(tcb& t);
 
+  // ------- observability (host-side only; never charges virtual time).
+
+  /// Attaches a structured-event tracer (not owned). Each dispatched slice
+  /// becomes a "run" span on the processor's track; blocks / yields / sleeps
+  /// / unblocks become instants.
+  void attach_tracer(obs::tracer* t) { tracer_ = t; }
+  [[nodiscard]] obs::tracer* tracer() const { return tracer_; }
+
+  /// Snapshots the scheduling counters into a metrics registry.
+  void export_metrics(obs::metrics& m, const std::string& prefix = "ct") const;
+
+  [[nodiscard]] std::uint64_t dispatches() const { return dispatches_; }
+  [[nodiscard]] std::uint64_t blocks() const { return blocks_; }
+  [[nodiscard]] std::uint64_t unblocks() const { return unblocks_; }
+  [[nodiscard]] std::uint64_t yields() const { return yields_; }
+
  private:
   struct processor {
     tcb* current{nullptr};
@@ -155,10 +176,23 @@ class runtime {
   void dispatch(proc_id p);
   void schedule_dispatch(proc_id p, sim::vdur after);
 
+  [[nodiscard]] bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
+  /// Closes the current "run" span of `t` and marks why it ended.
+  void end_run_span(tcb& t, const char* how);
+
   sim::machine mach_;
   std::vector<processor> procs_;
   std::vector<std::unique_ptr<tcb>> threads_;
   std::size_t live_threads_{0};
+
+  obs::tracer* tracer_{nullptr};
+  std::uint64_t forks_{0};
+  std::uint64_t dispatches_{0};
+  std::uint64_t blocks_{0};
+  std::uint64_t unblocks_{0};
+  std::uint64_t yields_{0};
+  std::uint64_t sleeps_{0};
+  std::uint64_t exits_{0};
 };
 
 }  // namespace adx::ct

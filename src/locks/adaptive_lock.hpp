@@ -45,6 +45,13 @@ class simple_adapt_policy final : public core::adaptation_policy {
   simple_adapt_policy(reconfigurable_lock& lk, simple_adapt_params p)
       : lk_(&lk), p_(p) {}
 
+  /// The most recent reconfiguration decision d_c together with the sensor
+  /// value v_i that caused it, for trace annotation.
+  struct decision_record {
+    std::int64_t sensor_value{0};
+    waiting_policy applied{};
+  };
+
   void observe(const core::observation& obs) override {
     if (obs.sensor != "no-of-waiting-threads") return;
     const std::int64_t waiting = obs.value;
@@ -71,14 +78,19 @@ class simple_adapt_policy final : public core::adaptation_policy {
         next = waiting_policy::mixed(spins);  // spin, then block
       }
     }
-    if (next != cur && lk_->apply_waiting_policy(next)) note_decision();
+    if (next != cur && lk_->apply_waiting_policy(next)) {
+      note_decision();
+      last_ = {waiting, next};
+    }
   }
 
   [[nodiscard]] const simple_adapt_params& params() const { return p_; }
+  [[nodiscard]] const decision_record& last_decision() const { return last_; }
 
  private:
   reconfigurable_lock* lk_;
   simple_adapt_params p_;
+  decision_record last_{};
 };
 
 class adaptive_lock final : public reconfigurable_lock {

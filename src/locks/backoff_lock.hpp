@@ -19,13 +19,13 @@ class backoff_spin_lock final : public lock_object {
 
   ct::task<void> lock(ct::context& ctx) override {
     const auto requested = ctx.now();
-    stats_.on_request(requested);
+    stats_.on_request(requested, ctx.self());
     co_await ctx.compute(cost_.spin_lock_overhead);
     if (co_await try_acquire(ctx)) {
-      stats_.on_acquired(ctx.now() - requested);
+      stats_.on_acquired(ctx.now(), ctx.now() - requested, ctx.self());
       co_return;
     }
-    stats_.on_contended();
+    stats_.on_contended(ctx.now(), ctx.self());
     note_waiting(ctx.now(), +1);
     for (;;) {
       const auto factor = std::max<std::int64_t>(std::int64_t{1}, waiting_);
@@ -35,12 +35,12 @@ class backoff_spin_lock final : public lock_object {
       if ((v & 1) == 0 && co_await try_acquire(ctx)) break;
     }
     note_waiting(ctx.now(), -1);
-    stats_.on_acquired(ctx.now() - requested);
+    stats_.on_acquired(ctx.now(), ctx.now() - requested, ctx.self());
   }
 
   ct::task<void> unlock(ct::context& ctx) override {
     co_await ctx.compute(cost_.spin_unlock_overhead);
-    stats_.on_release();
+    stats_.on_release(ctx.now(), ctx.self());
     co_await release_word(ctx);
   }
 };

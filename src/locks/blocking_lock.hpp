@@ -23,13 +23,13 @@ class blocking_lock final : public lock_object {
 
   ct::task<void> lock(ct::context& ctx) override {
     const auto requested = ctx.now();
-    stats_.on_request(requested);
+    stats_.on_request(requested, ctx.self());
     co_await ctx.compute(cost_.blocking_lock_overhead);
     if (co_await try_acquire(ctx)) {
-      stats_.on_acquired(ctx.now() - requested);
+      stats_.on_acquired(ctx.now(), ctx.now() - requested, ctx.self());
       co_return;
     }
-    stats_.on_contended();
+    stats_.on_contended(ctx.now(), ctx.self());
     note_waiting(ctx.now(), +1);
     bool was_woken = false;
     for (;;) {
@@ -47,7 +47,7 @@ class blocking_lock final : public lock_object {
       } else {
         queue_.push_back(ctx.self());
       }
-      stats_.on_block();
+      stats_.on_block(ctx.now(), ctx.self());
       co_await ctx.block();
       // Woken after a release: retry the acquisition immediately (another
       // thread may still beat us to it, in which case we re-queue).
@@ -57,12 +57,12 @@ class blocking_lock final : public lock_object {
       if (got) break;
     }
     note_waiting(ctx.now(), -1);
-    stats_.on_acquired(ctx.now() - requested);
+    stats_.on_acquired(ctx.now(), ctx.now() - requested, ctx.self());
   }
 
   ct::task<void> unlock(ct::context& ctx) override {
     co_await ctx.compute(cost_.blocking_unlock_overhead);
-    stats_.on_release();
+    stats_.on_release(ctx.now(), ctx.self());
     // Inspect the wait queue (one read at home), free the word, then wake
     // the oldest waiter to re-compete.
     co_await ctx.touch(home(), sim::access_kind::read);

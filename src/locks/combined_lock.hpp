@@ -20,13 +20,13 @@ class combined_lock final : public lock_object {
 
   ct::task<void> lock(ct::context& ctx) override {
     const auto requested = ctx.now();
-    stats_.on_request(requested);
+    stats_.on_request(requested, ctx.self());
     co_await ctx.compute(cost_.spin_lock_overhead);
     if (co_await try_acquire(ctx)) {
-      stats_.on_acquired(ctx.now() - requested);
+      stats_.on_acquired(ctx.now(), ctx.now() - requested, ctx.self());
       co_return;
     }
-    stats_.on_contended();
+    stats_.on_contended(ctx.now(), ctx.self());
     note_waiting(ctx.now(), +1);
     for (;;) {
       if (spin_limit_ > 0 && co_await spin_ttas(ctx, spin_limit_)) break;
@@ -38,17 +38,17 @@ class combined_lock final : public lock_object {
         continue;
       }
       queue_.push_back(ctx.self());
-      stats_.on_block();
+      stats_.on_block(ctx.now(), ctx.self());
       co_await ctx.block();
       break;  // handoff
     }
     note_waiting(ctx.now(), -1);
-    stats_.on_acquired(ctx.now() - requested);
+    stats_.on_acquired(ctx.now(), ctx.now() - requested, ctx.self());
   }
 
   ct::task<void> unlock(ct::context& ctx) override {
     co_await ctx.compute(cost_.spin_unlock_overhead);
-    stats_.on_release();
+    stats_.on_release(ctx.now(), ctx.self());
     co_await ctx.touch(home(), sim::access_kind::read);  // blocked-waiter check
     while (!queue_.empty()) {
       const auto next = queue_.front();
@@ -56,7 +56,7 @@ class combined_lock final : public lock_object {
       co_await ctx.touch(home(), sim::access_kind::write);
       set_owner(next);
       if (co_await ctx.unblock(next)) {
-        stats_.on_handoff();
+        stats_.on_handoff(ctx.now(), next);
         co_return;
       }
       set_owner(ct::invalid_thread);

@@ -28,7 +28,7 @@ class mcs_lock final : public lock_object {
 
   ct::task<void> lock(ct::context& ctx) override {
     const auto requested = ctx.now();
-    stats_.on_request(requested);
+    stats_.on_request(requested, ctx.self());
     co_await ctx.compute(cost_.spin_lock_overhead);
 
     qnode& me = node_for(ctx);
@@ -40,10 +40,10 @@ class mcs_lock final : public lock_object {
     if (prev == none) {
       set_owner(ctx.self());
       word_.raw() = 1;
-      stats_.on_acquired(ctx.now() - requested);
+      stats_.on_acquired(ctx.now(), ctx.now() - requested, ctx.self());
       co_return;
     }
-    stats_.on_contended();
+    stats_.on_contended(ctx.now(), ctx.self());
     note_waiting(ctx.now(), +1);
     // Link behind the predecessor (a write on the predecessor's node).
     qnode& p = node_for_thread(static_cast<ct::thread_id>(prev), ctx);
@@ -58,12 +58,12 @@ class mcs_lock final : public lock_object {
     note_waiting(ctx.now(), -1);
     set_owner(ctx.self());
     word_.raw() = 1;
-    stats_.on_acquired(ctx.now() - requested);
+    stats_.on_acquired(ctx.now(), ctx.now() - requested, ctx.self());
   }
 
   ct::task<void> unlock(ct::context& ctx) override {
     co_await ctx.compute(cost_.spin_unlock_overhead);
-    stats_.on_release();
+    stats_.on_release(ctx.now(), ctx.self());
     qnode& me = node_for(ctx);
 
     auto succ = co_await ctx.read(me.next);
@@ -85,7 +85,7 @@ class mcs_lock final : public lock_object {
     const auto succ_tid = static_cast<ct::thread_id>(succ);
     qnode& s = node_for_thread(succ_tid, ctx);
     set_owner(succ_tid);
-    stats_.on_handoff();
+    stats_.on_handoff(ctx.now(), succ_tid);
     co_await ctx.write(s.granted, std::uint64_t{1});  // remote write to waiter
   }
 

@@ -1,6 +1,24 @@
 #include "locks/reconfigurable_lock.hpp"
 
+#include <sstream>
+
 namespace adx::locks {
+
+std::string describe(const waiting_policy& wp) {
+  std::ostringstream os;
+  if (wp.is_pure_spin()) {
+    os << "pure-spin(" << wp.spin_time << ')';
+  } else if (wp.is_pure_sleep()) {
+    os << "pure-blocking";
+  } else if (wp.timeout_us > 0) {
+    os << "conditional(spin=" << wp.spin_time << ",timeout=" << wp.timeout_us << "us)";
+  } else if (wp.sleep_time > 0) {
+    os << "spin-then-block(" << wp.spin_time << ')';
+  } else {
+    os << "spin-backoff(" << wp.spin_time << ',' << wp.delay_time << ')';
+  }
+  return os.str();
+}
 
 reconfigurable_lock::reconfigurable_lock(sim::node_id home, lock_cost_model cost,
                                          waiting_policy initial,
@@ -45,15 +63,15 @@ bool reconfigurable_lock::apply_waiting_policy(const waiting_policy& wp,
 
 ct::task<void> reconfigurable_lock::lock(ct::context& ctx) {
   const auto requested = ctx.now();
-  stats_.on_request(requested);
+  stats_.on_request(requested, ctx.self());
   // The adaptive/reconfigurable lock path initially spins before deciding to
   // block, so its lock-op cost tracks the spin lock's (Table 4).
   co_await ctx.compute(cost_.spin_lock_overhead);
   if (co_await try_acquire(ctx)) {
-    stats_.on_acquired(ctx.now() - requested);
+    stats_.on_acquired(ctx.now(), ctx.now() - requested, ctx.self());
     co_return;
   }
-  stats_.on_contended();
+  stats_.on_contended(ctx.now(), ctx.self());
   note_waiting(ctx.now(), +1);
 
   for (bool acquired = false; !acquired;) {
@@ -78,7 +96,7 @@ ct::task<void> reconfigurable_lock::lock(ct::context& ctx) {
         continue;
       }
       sched_->register_waiter(ctx.self(), ctx.priority());
-      stats_.on_block();
+      stats_.on_block(ctx.now(), ctx.self());
       const bool woken = co_await ctx.block_for(
           sim::microseconds(static_cast<double>(wp.timeout_us)));
       if (woken) {
@@ -95,7 +113,7 @@ ct::task<void> reconfigurable_lock::lock(ct::context& ctx) {
         continue;
       }
       sched_->register_waiter(ctx.self(), ctx.priority());
-      stats_.on_block();
+      stats_.on_block(ctx.now(), ctx.self());
       co_await ctx.block();
       // Direct handoff made us owner; under release-and-retry we were merely
       // woken and must re-compete.
@@ -109,14 +127,14 @@ ct::task<void> reconfigurable_lock::lock(ct::context& ctx) {
   }
 
   note_waiting(ctx.now(), -1);
-  stats_.on_acquired(ctx.now() - requested);
+  stats_.on_acquired(ctx.now(), ctx.now() - requested, ctx.self());
 }
 
 ct::task<void> reconfigurable_lock::unlock(ct::context& ctx) {
   // Spin-lock release path plus the check for currently blocked threads
   // (Table 5: adaptive unlock costs more than spin unlock).
   co_await ctx.compute(cost_.spin_unlock_overhead + cost_.adaptive_unlock_check);
-  stats_.on_release();
+  stats_.on_release(ctx.now(), ctx.self());
   co_await ctx.touch(home(), sim::access_kind::read);  // inspect registrations
 
   bool handed = false;
@@ -146,7 +164,7 @@ ct::task<void> reconfigurable_lock::unlock(ct::context& ctx) {
     co_await ctx.touch(home(), sim::access_kind::write);  // dequeue record
     set_owner(*next);
     if (co_await ctx.unblock(*next)) {
-      stats_.on_handoff();
+      stats_.on_handoff(ctx.now(), *next);
       handed = true;
       break;
     }
@@ -176,6 +194,8 @@ ct::task<void> reconfigurable_lock::configure_waiting_policy(ct::context& ctx,
 
 ct::task<void> reconfigurable_lock::configure_scheduler(
     ct::context& ctx, std::unique_ptr<lock_scheduler> next) {
+  stats_.on_reconfigure(ctx.now(), ctx.self(), /*sensor_value=*/-1,
+                        "scheduler:" + std::string(next->name()));
   co_await ctx.compute(cost_.configure_sched_overhead);
   co_await ctx.touch(home(), sim::access_kind::write, 3);  // three sub-modules
   co_await ctx.touch(home(), sim::access_kind::write);     // set transition flag

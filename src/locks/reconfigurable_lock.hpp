@@ -29,6 +29,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "core/adaptive.hpp"
 #include "locks/lock.hpp"
@@ -64,6 +65,11 @@ struct waiting_policy {
   }
   [[nodiscard]] bool is_pure_sleep() const { return spin_time == 0 && sleep_time > 0; }
 };
+
+/// Human-readable configuration name, used to annotate reconfiguration
+/// events (the decision d_c) in traces: "pure-spin(400)", "pure-blocking",
+/// "spin-then-block(30)", ...
+[[nodiscard]] std::string describe(const waiting_policy& wp);
 
 class reconfigurable_lock : public lock_object, public core::adaptive_object {
  public:

@@ -36,7 +36,7 @@ bool reconfigurable_rw_lock::writer_admissible() const {
 
 ct::task<void> reconfigurable_rw_lock::lock_shared(ct::context& ctx) {
   const auto requested = ctx.now();
-  stats_.on_request(requested);
+  stats_.on_request(requested, ctx.self());
   co_await ctx.compute(cost_.spin_lock_overhead);
   co_await ctx.fetch_or(word_, std::uint64_t{1});  // lock-word traffic
   // --- atomic window.
@@ -45,10 +45,10 @@ ct::task<void> reconfigurable_rw_lock::lock_shared(ct::context& ctx) {
     ++reads_since_writer_grant_;
     ++read_acqs_;
     reader_wait_.add((ctx.now() - requested).us());
-    stats_.on_acquired(ctx.now() - requested);
+    stats_.on_acquired(ctx.now(), ctx.now() - requested, ctx.self());
     co_return;
   }
-  stats_.on_contended();
+  stats_.on_contended(ctx.now(), ctx.self());
   stats_.on_waiting_changed(ctx.now(),
                             waiting_readers() + waiting_writers() + 1);
   for (;;) {
@@ -78,13 +78,13 @@ ct::task<void> reconfigurable_rw_lock::lock_shared(ct::context& ctx) {
       break;
     }
     read_queue_.push_back(ctx.self());
-    stats_.on_block();
+    stats_.on_block(ctx.now(), ctx.self());
     co_await ctx.block();
     break;  // granted
   }
   ++read_acqs_;
   reader_wait_.add((ctx.now() - requested).us());
-  stats_.on_acquired(ctx.now() - requested);
+  stats_.on_acquired(ctx.now(), ctx.now() - requested, ctx.self());
 }
 
 ct::task<void> reconfigurable_rw_lock::unlock_shared(ct::context& ctx) {
@@ -92,14 +92,14 @@ ct::task<void> reconfigurable_rw_lock::unlock_shared(ct::context& ctx) {
   co_await ctx.fetch_add(word_, std::uint64_t{0});  // reader-count decrement
   // --- atomic window.
   --readers_;
-  stats_.on_release();
+  stats_.on_release(ctx.now(), ctx.self());
   if (readers_ == 0) co_await grant_waiters(ctx);
   co_await post_release_hook(ctx, /*was_write=*/false);
 }
 
 ct::task<void> reconfigurable_rw_lock::lock_exclusive(ct::context& ctx) {
   const auto requested = ctx.now();
-  stats_.on_request(requested);
+  stats_.on_request(requested, ctx.self());
   co_await ctx.compute(cost_.spin_lock_overhead);
   co_await ctx.fetch_or(word_, std::uint64_t{1});
   // --- atomic window (barging allowed when completely free and no queue).
@@ -108,10 +108,10 @@ ct::task<void> reconfigurable_rw_lock::lock_exclusive(ct::context& ctx) {
     reads_since_writer_grant_ = 0;
     ++write_acqs_;
     writer_wait_.add((ctx.now() - requested).us());
-    stats_.on_acquired(ctx.now() - requested);
+    stats_.on_acquired(ctx.now(), ctx.now() - requested, ctx.self());
     co_return;
   }
-  stats_.on_contended();
+  stats_.on_contended(ctx.now(), ctx.self());
   stats_.on_waiting_changed(ctx.now(),
                             waiting_readers() + waiting_writers() + 1);
   for (;;) {
@@ -136,13 +136,13 @@ ct::task<void> reconfigurable_rw_lock::lock_exclusive(ct::context& ctx) {
       break;
     }
     write_queue_.push_back(ctx.self());
-    stats_.on_block();
+    stats_.on_block(ctx.now(), ctx.self());
     co_await ctx.block();
     break;  // granted (writer_held_ set by the granter)
   }
   ++write_acqs_;
   writer_wait_.add((ctx.now() - requested).us());
-  stats_.on_acquired(ctx.now() - requested);
+  stats_.on_acquired(ctx.now(), ctx.now() - requested, ctx.self());
 }
 
 ct::task<void> reconfigurable_rw_lock::unlock_exclusive(ct::context& ctx) {
@@ -150,7 +150,7 @@ ct::task<void> reconfigurable_rw_lock::unlock_exclusive(ct::context& ctx) {
   co_await ctx.write(word_, std::uint64_t{0});
   // --- atomic window.
   writer_held_ = false;
-  stats_.on_release();
+  stats_.on_release(ctx.now(), ctx.self());
   co_await grant_waiters(ctx);
   co_await post_release_hook(ctx, /*was_write=*/true);
 }
@@ -185,12 +185,12 @@ ct::task<void> reconfigurable_rw_lock::grant_waiters(ct::context& ctx) {
   if (writer_to_wake != ct::invalid_thread) {
     co_await ctx.touch(home(), sim::access_kind::write);
     co_await ctx.unblock(writer_to_wake);
-    stats_.on_handoff();
+    stats_.on_handoff(ctx.now(), writer_to_wake);
   }
   for (const auto r : readers_to_wake) {
     co_await ctx.touch(home(), sim::access_kind::write);
     co_await ctx.unblock(r);
-    stats_.on_handoff();
+    stats_.on_handoff(ctx.now(), r);
   }
 }
 

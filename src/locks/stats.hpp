@@ -1,10 +1,22 @@
-// Per-lock instrumentation: acquisition counts, waiting-time accumulation and
-// the locking-pattern trace behind the paper's Figures 4-9 (number of threads
-// waiting on the lock, over virtual time).
+// Per-lock instrumentation: acquisition counts, waiting-time accumulation,
+// the locking-pattern trace behind the paper's Figures 4-9 (number of
+// threads waiting on the lock, over virtual time), always-on wait/hold-time
+// histograms, and the structured-event hooks of the obs subsystem.
+//
+// Every lock implementation reports its state transitions here with the
+// (time, thread) identity of the transition, so attaching an obs::tracer
+// turns any lock into a source of Chrome-trace spans without touching the
+// lock's own code. All recording is host-side: it charges no virtual time
+// and never perturbs the simulation, enabled or not.
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
 
+#include "obs/log_histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
@@ -13,31 +25,114 @@ namespace adx::locks {
 
 class lock_stats {
  public:
-  void on_request(sim::vtime /*at*/) { ++requests_; }
+  void on_request(sim::vtime /*at*/, std::uint32_t /*tid*/) { ++requests_; }
 
-  void on_contended() { ++contended_; }
-
-  void on_acquired(sim::vdur waited) {
-    ++acquisitions_;
-    wait_time_.add(waited.us());
+  void on_contended(sim::vtime at, std::uint32_t tid) {
+    ++contended_;
+    if (tracing()) {
+      tracer_->instant(name_contend_, "lock", at, pid_, tid);
+    }
   }
 
-  void on_release() { ++releases_; }
+  void on_acquired(sim::vtime at, sim::vdur waited, std::uint32_t tid) {
+    ++acquisitions_;
+    wait_time_.add(waited.us());
+    wait_hist_.add(waited.us());
+    held_since_ = at;
+    if (tracing()) {
+      tracer_->complete(name_acquire_, "lock", sim::vtime{at.ns - waited.ns},
+                        waited, pid_, tid);
+    }
+  }
+
+  void on_release(sim::vtime at, std::uint32_t tid) {
+    ++releases_;
+    const auto held = at - held_since_;
+    held_time_.add(held.us());
+    held_hist_.add(held.us());
+    if (tracing()) {
+      tracer_->complete(name_held_, "lock", held_since_, held, pid_, tid);
+    }
+  }
+
   void on_spin_iteration() { ++spin_iterations_; }
-  void on_block() { ++blocks_; }
-  void on_handoff() { ++handoffs_; }
+
+  void on_block(sim::vtime at, std::uint32_t tid) {
+    ++blocks_;
+    if (tracing()) {
+      tracer_->instant(name_block_, "lock", at, pid_, tid);
+    }
+  }
+
+  void on_handoff(sim::vtime at, std::uint32_t to_tid) {
+    ++handoffs_;
+    if (tracing()) {
+      tracer_->instant(name_handoff_, "lock", at, pid_, to_tid,
+                       {"to_tid", to_tid});
+    }
+  }
+
+  /// A reconfiguration decision d_c, annotated with the sensor value v_i
+  /// that caused it — what makes a pattern figure *explainable*.
+  void on_reconfigure(sim::vtime at, std::uint32_t tid, std::int64_t sensor_value,
+                      std::string decision) {
+    ++reconfigures_;
+    if (tracing()) {
+      tracer_->instant(name_reconfigure_, "lock", at, pid_, tid,
+                       {"v_i", sensor_value}, {}, "d_c", std::move(decision));
+    }
+  }
 
   /// Records the current number of waiting threads; feeds the pattern trace
-  /// if one is attached.
+  /// and the tracer's counter track if attached.
   void on_waiting_changed(sim::vtime at, std::int64_t waiting) {
     peak_waiting_ = waiting > peak_waiting_ ? waiting : peak_waiting_;
     waiting_dist_.add(static_cast<double>(waiting));
     if (pattern_) pattern_->record(at, waiting);
+    if (tracing()) {
+      tracer_->counter(name_waiting_, "lock", at, pid_, waiting);
+    }
   }
 
   /// Attaches a locking-pattern trace (not owned).
   void attach_pattern_trace(sim::trace* t) { pattern_ = t; }
   [[nodiscard]] sim::trace* pattern_trace() const { return pattern_; }
+
+  /// Attaches a structured-event tracer (not owned). `name` labels this
+  /// lock's events; `pid` is the track the events land on (by convention the
+  /// lock's home node). Event names are precomputed here so the recording
+  /// fast path never builds strings.
+  void attach_tracer(obs::tracer* t, std::string name, std::uint32_t pid) {
+    tracer_ = t;
+    pid_ = pid;
+    name_held_ = name + ".held";
+    name_acquire_ = name + ".acquire";
+    name_contend_ = name + ".contend";
+    name_block_ = name + ".block";
+    name_handoff_ = name + ".handoff";
+    name_reconfigure_ = name + ".reconfigure";
+    name_waiting_ = name + ".waiting";
+    trace_name_ = std::move(name);
+  }
+  [[nodiscard]] obs::tracer* tracer() const { return tracer_; }
+  [[nodiscard]] const std::string& trace_name() const { return trace_name_; }
+
+  /// Snapshots counters and distributions into a metrics registry under
+  /// `prefix` (e.g. "lock.qlock").
+  void export_metrics(obs::metrics& m, const std::string& prefix) const {
+    m.get_counter(prefix + ".requests").set(requests_);
+    m.get_counter(prefix + ".acquisitions").set(acquisitions_);
+    m.get_counter(prefix + ".releases").set(releases_);
+    m.get_counter(prefix + ".contended").set(contended_);
+    m.get_counter(prefix + ".spin_iterations").set(spin_iterations_);
+    m.get_counter(prefix + ".blocks").set(blocks_);
+    m.get_counter(prefix + ".handoffs").set(handoffs_);
+    m.get_counter(prefix + ".reconfigures").set(reconfigures_);
+    m.get_gauge(prefix + ".peak_waiting").set(static_cast<double>(peak_waiting_));
+    m.get_gauge(prefix + ".contention_ratio").set(contention_ratio());
+    m.set_histogram(prefix + ".wait_us", wait_hist_);
+    m.set_histogram(prefix + ".held_us", held_hist_);
+  }
 
   [[nodiscard]] std::uint64_t requests() const { return requests_; }
   [[nodiscard]] std::uint64_t acquisitions() const { return acquisitions_; }
@@ -46,9 +141,13 @@ class lock_stats {
   [[nodiscard]] std::uint64_t spin_iterations() const { return spin_iterations_; }
   [[nodiscard]] std::uint64_t blocks() const { return blocks_; }
   [[nodiscard]] std::uint64_t handoffs() const { return handoffs_; }
+  [[nodiscard]] std::uint64_t reconfigures() const { return reconfigures_; }
   [[nodiscard]] std::int64_t peak_waiting() const { return peak_waiting_; }
   [[nodiscard]] const sim::accumulator& wait_time_us() const { return wait_time_; }
+  [[nodiscard]] const sim::accumulator& held_time_us() const { return held_time_; }
   [[nodiscard]] const sim::accumulator& waiting_depth() const { return waiting_dist_; }
+  [[nodiscard]] const obs::log_histogram& wait_histogram() const { return wait_hist_; }
+  [[nodiscard]] const obs::log_histogram& held_histogram() const { return held_hist_; }
 
   /// Fraction of acquisitions that found the lock busy.
   [[nodiscard]] double contention_ratio() const {
@@ -56,6 +155,8 @@ class lock_stats {
   }
 
  private:
+  [[nodiscard]] bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
+
   std::uint64_t requests_{0};
   std::uint64_t acquisitions_{0};
   std::uint64_t releases_{0};
@@ -63,10 +164,26 @@ class lock_stats {
   std::uint64_t spin_iterations_{0};
   std::uint64_t blocks_{0};
   std::uint64_t handoffs_{0};
+  std::uint64_t reconfigures_{0};
   std::int64_t peak_waiting_{0};
+  sim::vtime held_since_{};
   sim::accumulator wait_time_;
+  sim::accumulator held_time_;
   sim::accumulator waiting_dist_;
+  obs::log_histogram wait_hist_{/*min_value=*/0.5};
+  obs::log_histogram held_hist_{/*min_value=*/0.5};
   sim::trace* pattern_{nullptr};
+
+  obs::tracer* tracer_{nullptr};
+  std::uint32_t pid_{0};
+  std::string trace_name_;
+  std::string name_held_;
+  std::string name_acquire_;
+  std::string name_contend_;
+  std::string name_block_;
+  std::string name_handoff_;
+  std::string name_reconfigure_;
+  std::string name_waiting_;
 };
 
 }  // namespace adx::locks

@@ -16,13 +16,13 @@ class tas_lock final : public lock_object {
 
   ct::task<void> lock(ct::context& ctx) override {
     const auto requested = ctx.now();
-    stats_.on_request(requested);
+    stats_.on_request(requested, ctx.self());
     co_await ctx.compute(cost_.tas_lock_overhead);
     if (co_await try_acquire(ctx)) {
-      stats_.on_acquired(ctx.now() - requested);
+      stats_.on_acquired(ctx.now(), ctx.now() - requested, ctx.self());
       co_return;
     }
-    stats_.on_contended();
+    stats_.on_contended(ctx.now(), ctx.self());
     note_waiting(ctx.now(), +1);
     for (;;) {
       stats_.on_spin_iteration();
@@ -30,12 +30,12 @@ class tas_lock final : public lock_object {
       if (co_await try_acquire(ctx)) break;
     }
     note_waiting(ctx.now(), -1);
-    stats_.on_acquired(ctx.now() - requested);
+    stats_.on_acquired(ctx.now(), ctx.now() - requested, ctx.self());
   }
 
   ct::task<void> unlock(ct::context& ctx) override {
     co_await ctx.compute(cost_.tas_unlock_overhead);
-    stats_.on_release();
+    stats_.on_release(ctx.now(), ctx.self());
     co_await release_word(ctx);
   }
 };

@@ -16,12 +16,12 @@ class ticket_lock final : public lock_object {
 
   ct::task<void> lock(ct::context& ctx) override {
     const auto requested = ctx.now();
-    stats_.on_request(requested);
+    stats_.on_request(requested, ctx.self());
     co_await ctx.compute(cost_.spin_lock_overhead);
     const auto my = co_await ctx.fetch_add(next_, std::uint64_t{1});
     auto cur = co_await ctx.read(serving_);
     if (cur != my) {
-      stats_.on_contended();
+      stats_.on_contended(ctx.now(), ctx.self());
       note_waiting(ctx.now(), +1);
       do {
         stats_.on_spin_iteration();
@@ -32,12 +32,12 @@ class ticket_lock final : public lock_object {
     }
     set_owner(ctx.self());
     word_.raw() = 1;  // held bit mirrors the ticket state for invariants
-    stats_.on_acquired(ctx.now() - requested);
+    stats_.on_acquired(ctx.now(), ctx.now() - requested, ctx.self());
   }
 
   ct::task<void> unlock(ct::context& ctx) override {
     co_await ctx.compute(cost_.spin_unlock_overhead);
-    stats_.on_release();
+    stats_.on_release(ctx.now(), ctx.self());
     set_owner(ct::invalid_thread);
     word_.raw() = 0;
     co_await ctx.rmw(serving_, [](std::uint64_t v) { return v + 1; });

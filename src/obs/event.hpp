@@ -1,0 +1,57 @@
+// The structured event model of the observability subsystem.
+//
+// Events are recorded against *virtual* time and carry the identity triple
+// the rest of the system already thinks in: processor (pid), thread (tid)
+// and — via the name/category — the object (lock, queue, ...) that emitted
+// them. The phases map 1:1 onto Chrome trace-event phases so a recorded
+// stream exports losslessly to Perfetto:
+//
+//   complete  -> "X"  a span with an explicit duration (lock held, thread
+//                     occupying a processor, ...)
+//   instant   -> "i"  a point event (contention hit, reconfiguration, ...)
+//   counter   -> "C"  a sampled integer signal (waiting-thread count, ...)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace adx::obs {
+
+enum class phase : std::uint8_t { complete, instant, counter };
+
+/// Chrome trace-event phase letter.
+[[nodiscard]] constexpr char to_chrome_phase(phase p) {
+  switch (p) {
+    case phase::complete: return 'X';
+    case phase::instant: return 'i';
+    case phase::counter: return 'C';
+  }
+  return '?';
+}
+
+/// One optional numeric annotation on an event. Keys are string literals
+/// (static storage duration) so recording never copies them.
+struct annot {
+  const char* key{nullptr};
+  std::int64_t value{0};
+
+  [[nodiscard]] bool present() const { return key != nullptr; }
+};
+
+struct event {
+  std::string name;
+  const char* cat{""};  ///< category; a string literal ("ct", "lock", ...)
+  phase ph{phase::instant};
+  sim::vtime ts{};   ///< event (or span start) virtual time
+  sim::vdur dur{};   ///< span length; meaningful for phase::complete only
+  std::uint32_t pid{0};  ///< processor / home-node track
+  std::uint32_t tid{0};  ///< thread track
+  annot a1{};  ///< e.g. {"v_i", sensor value}
+  annot a2{};  ///< e.g. {"waiting", n}
+  const char* detail_key{nullptr};  ///< optional string annotation key
+  std::string detail;               ///< e.g. the decision d_c, "pure-spin(400)"
+};
+
+}  // namespace adx::obs

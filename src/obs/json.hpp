@@ -1,0 +1,66 @@
+// Minimal JSON emission helpers shared by the observability exporters
+// (Chrome trace JSON, metrics snapshots, report sinks). Emission only — the
+// subsystem never parses JSON, so this stays a handful of formatting
+// functions rather than a document model.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace adx::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not added).
+[[nodiscard]] inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// A quoted, escaped JSON string literal.
+[[nodiscard]] inline std::string json_str(std::string_view s) {
+  return '"' + json_escape(s) + '"';
+}
+
+/// Formats a double as a JSON number. JSON has no NaN/Inf, so those become
+/// null; integers print without a fractional part to keep snapshots tidy.
+[[nodiscard]] inline std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// True if the whole of `s` parses as a finite JSON-representable number —
+/// used by the report sink to emit numeric-looking cells unquoted.
+[[nodiscard]] inline bool json_is_number(std::string_view s) {
+  if (s.empty()) return false;
+  double v{};
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, v);
+  return ec == std::errc{} && ptr == end && std::isfinite(v);
+}
+
+}  // namespace adx::obs

@@ -1,0 +1,119 @@
+// Log-scaled histogram with percentile queries (HdrHistogram-style).
+//
+// Buckets cover geometric octaves [min·2^o, min·2^(o+1)) split into a fixed
+// number of linear sub-buckets, so relative quantization error is bounded by
+// 2^(1/sub_per_octave) (~9% at the default 8) across the whole range —
+// exactly what wait-time / critical-section-length / spin-count
+// distributions need, where values span five orders of magnitude.
+//
+// add() is allocation-free after construction (fixed bucket vector), cheap
+// enough to run always-on inside lock instrumentation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace adx::obs {
+
+class log_histogram {
+ public:
+  explicit log_histogram(double min_value = 1.0, unsigned sub_per_octave = 8,
+                         unsigned octaves = 48)
+      : min_value_(min_value > 0 ? min_value : 1.0),
+        sub_(sub_per_octave == 0 ? 1 : sub_per_octave),
+        buckets_(1 + static_cast<std::size_t>(octaves) * sub_, 0) {}
+
+  void add(double x) {
+    ++count_;
+    sum_ += x;
+    if (x < min_seen_) min_seen_ = x;
+    if (x > max_seen_) max_seen_ = x;
+    ++buckets_[index_of(x)];
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double min() const { return count_ ? min_seen_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_seen_ : 0.0; }
+
+  /// Value at percentile `p` in [0,100]: the midpoint of the bucket holding
+  /// the p-th sample (clamped to the observed min/max, so percentile(0) and
+  /// percentile(100) are exact).
+  [[nodiscard]] double percentile(double p) const {
+    if (count_ == 0) return 0.0;
+    if (p <= 0.0) return min();
+    if (p >= 100.0) return max();
+    const double target = p / 100.0 * static_cast<double>(count_);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      cum += buckets_[i];
+      if (static_cast<double>(cum) >= target) {
+        const double mid = (bucket_lo(i) + bucket_hi(i)) / 2.0;
+        if (mid < min_seen_) return min_seen_;
+        if (mid > max_seen_) return max_seen_;
+        return mid;
+      }
+    }
+    return max();
+  }
+
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+
+  /// Lower bound of bucket `i` (bucket 0 holds everything below min_value_).
+  [[nodiscard]] double bucket_lo(std::size_t i) const {
+    if (i == 0) return 0.0;
+    const std::size_t k = i - 1;
+    const auto octave = static_cast<double>(k / sub_);
+    const auto sub = static_cast<double>(k % sub_);
+    return min_value_ * pow2(octave) * (1.0 + sub / static_cast<double>(sub_));
+  }
+  [[nodiscard]] double bucket_hi(std::size_t i) const {
+    return i + 1 < buckets_.size() ? bucket_lo(i + 1)
+                                   : bucket_lo(i) * 2.0;  // open-ended top
+  }
+
+  void reset() {
+    count_ = 0;
+    sum_ = 0.0;
+    min_seen_ = std::numeric_limits<double>::infinity();
+    max_seen_ = -std::numeric_limits<double>::infinity();
+    for (auto& b : buckets_) b = 0;
+  }
+
+ private:
+  [[nodiscard]] static double pow2(double e) {
+    double v = 1.0;
+    for (; e >= 1.0; e -= 1.0) v *= 2.0;
+    return v;
+  }
+
+  [[nodiscard]] std::size_t index_of(double x) const {
+    if (!(x >= min_value_)) return 0;  // below range (or NaN): underflow bucket
+    double lo = min_value_;
+    std::size_t octave = 0;
+    const std::size_t max_octave = (buckets_.size() - 1) / sub_;
+    while (x >= lo * 2.0 && octave + 1 < max_octave) {
+      lo *= 2.0;
+      ++octave;
+    }
+    if (x >= lo * 2.0) return buckets_.size() - 1;  // overflow: top bucket
+    auto sub = static_cast<std::size_t>((x - lo) / lo * static_cast<double>(sub_));
+    if (sub >= sub_) sub = sub_ - 1;
+    return 1 + octave * sub_ + sub;
+  }
+
+  double min_value_;
+  std::size_t sub_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_{0};
+  double sum_{0.0};
+  double min_seen_{std::numeric_limits<double>::infinity()};
+  double max_seen_{-std::numeric_limits<double>::infinity()};
+};
+
+}  // namespace adx::obs

@@ -1,0 +1,18 @@
+// Umbrella header for the observability subsystem `adx::obs`:
+//
+//   tracer       — structured events (spans/instants/counters) against
+//                  virtual time, exported as Chrome trace JSON / CSV;
+//   metrics      — named counters, gauges, log-scaled histograms with
+//                  percentile queries and a JSON snapshot;
+//   report_sink  — uniform table/CSV/JSON rendering for bench output.
+//
+// The feedback loop M --v_i--> P --d_c--> Psi is only as good as what the
+// monitor can observe; this subsystem is the common event model behind it.
+#pragma once
+
+#include "obs/event.hpp"       // IWYU pragma: export
+#include "obs/json.hpp"        // IWYU pragma: export
+#include "obs/log_histogram.hpp"  // IWYU pragma: export
+#include "obs/metrics.hpp"     // IWYU pragma: export
+#include "obs/report_sink.hpp"  // IWYU pragma: export
+#include "obs/tracer.hpp"      // IWYU pragma: export

@@ -1,0 +1,131 @@
+#include "obs/report_sink.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace adx::obs {
+
+std::optional<report_format> parse_report_format(std::string_view s) {
+  if (s == "table") return report_format::table;
+  if (s == "csv") return report_format::csv;
+  if (s == "json") return report_format::json;
+  return std::nullopt;
+}
+
+const char* to_string(report_format f) {
+  switch (f) {
+    case report_format::table: return "table";
+    case report_format::csv: return "csv";
+    case report_format::json: return "json";
+  }
+  return "?";
+}
+
+report_sink::report_sink(report_format f, std::ostream& os) : fmt_(f), os_(&os) {}
+
+void report_sink::emit(const report& r) const {
+  switch (fmt_) {
+    case report_format::table: emit_table(r); break;
+    case report_format::csv: emit_csv(r); break;
+    case report_format::json: emit_json(r); break;
+  }
+}
+
+void report_sink::emit_table(const report& r) const {
+  auto& os = *os_;
+  if (!r.title.empty()) os << r.title << '\n';
+  for (const auto& line : r.preamble) os << line << '\n';
+  if (!r.title.empty() || !r.preamble.empty()) os << '\n';
+
+  std::vector<std::size_t> widths(r.columns.size());
+  for (std::size_t c = 0; c < r.columns.size(); ++c) widths[c] = r.columns[c].size();
+  for (const auto& row : r.rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto line = [&] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << std::left << v << " |";
+    }
+    os << '\n';
+  };
+  line();
+  print_row(r.columns);
+  line();
+  for (const auto& row : r.rows) print_row(row);
+  line();
+
+  if (!r.notes.empty()) {
+    os << '\n';
+    for (const auto& n : r.notes) os << n << '\n';
+  }
+}
+
+namespace {
+
+std::string csv_cell(const std::string& v) {
+  if (v.find_first_of(",\"\n") == std::string::npos) return v;
+  std::string out = "\"";
+  for (const char c : v) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void report_sink::emit_csv(const report& r) const {
+  auto& os = *os_;
+  if (!r.title.empty()) os << "# " << r.title << '\n';
+  for (const auto& line : r.preamble) os << "# " << line << '\n';
+  for (std::size_t c = 0; c < r.columns.size(); ++c) {
+    os << (c ? "," : "") << csv_cell(r.columns[c]);
+  }
+  os << '\n';
+  for (const auto& row : r.rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "," : "") << csv_cell(row[c]);
+    }
+    os << '\n';
+  }
+  for (const auto& n : r.notes) os << "# " << n << '\n';
+}
+
+void report_sink::emit_json(const report& r) const {
+  auto& os = *os_;
+  os << "{\"title\":" << json_str(r.title) << ",\"columns\":[";
+  for (std::size_t c = 0; c < r.columns.size(); ++c) {
+    os << (c ? "," : "") << json_str(r.columns[c]);
+  }
+  os << "],\"rows\":[";
+  for (std::size_t i = 0; i < r.rows.size(); ++i) {
+    os << (i ? "," : "") << "\n{";
+    const auto& row = r.rows[i];
+    for (std::size_t c = 0; c < r.columns.size(); ++c) {
+      const std::string& v = c < row.size() ? row[c] : std::string{};
+      os << (c ? "," : "") << json_str(r.columns[c]) << ':'
+         << (json_is_number(v) ? v : json_str(v));
+    }
+    os << '}';
+  }
+  os << "\n],\"notes\":[";
+  for (std::size_t i = 0; i < r.notes.size(); ++i) {
+    os << (i ? "," : "") << json_str(r.notes[i]);
+  }
+  os << "]}\n";
+}
+
+}  // namespace adx::obs

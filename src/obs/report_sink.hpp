@@ -1,0 +1,56 @@
+// Uniform bench reporting: one `report` (title + preamble + columns + rows +
+// notes) rendered to any of three formats through a `report_sink`, so every
+// bench can offer `--format=table|csv|json` without hand-rolling emitters.
+//
+//   table — the fixed-width +---+ grid the benches have always printed
+//           (byte-compatible with the old workload::table renderer);
+//   csv   — header row + quoted data rows, prose lines as '#' comments;
+//   json  — machine-readable: rows become objects keyed by column name, and
+//           cells that parse fully as numbers are emitted unquoted.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adx::obs {
+
+enum class report_format { table, csv, json };
+
+/// Parses "table" / "csv" / "json"; nullopt on anything else.
+[[nodiscard]] std::optional<report_format> parse_report_format(std::string_view s);
+[[nodiscard]] const char* to_string(report_format f);
+
+struct report {
+  std::string title;
+  std::vector<std::string> preamble;  ///< prose lines printed before the grid
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> notes;  ///< prose lines printed after the grid
+
+  report& add_row(std::vector<std::string> cells) {
+    rows.push_back(std::move(cells));
+    return *this;
+  }
+};
+
+class report_sink {
+ public:
+  explicit report_sink(report_format f, std::ostream& os);
+
+  void emit(const report& r) const;
+
+  [[nodiscard]] report_format format() const { return fmt_; }
+
+ private:
+  void emit_table(const report& r) const;
+  void emit_csv(const report& r) const;
+  void emit_json(const report& r) const;
+
+  report_format fmt_;
+  std::ostream* os_;
+};
+
+}  // namespace adx::obs

@@ -1,0 +1,95 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace adx::obs {
+
+namespace {
+
+/// ts/dur in microseconds with nanosecond resolution (3 decimals).
+std::string us_fixed(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", us);
+  return buf;
+}
+
+void append_args(std::ostringstream& os, const event& e) {
+  if (!e.a1.present() && !e.a2.present() && e.detail_key == nullptr) return;
+  os << ",\"args\":{";
+  bool first = true;
+  const auto field = [&](const char* k, const std::string& v) {
+    if (!first) os << ',';
+    first = false;
+    os << json_str(k) << ':' << v;
+  };
+  if (e.a1.present()) field(e.a1.key, std::to_string(e.a1.value));
+  if (e.a2.present()) field(e.a2.key, std::to_string(e.a2.value));
+  if (e.detail_key != nullptr) field(e.detail_key, json_str(e.detail));
+  os << '}';
+}
+
+/// Indices of events sorted by timestamp, stable in recording order.
+std::vector<std::size_t> by_time(const std::vector<event>& events) {
+  std::vector<std::size_t> idx(events.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return events[a].ts.ns < events[b].ts.ns;
+  });
+  return idx;
+}
+
+}  // namespace
+
+std::string tracer::chrome_json() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto i : by_time(events_)) {
+    const auto& e = events_[i];
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\":" << json_str(e.name) << ",\"cat\":" << json_str(e.cat)
+       << ",\"ph\":\"" << to_chrome_phase(e.ph) << "\",\"ts\":" << us_fixed(e.ts.us());
+    if (e.ph == phase::complete) os << ",\"dur\":" << us_fixed(e.dur.us());
+    os << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
+    if (e.ph == phase::instant) os << ",\"s\":\"t\"";  // thread-scoped instant
+    append_args(os, e);
+    os << '}';
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"";
+  if (dropped_ > 0) {
+    os << ",\"otherData\":{\"droppedEvents\":" << dropped_ << '}';
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string tracer::csv() const {
+  std::ostringstream os;
+  os << "ph,ts_us,dur_us,pid,tid,cat,name,args\n";
+  for (const auto i : by_time(events_)) {
+    const auto& e = events_[i];
+    os << to_chrome_phase(e.ph) << ',' << us_fixed(e.ts.us()) << ','
+       << (e.ph == phase::complete ? us_fixed(e.dur.us()) : std::string{}) << ','
+       << e.pid << ',' << e.tid << ',' << e.cat << ',' << e.name << ',';
+    const char* sep = "";
+    if (e.a1.present()) {
+      os << sep << e.a1.key << '=' << e.a1.value;
+      sep = ";";
+    }
+    if (e.a2.present()) {
+      os << sep << e.a2.key << '=' << e.a2.value;
+      sep = ";";
+    }
+    if (e.detail_key != nullptr) os << sep << e.detail_key << '=' << e.detail;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace adx::obs

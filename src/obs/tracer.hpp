@@ -1,0 +1,91 @@
+// Structured event tracer.
+//
+// Disabled by default, and the disabled fast path is a single branch with no
+// allocation — call sites either test enabled() themselves (so they can skip
+// building names) or rely on the record methods' own guard. Recording is
+// pure host-side bookkeeping: it charges no virtual time and schedules no
+// events, so enabling the tracer never perturbs a deterministic simulation.
+//
+// Export formats:
+//   * Chrome trace-event JSON (chrome_json()) — loads directly in Perfetto /
+//     chrome://tracing; spans are "X" complete events, instants "i",
+//     counters "C", with ts/dur in microseconds of virtual time.
+//   * CSV (csv()) — one line per event for ad-hoc analysis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace adx::obs {
+
+class tracer {
+ public:
+  tracer() = default;
+
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Caps stored events; further records are counted as dropped rather than
+  /// growing without bound on long runs.
+  void set_limit(std::size_t max_events) { max_events_ = max_events; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// A span with an explicit duration (ts = start).
+  void complete(const std::string& name, const char* cat, sim::vtime ts,
+                sim::vdur dur, std::uint32_t pid, std::uint32_t tid,
+                annot a1 = {}, annot a2 = {}) {
+    if (!enabled_) return;
+    push({name, cat, phase::complete, ts, dur, pid, tid, a1, a2, nullptr, {}});
+  }
+
+  /// A point event, optionally carrying a string annotation (detail).
+  void instant(const std::string& name, const char* cat, sim::vtime ts,
+               std::uint32_t pid, std::uint32_t tid, annot a1 = {}, annot a2 = {},
+               const char* detail_key = nullptr, std::string detail = {}) {
+    if (!enabled_) return;
+    push({name, cat, phase::instant, ts, {}, pid, tid, a1, a2, detail_key,
+          std::move(detail)});
+  }
+
+  /// A counter sample; rendered by Perfetto as a value track.
+  void counter(const std::string& name, const char* cat, sim::vtime ts,
+               std::uint32_t pid, std::int64_t value) {
+    if (!enabled_) return;
+    push({name, cat, phase::counter, ts, {}, pid, 0, {"value", value}, {}, nullptr, {}});
+  }
+
+  [[nodiscard]] const std::vector<event>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  /// Chrome trace-event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  /// Events are emitted sorted by timestamp (stable, so recording order
+  /// breaks ties deterministically).
+  [[nodiscard]] std::string chrome_json() const;
+
+  /// "ph,ts_us,dur_us,pid,tid,cat,name,key=value;..." lines.
+  [[nodiscard]] std::string csv() const;
+
+ private:
+  void push(event e) {
+    if (events_.size() >= max_events_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(std::move(e));
+  }
+
+  bool enabled_{false};
+  std::vector<event> events_;
+  std::size_t max_events_{8'000'000};
+  std::uint64_t dropped_{0};
+};
+
+}  // namespace adx::obs

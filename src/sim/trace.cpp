@@ -20,12 +20,17 @@ double trace::mean_value() const {
 
 std::vector<std::int64_t> trace::rebucket_max(vtime horizon, std::size_t buckets) const {
   std::vector<std::int64_t> out(buckets, 0);
-  if (buckets == 0 || horizon.ns == 0) return out;
+  if (buckets == 0) return out;
   std::vector<bool> seen(buckets, false);
   for (const auto& s : samples_) {
     if (s.at.ns > horizon.ns) continue;
-    auto idx = static_cast<std::size_t>(
-        static_cast<unsigned __int128>(s.at.ns) * buckets / (horizon.ns + 1));
+    // Zero horizon: every in-range sample (all at t == 0) belongs to the
+    // first window rather than being dropped.
+    auto idx = horizon.ns == 0
+                   ? std::size_t{0}
+                   : static_cast<std::size_t>(static_cast<unsigned __int128>(
+                                                  s.at.ns) *
+                                              buckets / (horizon.ns + 1));
     idx = std::min(idx, buckets - 1);
     out[idx] = seen[idx] ? std::max(out[idx], s.value) : s.value;
     seen[idx] = true;

@@ -106,6 +106,25 @@ struct tsp_sim {
       act_lock->stats().attach_pattern_trace(&act_pattern);
     }
 
+    if (cfg.tracer) {
+      rt.attach_tracer(cfg.tracer);
+      for (std::size_t i = 0; i < qlocks.size(); ++i) {
+        qlocks[i]->stats().attach_tracer(
+            cfg.tracer,
+            qlocks.size() == 1 ? "qlock" : "qlock[" + std::to_string(i) + ']',
+            static_cast<std::uint32_t>(shard_home(static_cast<unsigned>(i))));
+      }
+      for (std::size_t i = 0; i < low_locks.size(); ++i) {
+        low_locks[i]->stats().attach_tracer(
+            cfg.tracer,
+            low_locks.size() == 1 ? "glob-low-lock"
+                                  : "glob-low-lock[" + std::to_string(i) + ']',
+            static_cast<std::uint32_t>(low_locks[i]->home()));
+      }
+      act_lock->stats().attach_tracer(cfg.tracer, "glob-act-lock", 0);
+      glob_lock->stats().attach_tracer(cfg.tracer, "globlock", 0);
+    }
+
     // The main thread enqueues the initial problem before forking the
     // searchers. As in practical B&B codes, the root is first expanded
     // breadth-first into a frontier of ~2P subproblems so every searcher

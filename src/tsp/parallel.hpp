@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "locks/factory.hpp"
+#include "obs/tracer.hpp"
 #include "sim/trace.hpp"
 #include "tsp/lmsk.hpp"
 
@@ -70,6 +71,12 @@ struct parallel_config {
 
   /// Record qlock / glob-act-lock locking patterns (Figures 4-9).
   bool record_patterns = false;
+
+  /// Structured-event tracer (not owned; may be null). When set, the runtime
+  /// and every lock emit spans/instants into it: thread run slices, lock
+  /// acquire/held spans, contention and handoff instants, reconfiguration
+  /// decisions annotated with v_i / d_c.
+  obs::tracer* tracer = nullptr;
 
   std::uint64_t max_events = 400'000'000ULL;
 };

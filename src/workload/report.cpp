@@ -1,38 +1,9 @@
 #include "workload/report.hpp"
 
-#include <algorithm>
 #include <iomanip>
 #include <sstream>
 
 namespace adx::workload {
-
-void table::print(std::ostream& os) const {
-  std::vector<std::size_t> widths(headers_.size());
-  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
-  for (const auto& r : rows_) {
-    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
-      widths[c] = std::max(widths[c], r[c].size());
-    }
-  }
-  const auto line = [&] {
-    os << '+';
-    for (auto w : widths) os << std::string(w + 2, '-') << '+';
-    os << '\n';
-  };
-  const auto print_row = [&](const std::vector<std::string>& cells) {
-    os << '|';
-    for (std::size_t c = 0; c < widths.size(); ++c) {
-      const std::string& v = c < cells.size() ? cells[c] : std::string{};
-      os << ' ' << std::setw(static_cast<int>(widths[c])) << std::left << v << " |";
-    }
-    os << '\n';
-  };
-  line();
-  print_row(headers_);
-  line();
-  for (const auto& r : rows_) print_row(r);
-  line();
-}
 
 std::string table::num(double v, int prec) {
   std::ostringstream ss;

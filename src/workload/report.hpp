@@ -1,23 +1,54 @@
-// Tiny fixed-width table printer shared by the benchmark binaries so every
-// table/figure bench prints paper-style rows uniformly.
+// Bench-side table builder. Historically this was a hand-rolled fixed-width
+// grid printer; it is now a thin wrapper over obs::report, so every bench
+// that builds a `table` can render it as the classic grid, CSV, or JSON
+// through an obs::report_sink (`--format=table|csv|json`).
 #pragma once
 
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "obs/report_sink.hpp"
 
 namespace adx::workload {
 
 class table {
  public:
-  explicit table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+  explicit table(std::vector<std::string> headers) {
+    rep_.columns = std::move(headers);
+  }
 
+  table& title(std::string t) {
+    rep_.title = std::move(t);
+    return *this;
+  }
+  table& preamble(std::string line) {
+    rep_.preamble.push_back(std::move(line));
+    return *this;
+  }
+  table& note(std::string line) {
+    rep_.notes.push_back(std::move(line));
+    return *this;
+  }
   table& row(std::vector<std::string> cells) {
-    rows_.push_back(std::move(cells));
+    rep_.add_row(std::move(cells));
     return *this;
   }
 
-  void print(std::ostream& os = std::cout) const;
+  /// Renders the classic fixed-width +---+ grid (byte-identical to the old
+  /// hand-rolled printer when no title/preamble/notes are set).
+  void print(std::ostream& os = std::cout) const {
+    emit(obs::report_format::table, os);
+  }
+
+  /// Renders through a report_sink in any supported format.
+  void emit(obs::report_format f, std::ostream& os = std::cout) const {
+    obs::report_sink(f, os).emit(rep_);
+  }
+
+  [[nodiscard]] const obs::report& rep() const { return rep_; }
+  [[nodiscard]] obs::report& rep() { return rep_; }
 
   /// Formats a double with `prec` decimals.
   [[nodiscard]] static std::string num(double v, int prec = 2);
@@ -25,8 +56,7 @@ class table {
   [[nodiscard]] static std::string pct(double fraction, int prec = 1);
 
  private:
-  std::vector<std::string> headers_;
-  std::vector<std::vector<std::string>> rows_;
+  obs::report rep_;
 };
 
 }  // namespace adx::workload

@@ -1,0 +1,77 @@
+// Golden + structural validation of the Chrome trace-event JSON exporter:
+// the exact bytes for a small trace, and the ph/ts/pid/tid shape every
+// event must carry for chrome://tracing / Perfetto to load the file.
+#include <gtest/gtest.h>
+
+#include "obs/tracer.hpp"
+
+namespace adx::obs {
+namespace {
+
+tracer make_small_trace() {
+  tracer t;
+  t.enable();
+  // 1.5 us held span, an annotated reconfiguration instant, a counter.
+  t.complete("qlock.held", "lock", sim::vtime{1000}, sim::vdur{1500}, 0, 3);
+  t.instant("qlock.reconfigure", "lock", sim::vtime{2500}, 0, 3, {"v_i", 5}, {},
+            "d_c", "pure-spin(400)");
+  t.counter("qlock.waiting", "lock", sim::vtime{3000}, 0, 2);
+  return t;
+}
+
+TEST(ChromeTrace, GoldenOutput) {
+  const auto t = make_small_trace();
+  const std::string expected =
+      "{\"traceEvents\":["
+      "\n{\"name\":\"qlock.held\",\"cat\":\"lock\",\"ph\":\"X\",\"ts\":1.000,"
+      "\"dur\":1.500,\"pid\":0,\"tid\":3},"
+      "\n{\"name\":\"qlock.reconfigure\",\"cat\":\"lock\",\"ph\":\"i\","
+      "\"ts\":2.500,\"pid\":0,\"tid\":3,\"s\":\"t\","
+      "\"args\":{\"v_i\":5,\"d_c\":\"pure-spin(400)\"}},"
+      "\n{\"name\":\"qlock.waiting\",\"cat\":\"lock\",\"ph\":\"C\",\"ts\":3.000,"
+      "\"pid\":0,\"tid\":0,\"args\":{\"value\":2}}"
+      "\n],\"displayTimeUnit\":\"ms\"}\n";
+  EXPECT_EQ(t.chrome_json(), expected);
+}
+
+TEST(ChromeTrace, EveryEventCarriesRequiredFields) {
+  const auto t = make_small_trace();
+  const auto json = t.chrome_json();
+  // Three events, each with the mandatory keys.
+  std::size_t pos = 0;
+  int events = 0;
+  while ((pos = json.find("{\"name\":", pos)) != std::string::npos) {
+    const auto end = json.find("}", pos);
+    const auto obj = json.substr(pos, end - pos + 1);
+    EXPECT_NE(obj.find("\"ph\":"), std::string::npos) << obj;
+    EXPECT_NE(obj.find("\"ts\":"), std::string::npos) << obj;
+    EXPECT_NE(obj.find("\"pid\":"), std::string::npos) << obj;
+    EXPECT_NE(obj.find("\"tid\":"), std::string::npos) << obj;
+    ++events;
+    pos = end;
+  }
+  EXPECT_EQ(events, 3);
+}
+
+TEST(ChromeTrace, EscapesStringsInNamesAndDetails) {
+  tracer t;
+  t.enable();
+  t.instant("we\"ird\\name", "c", sim::vtime{0}, 0, 0, {}, {}, "note",
+            "line1\nline2");
+  const auto json = t.chrome_json();
+  EXPECT_NE(json.find("we\\\"ird\\\\name"), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
+}
+
+TEST(ChromeTrace, CsvGoldenOutput) {
+  const auto t = make_small_trace();
+  const std::string expected =
+      "ph,ts_us,dur_us,pid,tid,cat,name,args\n"
+      "X,1.000,1.500,0,3,lock,qlock.held,\n"
+      "i,2.500,,0,3,lock,qlock.reconfigure,v_i=5;d_c=pure-spin(400)\n"
+      "C,3.000,,0,0,lock,qlock.waiting,value=2\n";
+  EXPECT_EQ(t.csv(), expected);
+}
+
+}  // namespace
+}  // namespace adx::obs

@@ -1,0 +1,113 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/log_histogram.hpp"
+#include "sim/memory.hpp"
+
+namespace adx::obs {
+namespace {
+
+TEST(LogHistogram, EmptyIsAllZero) {
+  log_histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(LogHistogram, SingleSampleIsEveryPercentile) {
+  log_histogram h;
+  h.add(42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 42.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+}
+
+TEST(LogHistogram, PercentilesWithinQuantizationError) {
+  log_histogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 1000.0);
+  // Sub-bucket quantization bounds relative error to ~2^(1/8)-1 ≈ 9%.
+  EXPECT_NEAR(h.percentile(50), 500.0, 500.0 * 0.10);
+  EXPECT_NEAR(h.percentile(90), 900.0, 900.0 * 0.10);
+  EXPECT_NEAR(h.percentile(99), 990.0, 990.0 * 0.10);
+  EXPECT_NEAR(h.mean(), 500.5, 1e-9);
+}
+
+TEST(LogHistogram, BelowRangeLandsInUnderflowBucket) {
+  log_histogram h(/*min_value=*/1.0);
+  h.add(0.25);
+  EXPECT_EQ(h.bucket(0), 1u);
+  // Percentiles are clamped to the observed extremes, not bucket midpoints.
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.25);
+}
+
+TEST(LogHistogram, HugeValuesLandInTopBucketAndStayFinite) {
+  log_histogram h;
+  h.add(1e30);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 1e30);
+}
+
+TEST(LogHistogram, ResetClears) {
+  log_histogram h;
+  h.add(3.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 0.0);
+}
+
+TEST(Metrics, CountersAndGaugesCreateOnFirstUse) {
+  metrics m;
+  m.get_counter("a.b").inc();
+  m.get_counter("a.b").inc(4);
+  m.get_gauge("g").set(2.5);
+  EXPECT_EQ(m.get_counter("a.b").value(), 5u);
+  EXPECT_DOUBLE_EQ(m.get_gauge("g").value(), 2.5);
+  EXPECT_EQ(m.counters().size(), 1u);
+}
+
+TEST(Metrics, JsonSnapshotIsDeterministicAndSorted) {
+  metrics m;
+  m.get_counter("z.last").set(2);
+  m.get_counter("a.first").set(1);
+  m.get_gauge("mid").set(0.5);
+  const auto json = m.to_json();
+  EXPECT_LT(json.find("a.first"), json.find("z.last"));
+  EXPECT_NE(json.find("\"a.first\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"mid\":0.5"), std::string::npos);
+  EXPECT_EQ(json, m.to_json());
+}
+
+TEST(Metrics, HistogramSnapshotCarriesPercentiles) {
+  metrics m;
+  log_histogram h;
+  for (int i = 0; i < 10; ++i) h.add(8.0);
+  m.set_histogram("wait_us", h);
+  const auto json = m.to_json();
+  EXPECT_NE(json.find("\"wait_us\":{\"count\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":8"), std::string::npos);
+}
+
+TEST(Metrics, ExportAccessCountsMirrorsLedger) {
+  sim::access_counts c;
+  c.local_reads = 3;
+  c.remote_reads = 2;
+  c.local_writes = 5;
+  c.remote_rmws = 1;
+  metrics m;
+  export_access_counts(c, m, "sim");
+  EXPECT_EQ(m.get_counter("sim.local_reads").value(), 3u);
+  EXPECT_EQ(m.get_counter("sim.reads").value(), 5u);
+  EXPECT_EQ(m.get_counter("sim.writes").value(), 5u);
+  EXPECT_EQ(m.get_counter("sim.rmws").value(), 1u);
+  EXPECT_EQ(m.get_counter("sim.total").value(), 11u);
+}
+
+}  // namespace
+}  // namespace adx::obs

@@ -1,0 +1,116 @@
+#include "obs/report_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace adx::obs {
+namespace {
+
+report make_report() {
+  report r;
+  r.title = "Table X: demo";
+  r.preamble = {"(two rows, three columns)"};
+  r.columns = {"name", "value", "note"};
+  r.add_row({"alpha", "1.50", "plain"});
+  r.add_row({"beta", "20.00", "has, comma"});
+  r.notes = {"trailing remark"};
+  return r;
+}
+
+std::string render(const report& r, report_format f) {
+  std::ostringstream os;
+  report_sink(f, os).emit(r);
+  return os.str();
+}
+
+TEST(ReportSink, ParseFormat) {
+  EXPECT_EQ(parse_report_format("table"), report_format::table);
+  EXPECT_EQ(parse_report_format("csv"), report_format::csv);
+  EXPECT_EQ(parse_report_format("json"), report_format::json);
+  EXPECT_FALSE(parse_report_format("yaml").has_value());
+  EXPECT_FALSE(parse_report_format("").has_value());
+}
+
+TEST(ReportSink, TableGolden) {
+  const std::string expected =
+      "Table X: demo\n"
+      "(two rows, three columns)\n"
+      "\n"
+      "+-------+-------+------------+\n"
+      "| name  | value | note       |\n"
+      "+-------+-------+------------+\n"
+      "| alpha | 1.50  | plain      |\n"
+      "| beta  | 20.00 | has, comma |\n"
+      "+-------+-------+------------+\n"
+      "\n"
+      "trailing remark\n";
+  EXPECT_EQ(render(make_report(), report_format::table), expected);
+}
+
+TEST(ReportSink, BareGridMatchesLegacyPrinter) {
+  // No title / preamble / notes: exactly the old workload::table output,
+  // with no leading or trailing blank lines.
+  report r;
+  r.columns = {"a", "bb"};
+  r.add_row({"x", "y"});
+  const std::string expected =
+      "+---+----+\n"
+      "| a | bb |\n"
+      "+---+----+\n"
+      "| x | y  |\n"
+      "+---+----+\n";
+  EXPECT_EQ(render(r, report_format::table), expected);
+}
+
+TEST(ReportSink, CsvGolden) {
+  const std::string expected =
+      "# Table X: demo\n"
+      "# (two rows, three columns)\n"
+      "name,value,note\n"
+      "alpha,1.50,plain\n"
+      "beta,20.00,\"has, comma\"\n"
+      "# trailing remark\n";
+  EXPECT_EQ(render(make_report(), report_format::csv), expected);
+}
+
+TEST(ReportSink, JsonNumericCellsUnquoted) {
+  const auto json = render(make_report(), report_format::json);
+  EXPECT_NE(json.find("\"value\":1.50"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"alpha\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"notes\":[\"trailing remark\"]"), std::string::npos);
+}
+
+TEST(ReportSink, JsonEscapesQuotes) {
+  report r;
+  r.columns = {"c"};
+  r.add_row({"say \"hi\""});
+  const auto json = render(r, report_format::json);
+  EXPECT_NE(json.find("say \\\"hi\\\""), std::string::npos);
+}
+
+TEST(ReportSink, ShortRowsPadAndLongValuesWiden) {
+  report r;
+  r.columns = {"col"};
+  r.add_row({});  // missing cell renders as empty
+  r.add_row({"wider-than-header"});
+  const auto out = render(r, report_format::table);
+  EXPECT_NE(out.find("| wider-than-header |"), std::string::npos);
+  EXPECT_NE(out.find("|                   |"), std::string::npos);
+}
+
+TEST(JsonHelpers, NumberDetection) {
+  EXPECT_TRUE(json_is_number("42"));
+  EXPECT_TRUE(json_is_number("-1.5"));
+  EXPECT_TRUE(json_is_number("20.00"));
+  EXPECT_FALSE(json_is_number("17.8%"));
+  EXPECT_FALSE(json_is_number("-"));
+  EXPECT_FALSE(json_is_number(""));
+  EXPECT_FALSE(json_is_number("1.5x"));
+  EXPECT_FALSE(json_is_number("nan"));
+}
+
+}  // namespace
+}  // namespace adx::obs

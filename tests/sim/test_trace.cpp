@@ -68,6 +68,52 @@ TEST(Trace, RebucketZeroBucketsSafe) {
   EXPECT_TRUE(t.rebucket_max(vtime{1000}, 0).empty());
 }
 
+TEST(Trace, RebucketEmptyTraceIsAllZero) {
+  trace t;
+  const auto b = t.rebucket_max(vtime{1000}, 5);
+  ASSERT_EQ(b.size(), 5u);
+  for (auto v : b) EXPECT_EQ(v, 0);
+}
+
+TEST(Trace, RebucketZeroHorizonKeepsTimeZeroSamples) {
+  // A run that ends instantly (horizon 0) still has its t=0 samples: they
+  // belong to the first window rather than being dropped.
+  trace t;
+  t.record(vtime{0}, 3);
+  t.record(vtime{0}, 5);
+  t.record(vtime{400}, 9);  // beyond the horizon: excluded
+  const auto b = t.rebucket_max(vtime{0}, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 5);
+  // Carry-forward fills the rest of the (degenerate) axis.
+  EXPECT_EQ(b[1], 5);
+  EXPECT_EQ(b[3], 5);
+}
+
+TEST(Trace, RebucketZeroHorizonZeroBuckets) {
+  trace t;
+  t.record(vtime{0}, 3);
+  EXPECT_TRUE(t.rebucket_max(vtime{0}, 0).empty());
+}
+
+TEST(Trace, RebucketSingleSample) {
+  trace t;
+  t.record(vtime{500}, 7);
+  const auto b = t.rebucket_max(vtime{1000}, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0);  // before the sample: nothing to carry
+  EXPECT_EQ(b[1], 7);  // 500 falls in window [250.25, 500.5)
+  EXPECT_EQ(b[2], 7);  // carried forward
+  EXPECT_EQ(b[3], 7);
+}
+
+TEST(Trace, RebucketSingleBucketTakesGlobalMax) {
+  const auto t = make_ramp();
+  const auto b = t.rebucket_max(vtime{1000}, 1);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0], 5);
+}
+
 TEST(Trace, CsvFormat) {
   trace t("waiters");
   t.record(vtime{1000}, 3);
