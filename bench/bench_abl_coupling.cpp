@@ -9,9 +9,12 @@
 
 int main(int argc, char** argv) {
   using namespace adx;
-  using workload::table;
+  using bench::table;
 
-  const auto iters = bench::arg_u64(argc, argv, "iterations", 200);
+  auto opt = bench::bench_options(argv, "ablation: feedback-loop coupling")
+                 .u64("iterations", 200, "lock cycles per thread");
+  opt.parse(argc, argv);
+  const auto iters = opt.get_u64("iterations");
   const auto machine = sim::machine_config::butterfly_gp1000();
   const auto cost = locks::lock_cost_model::butterfly_cthreads();
   const locks::simple_adapt_params params{4, 10, 200, 2};
@@ -78,7 +81,7 @@ int main(int argc, char** argv) {
     lk.object_monitor().set_mode(core::coupling::loosely_coupled);
     run_phases(lk, rt, true, sim::milliseconds(lag_ms));
     const auto r = rt.run_all();
-    t.row({"loose, agent every " + workload::table::num(lag_ms, 0) + " ms",
+    t.row({"loose, agent every " + table::num(lag_ms, 0) + " ms",
            table::num(r.end_time.ms(), 1), std::to_string(lk.policy()->decisions()),
            table::num(lk.stats().wait_time_us().mean(), 0),
            std::to_string(lk.object_monitor().backlog())});

@@ -10,9 +10,12 @@
 
 int main(int argc, char** argv) {
   using namespace adx;
-  using workload::table;
+  using bench::table;
 
-  const auto iters = bench::arg_u64(argc, argv, "iterations", 120);
+  auto opt = bench::bench_options(argv, "ablation: interconnect model")
+                 .u64("iterations", 120, "lock cycles per thread");
+  opt.parse(argc, argv);
+  const auto iters = opt.get_u64("iterations");
 
   std::printf("Ablation: constant-wire vs. staged butterfly interconnect\n"
               "(10 threads on 10 processors, one lock on node 0, CS 60 us — a "

@@ -7,9 +7,12 @@
 
 int main(int argc, char** argv) {
   using namespace adx;
-  using workload::table;
+  using bench::table;
 
-  const auto iters = bench::arg_u64(argc, argv, "iterations", 200);
+  auto opt = bench::bench_options(argv, "ablation: monitor sampling period")
+                 .u64("iterations", 200, "lock cycles per thread");
+  opt.parse(argc, argv);
+  const auto iters = opt.get_u64("iterations");
 
   std::printf("Ablation: adaptive-lock monitor sampling period\n"
               "(sample every k-th unlock; paper uses k=2; 3 threads on 3 "

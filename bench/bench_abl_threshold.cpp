@@ -6,10 +6,14 @@
 
 int main(int argc, char** argv) {
   using namespace adx;
-  using workload::table;
+  using bench::table;
 
-  const auto cities = static_cast<unsigned>(bench::arg_u64(argc, argv, "cities", 32));
-  const auto seed = bench::arg_u64(argc, argv, "seed", 9001);
+  auto opt = bench::bench_options(argv, "ablation: simple-adapt constants sweep")
+                 .u64("cities", 32, "TSP problem size")
+                 .u64("seed", 9001, "instance seed");
+  opt.parse(argc, argv);
+  const auto cities = static_cast<unsigned>(opt.get_u64("cities"));
+  const auto seed = opt.get_u64("seed");
   const auto inst = tsp::instance::random_asymmetric(static_cast<int>(cities), seed);
 
   std::printf("Ablation: simple-adapt Waiting-Threshold x n on centralized TSP\n"
@@ -27,8 +31,8 @@ int main(int argc, char** argv) {
   for (const std::int64_t threshold : {1, 4, 12, 24}) {
     for (const std::int64_t n : {5, 20, 60}) {
       auto cfg = bench::tsp_cfg(tsp::variant::centralized, locks::lock_kind::adaptive, 10);
-      cfg.lock_params.adapt.waiting_threshold = threshold;
-      cfg.lock_params.adapt.n = n;
+      cfg.run.params.adapt.waiting_threshold = threshold;
+      cfg.run.params.adapt.n = n;
       const auto r = tsp::solve_parallel(inst, cfg);
       t.row({std::to_string(threshold), std::to_string(n),
              table::num(r.elapsed.ms(), 0),

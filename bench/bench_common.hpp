@@ -2,68 +2,44 @@
 // the standard TSP experiment runner (Tables 1-3), the locking-pattern
 // runner (Figures 4-9), and micro-cost probes (Tables 4-8).
 //
-// Every bench accepts optional flags:
-//   --cities=N --seeds=a,b,c --processors=P  (TSP benches)
-//   --format=table|csv|json                  (table benches)
-//   --trace-json=PATH --lock=KIND            (pattern-figure benches)
-// and prints deterministic virtual-time results.
+// Every bench declares its flags through the shared `adx::cli::options`
+// parser (see bench_options below): each binary gets a generated `--help`
+// screen, `--name=value` / `--name value` syntax, and a clean exit-2 error
+// on unknown flags — no per-bench argv scanning.
 #pragma once
 
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
-#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "cli/options.hpp"
 #include "ct/context.hpp"
 #include "locks/adaptive_lock.hpp"
 #include "locks/factory.hpp"
 #include "obs/report_sink.hpp"
 #include "obs/tracer.hpp"
 #include "tsp/parallel.hpp"
-#include "workload/report.hpp"
 
 namespace adx::bench {
 
-/// `--name=value` or `--name value`; fallback when absent.
-inline std::string arg_str(int argc, char** argv, const char* name,
-                           std::string fallback) {
-  const std::string prefix = std::string("--") + name + "=";
-  const std::string flag = std::string("--") + name;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return argv[i] + prefix.size();
-    }
-    if (flag == argv[i] && i + 1 < argc) return argv[i + 1];
-  }
-  return fallback;
+/// Paper-vs-measured tables render through the observability layer's
+/// report_builder; benches keep the short historical name.
+using table = obs::report_builder;
+
+/// Starts the shared flag parser for a bench. Chain `.u64/.str/.flag`
+/// declarations onto the result, then call `parse(argc, argv)`.
+inline cli::options bench_options(char** argv, const char* summary) {
+  return cli::options(argv != nullptr && argv[0] != nullptr ? argv[0] : "bench",
+                      summary);
 }
 
-inline std::uint64_t arg_u64(int argc, char** argv, const char* name,
-                             std::uint64_t fallback) {
-  const std::string prefix = std::string("--") + name + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
-    }
-  }
-  return fallback;
-}
-
-inline bool arg_flag(int argc, char** argv, const char* name) {
-  const std::string flag = std::string("--") + name;
-  for (int i = 1; i < argc; ++i) {
-    if (flag == argv[i]) return true;
-  }
-  return false;
-}
-
-/// Parses `--format=`; defaults to the classic table, exits on bad values.
-inline obs::report_format report_format_from_args(int argc, char** argv) {
-  const auto s = arg_str(argc, argv, "format", "table");
+/// Reads a declared `--format` flag; exits 2 on bad values.
+inline obs::report_format report_format_from(const cli::options& opt) {
+  const auto& s = opt.get_str("format");
   const auto f = obs::parse_report_format(s);
   if (!f) {
     std::fprintf(stderr, "unknown --format '%s' (expected table, csv or json)\n",
@@ -71,6 +47,16 @@ inline obs::report_format report_format_from_args(int argc, char** argv) {
     std::exit(2);
   }
   return *f;
+}
+
+/// Declares and parses the standard `--format` flag — the whole command line
+/// of the table-only benches (Tables 4-8).
+inline obs::report_format parse_format_only(int argc, char** argv,
+                                            const char* summary) {
+  auto opt = bench_options(argv, summary)
+                 .str("format", "table", "report format: table|csv|json");
+  opt.parse(argc, argv);
+  return report_format_from(opt);
 }
 
 /// printf into a std::string, for report preamble/note lines.
@@ -97,10 +83,10 @@ inline tsp::parallel_config tsp_cfg(tsp::variant v, locks::lock_kind k,
                                     unsigned processors) {
   tsp::parallel_config cfg;
   cfg.impl = v;
-  cfg.lock_kind = k;
   cfg.processors = processors;
-  cfg.lock_params.adapt = {/*waiting_threshold=*/12, /*n=*/20, /*spin_cap=*/400,
-                           /*sample_period=*/2};
+  cfg.run.lock = k;
+  cfg.run.params.adapt = {/*waiting_threshold=*/12, /*n=*/20, /*spin_cap=*/400,
+                          /*sample_period=*/2};
   return cfg;
 }
 
@@ -154,7 +140,7 @@ inline double sequential_virtual_ms(unsigned cities, std::uint64_t seed,
                        static_cast<double>(cities) * static_cast<double>(cities) /
                        static_cast<double>(cfg.data_word_divisor);
   const double word_us =
-      (2.0 * cfg.machine.local_wire + cfg.machine.mem_service).us();
+      (2.0 * cfg.run.machine.local_wire + cfg.run.machine.mem_service).us();
   return compute_ms + words * word_us / 1000.0;
 }
 
@@ -163,17 +149,22 @@ inline double sequential_virtual_ms(unsigned cities, std::uint64_t seed,
 inline void print_tsp_table(const char* title, tsp::variant v, int paper_blocking_ms,
                             int paper_adaptive_ms, double paper_improvement,
                             int paper_sequential_ms, int argc, char** argv) {
-  const auto fmt = report_format_from_args(argc, argv);
-  const auto cities = static_cast<unsigned>(arg_u64(argc, argv, "cities", 32));
-  const auto processors = static_cast<unsigned>(arg_u64(argc, argv, "processors", 10));
+  auto opt = bench_options(argv, title)
+                 .u64("cities", 32, "TSP problem size")
+                 .u64("processors", 10, "processors (one searcher thread each)")
+                 .str("format", "table", "report format: table|csv|json");
+  opt.parse(argc, argv);
+  const auto fmt = report_format_from(opt);
+  const auto cities = static_cast<unsigned>(opt.get_u64("cities"));
+  const auto processors = static_cast<unsigned>(opt.get_u64("processors"));
   const auto seeds = default_seeds();
 
   const auto blocking = run_tsp(v, locks::lock_kind::blocking, cities, processors, seeds);
   const auto adaptive = run_tsp(v, locks::lock_kind::adaptive, cities, processors, seeds);
   const double improvement = (blocking.mean_ms - adaptive.mean_ms) / blocking.mean_ms;
 
-  workload::table t({"", "sequential (ms)", "blocking lock (ms)", "adaptive lock (ms)",
-                     "improvement"});
+  table t({"", "sequential (ms)", "blocking lock (ms)", "adaptive lock (ms)",
+           "improvement"});
   t.title(title);
   t.preamble(strf("(measured: %u cities, %u processors, 1 searcher thread/processor, "
                   "mean over %zu seeds)",
@@ -181,13 +172,13 @@ inline void print_tsp_table(const char* title, tsp::variant v, int paper_blockin
   t.row({"paper (BBN GP1000)",
          paper_sequential_ms > 0 ? std::to_string(paper_sequential_ms) : "-",
          std::to_string(paper_blocking_ms), std::to_string(paper_adaptive_ms),
-         workload::table::pct(paper_improvement)});
+         table::pct(paper_improvement)});
   const double seq_ms =
       sequential_virtual_ms(cities, seeds.front(), tsp_cfg(v, locks::lock_kind::blocking,
                                                            processors));
-  t.row({"measured (simulator)", workload::table::num(seq_ms, 0),
-         workload::table::num(blocking.mean_ms, 0),
-         workload::table::num(adaptive.mean_ms, 0), workload::table::pct(improvement)});
+  t.row({"measured (simulator)", table::num(seq_ms, 0),
+         table::num(blocking.mean_ms, 0),
+         table::num(adaptive.mean_ms, 0), table::pct(improvement)});
 
   const double work_norm =
       (blocking.mean_ms_per_expansion - adaptive.mean_ms_per_expansion) /
@@ -219,18 +210,28 @@ inline void print_tsp_table(const char* title, tsp::variant v, int paper_blockin
 /// overrides it either way.
 inline void print_pattern_figure(const char* title, tsp::variant v, bool qlock,
                                  int argc, char** argv) {
-  const auto cities = static_cast<unsigned>(arg_u64(argc, argv, "cities", 32));
-  const auto processors = static_cast<unsigned>(arg_u64(argc, argv, "processors", 10));
-  const auto seed = arg_u64(argc, argv, "seed", 9001);
-  const auto trace_path = arg_str(argc, argv, "trace-json", "");
-  const auto lock_name = arg_str(argc, argv, "lock",
-                                 trace_path.empty() ? "blocking" : "adaptive");
+  auto opt = bench_options(argv, title)
+                 .u64("cities", 32, "TSP problem size")
+                 .u64("processors", 10, "processors (one searcher thread each)")
+                 .u64("seed", 9001, "instance seed")
+                 .str("trace-json", "", "write Chrome trace-event JSON to PATH")
+                 .str("lock", "",
+                      "lock kind to trace (default blocking; adaptive when tracing)")
+                 .flag("csv", "also dump the raw waiting-count series as CSV");
+  opt.parse(argc, argv);
+  const auto cities = static_cast<unsigned>(opt.get_u64("cities"));
+  const auto processors = static_cast<unsigned>(opt.get_u64("processors"));
+  const auto seed = opt.get_u64("seed");
+  const auto& trace_path = opt.get_str("trace-json");
+  const auto lock_name =
+      !opt.get_str("lock").empty()
+          ? opt.get_str("lock")
+          : std::string(trace_path.empty() ? "blocking" : "adaptive");
   locks::lock_kind kind;
   try {
     kind = locks::parse_lock_kind(lock_name);
-  } catch (const std::invalid_argument&) {
-    std::fprintf(stderr, "unknown --lock '%s' (expected a lock kind, e.g. "
-                 "blocking, combined, adaptive)\n", lock_name.c_str());
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "--lock: %s\n", e.what());
     std::exit(2);
   }
 
@@ -259,7 +260,7 @@ inline void print_pattern_figure(const char* title, tsp::variant v, bool qlock,
               static_cast<unsigned long long>(report.requests),
               100 * report.contention_ratio, static_cast<long long>(report.peak_waiting),
               report.mean_wait_us, r.elapsed.ms());
-  if (arg_flag(argc, argv, "csv")) {
+  if (opt.get_flag("csv")) {
     std::printf("\n%s", pattern.to_csv().c_str());
   }
   if (!trace_path.empty()) {

@@ -12,12 +12,18 @@
 
 int main(int argc, char** argv) {
   using namespace adx;
-  using workload::table;
+  using bench::table;
+
+  auto opt = bench::bench_options(argv, "extension: massively parallel kv-store")
+                 .u64("processors", 16, "simulated processors")
+                 .u64("threads", 64, "worker threads (oversubscribed)")
+                 .u64("ops", 80, "kv operations per thread");
+  opt.parse(argc, argv);
 
   apps::kv_config base;
-  base.processors = static_cast<unsigned>(bench::arg_u64(argc, argv, "processors", 16));
-  base.threads = static_cast<unsigned>(bench::arg_u64(argc, argv, "threads", 64));
-  base.ops_per_thread = bench::arg_u64(argc, argv, "ops", 80);
+  base.processors = static_cast<unsigned>(opt.get_u64("processors"));
+  base.threads = static_cast<unsigned>(opt.get_u64("threads"));
+  base.ops_per_thread = opt.get_u64("ops");
   base.buckets = 32;
   base.hot_fraction = 0.6;
   // Multiprogramming tuning (§4: the constants are per-lock, per-application):

@@ -8,9 +8,12 @@
 
 int main(int argc, char** argv) {
   using namespace adx;
-  using workload::table;
+  using bench::table;
 
-  const auto iters = bench::arg_u64(argc, argv, "iterations", 150);
+  auto opt = bench::bench_options(argv, "extension: lock placement and locality")
+                 .u64("iterations", 150, "lock cycles per thread");
+  opt.parse(argc, argv);
+  const auto iters = opt.get_u64("iterations");
 
   std::printf("Extension: lock placement and waiting locality (8 threads on 8 "
               "processors, CS 80 us)\n\n");

@@ -6,11 +6,16 @@
 
 int main(int argc, char** argv) {
   using namespace adx;
-  using workload::table;
+  using bench::table;
+
+  auto opt = bench::bench_options(argv, "extension: adaptive reader-writer lock")
+                 .u64("ops", 60, "operations per phase")
+                 .u64("phases", 6, "alternating read/write phases");
+  opt.parse(argc, argv);
 
   apps::rw_phases_config base;
-  base.ops_per_phase = bench::arg_u64(argc, argv, "ops", 60);
-  base.phases = static_cast<unsigned>(bench::arg_u64(argc, argv, "phases", 6));
+  base.ops_per_phase = opt.get_u64("ops");
+  base.phases = static_cast<unsigned>(opt.get_u64("phases"));
   base.readers = 8;
   base.writers = 4;
   base.processors = 12;

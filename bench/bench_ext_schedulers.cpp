@@ -6,12 +6,16 @@
 
 int main(int argc, char** argv) {
   using namespace adx;
-  using workload::table;
+  using bench::table;
+
+  auto opt = bench::bench_options(argv, "extension: lock schedulers")
+                 .u64("requests", 240, "total client requests");
+  opt.parse(argc, argv);
 
   workload::client_server_config base;
   base.processors = 8;
   base.clients = 6;
-  base.total_requests = bench::arg_u64(argc, argv, "requests", 240);
+  base.total_requests = opt.get_u64("requests");
 
   std::printf("Extension: lock schedulers on a client-server workload\n"
               "(%u clients + 1 high-priority server sharing one board lock, "

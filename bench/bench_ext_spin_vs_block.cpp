@@ -6,9 +6,12 @@
 
 int main(int argc, char** argv) {
   using namespace adx;
-  using workload::table;
+  using bench::table;
 
-  const auto iters = bench::arg_u64(argc, argv, "iterations", 150);
+  auto opt = bench::bench_options(argv, "extension: spin vs. blocking")
+                 .u64("iterations", 150, "lock cycles per thread");
+  opt.parse(argc, argv);
+  const auto iters = opt.get_u64("iterations");
 
   std::printf("Extension: spin vs. blocking by threads-per-processor (ms)\n"
               "(one shared lock, CS 100 us; pure spin livelocks when spinners "

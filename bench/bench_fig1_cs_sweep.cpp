@@ -11,11 +11,16 @@
 
 int main(int argc, char** argv) {
   using namespace adx;
-  using workload::table;
+  using bench::table;
 
-  const auto procs = static_cast<unsigned>(bench::arg_u64(argc, argv, "processors", 6));
-  const auto threads = static_cast<unsigned>(bench::arg_u64(argc, argv, "threads", 12));
-  const auto iters = bench::arg_u64(argc, argv, "iterations", 120);
+  auto opt = bench::bench_options(argv, "Figure 1: CS length sweep")
+                 .u64("processors", 6, "simulated processors")
+                 .u64("threads", 12, "threads (multiprogrammed when > processors)")
+                 .u64("iterations", 120, "lock cycles per thread");
+  opt.parse(argc, argv);
+  const auto procs = static_cast<unsigned>(opt.get_u64("processors"));
+  const auto threads = static_cast<unsigned>(opt.get_u64("threads"));
+  const auto iters = opt.get_u64("iterations");
 
   std::printf("Figure 1: CS length vs. application execution time (ms)\n"
               "(%u threads on %u processors, %llu lock cycles per thread; "

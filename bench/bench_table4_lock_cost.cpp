@@ -4,8 +4,10 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
+  using adx::bench::table;
   using adx::locks::lock_kind;
-  using adx::workload::table;
+  const auto fmt = adx::bench::parse_format_only(argc, argv,
+                                                 "Table 4: lock-op cost");
 
   struct row {
     lock_kind kind;
@@ -30,6 +32,6 @@ int main(int argc, char** argv) {
     t.row({r.name, table::num(r.paper_local), table::num(local.lock_us),
            table::num(r.paper_remote), table::num(remote.lock_us)});
   }
-  t.emit(adx::bench::report_format_from_args(argc, argv));
+  t.emit(fmt);
   return 0;
 }

@@ -29,8 +29,10 @@ double mean_unlock_us(adx::locks::lock_kind k, bool remote, int reps = 8) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  using adx::bench::table;
   using adx::locks::lock_kind;
-  using adx::workload::table;
+  const auto fmt = adx::bench::parse_format_only(argc, argv,
+                                                 "Table 5: unlock-op cost");
 
   struct row {
     lock_kind kind;
@@ -53,6 +55,6 @@ int main(int argc, char** argv) {
     t.row({r.name, table::num(r.paper_local), table::num(mean_unlock_us(r.kind, false)),
            table::num(r.paper_remote), table::num(mean_unlock_us(r.kind, true))});
   }
-  t.emit(adx::bench::report_format_from_args(argc, argv));
+  t.emit(fmt);
   return 0;
 }

@@ -6,7 +6,9 @@
 
 int main(int argc, char** argv) {
   using namespace adx;
-  using workload::table;
+  using bench::table;
+  const auto fmt = bench::parse_format_only(argc, argv,
+                                            "Table 7: adaptive locking cycle");
 
   struct row {
     const char* name;
@@ -34,6 +36,6 @@ int main(int argc, char** argv) {
            table::num(bench::time_cycle_us(make, false)), table::num(r.paper_remote),
            table::num(bench::time_cycle_us(make, true))});
   }
-  t.emit(bench::report_format_from_args(argc, argv));
+  t.emit(fmt);
   return 0;
 }

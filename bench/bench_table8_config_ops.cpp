@@ -76,7 +76,9 @@ double time_monitor_sample() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  using workload::table;
+  using bench::table;
+  const auto fmt = bench::parse_format_only(argc, argv,
+                                            "Table 8: configuration-op cost");
 
   table t({"operation", "paper local", "meas. local", "paper remote", "meas. remote"});
   t.title("Table 8: Cost of lock configuration operations (us)");
@@ -90,6 +92,6 @@ int main(int argc, char** argv) {
          table::num(time_configure_scheduler(true))});
   t.row({"monitor (one state variable)", table::num(66.03),
          table::num(time_monitor_sample()), "-", "-"});
-  t.emit(adx::bench::report_format_from_args(argc, argv));
+  t.emit(fmt);
   return 0;
 }

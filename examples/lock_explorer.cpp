@@ -6,10 +6,11 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/report_sink.hpp"
 #include "workload/cs_workload.hpp"
-#include "workload/report.hpp"
 
 using namespace adx;
+using table = adx::obs::report_builder;
 
 int main(int argc, char** argv) {
   workload::cs_config base;
@@ -24,8 +25,8 @@ int main(int argc, char** argv) {
               base.threads, base.processors, base.cs_length.us(), base.think_time.us(),
               static_cast<unsigned long long>(base.iterations));
 
-  workload::table t({"lock", "elapsed (ms)", "contended", "mean wait (us)", "blocks",
-                     "spin iters", "peak waiting"});
+  table t({"lock", "elapsed (ms)", "contended", "mean wait (us)", "blocks",
+           "spin iters", "peak waiting"});
 
   const locks::lock_kind kinds[] = {
       locks::lock_kind::atomior, locks::lock_kind::spin,
@@ -53,9 +54,9 @@ int main(int argc, char** argv) {
     // for what happens when they are not).
     cfg.params.adapt = {12, 20, 400, 2};
     const auto r = run_cs_workload(cfg);
-    t.row({locks::to_string(kind), workload::table::num(r.elapsed.ms(), 2),
-           workload::table::pct(r.contention_ratio),
-           workload::table::num(r.mean_wait_us, 1), std::to_string(r.blocks),
+    t.row({locks::to_string(kind), table::num(r.elapsed.ms(), 2),
+           table::pct(r.contention_ratio),
+           table::num(r.mean_wait_us, 1), std::to_string(r.blocks),
            std::to_string(r.spin_iterations), std::to_string(r.peak_waiting)});
   }
   t.print();

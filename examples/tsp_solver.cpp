@@ -1,7 +1,7 @@
 // TSP solver example: the paper's §4 application as a command-line tool.
 //
-//   $ ./tsp_solver [cities] [seed] [variant] [lock] [processors]
-//   $ ./tsp_solver 24 9001 centralized adaptive 10
+//   $ ./tsp_solver --cities=24 --seed=9001 --variant=centralized
+//                  --lock=adaptive --processors=10
 //
 // Solves a random asymmetric TSP instance sequentially and in parallel on
 // the simulated multiprocessor, and reports the speedup and per-lock
@@ -10,17 +10,28 @@
 #include <cstdlib>
 #include <string>
 
+#include "cli/options.hpp"
 #include "tsp/parallel.hpp"
 
 using namespace adx;
 using namespace adx::tsp;
 
 int main(int argc, char** argv) {
-  const int cities = argc > 1 ? std::atoi(argv[1]) : 24;
-  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 9001;
-  const std::string variant_name = argc > 3 ? argv[3] : "centralized";
-  const std::string lock_name = argc > 4 ? argv[4] : "adaptive";
-  const unsigned procs = argc > 5 ? static_cast<unsigned>(std::atoi(argv[5])) : 10;
+  auto opt = cli::options("tsp_solver",
+                          "parallel branch-and-bound TSP on the simulated "
+                          "multiprocessor (the paper's §4 application)")
+                 .u64("cities", 24, "problem size")
+                 .u64("seed", 9001, "instance seed")
+                 .str("variant", "centralized",
+                      "centralized|distributed|distributed-lb")
+                 .str("lock", "adaptive", "lock kind for the shared objects")
+                 .u64("processors", 10, "simulated processors");
+  opt.parse(argc, argv);
+  const int cities = static_cast<int>(opt.get_u64("cities"));
+  const std::uint64_t seed = opt.get_u64("seed");
+  const std::string& variant_name = opt.get_str("variant");
+  const std::string& lock_name = opt.get_str("lock");
+  const auto procs = static_cast<unsigned>(opt.get_u64("processors"));
 
   parallel_config cfg;
   cfg.processors = procs;
@@ -35,8 +46,13 @@ int main(int argc, char** argv) {
                  variant_name.c_str());
     return 2;
   }
-  cfg.lock_kind = locks::parse_lock_kind(lock_name);
-  cfg.lock_params.adapt = {12, 20, 400, 2};
+  try {
+    cfg.run.lock = locks::parse_lock_kind(lock_name);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "--lock: %s\n", e.what());
+    return 2;
+  }
+  cfg.run.params.adapt = {12, 20, 400, 2};
 
   std::printf("instance: %d cities, seed %llu\n", cities,
               static_cast<unsigned long long>(seed));

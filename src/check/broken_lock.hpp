@@ -1,0 +1,92 @@
+// A deliberately buggy lock, used to validate that the checker's oracles
+// actually catch real defects (a checker that never fails is vacuous).
+//
+// Two classic bugs are planted:
+//
+//   (a) test-then-set acquisition — the fast path reads the lock word, and
+//       if it looks free, *writes* it held after an await gap instead of
+//       using an atomic read-modify-write. Two threads can both observe
+//       "free" and both enter: a mutual-exclusion violation (and, through
+//       the fixtures' read-modify-write counter, a lost update).
+//
+//   (b) block-without-recheck — a waiter that exhausts its spin budget
+//       enqueues and blocks without re-checking the word after its last
+//       read. A release that slips into that window wakes nobody (the queue
+//       is still empty) and the waiter sleeps on a free lock: a lost
+//       wakeup, surfacing as a deadlock at quiescence when it was the last
+//       waiter.
+//
+// The lock reports through lock_stats exactly like a correct one, so the
+// monitor observes it with no special casing.
+#pragma once
+
+#include <deque>
+
+#include "locks/lock.hpp"
+
+namespace adx::check {
+
+class broken_lock final : public locks::lock_object {
+ public:
+  broken_lock(sim::node_id home, locks::lock_cost_model cost,
+              std::int64_t spin_budget = 3)
+      : lock_object(home, cost), spin_budget_(spin_budget) {}
+
+  [[nodiscard]] std::string_view kind() const override { return "broken"; }
+
+  ct::task<void> lock(ct::context& ctx) override {
+    const auto requested = ctx.now();
+    stats_.on_request(requested, ctx.self());
+    co_await ctx.compute(cost_.spin_lock_overhead);
+    bool counted = false;
+    for (std::int64_t spins = 0;;) {
+      const auto v = co_await ctx.read(word_);
+      if ((v & 1) == 0) {
+        // BUG (a): decide on the stale read, then set the word with a plain
+        // write after further awaits — no atomicity between test and set.
+        co_await ctx.compute(cost_.spin_pause);
+        co_await ctx.write(word_, std::uint64_t{1});
+        set_owner(ctx.self());
+        break;
+      }
+      if (!counted) {
+        stats_.on_contended(ctx.now(), ctx.self());
+        note_waiting(ctx.now(), +1);
+        counted = true;
+      }
+      if (spins++ < spin_budget_) {
+        co_await ctx.compute(cost_.spin_pause);
+        continue;
+      }
+      // BUG (b): the registration write happens after the held observation
+      // with no re-check of the word before blocking; a release in this
+      // window is lost.
+      co_await ctx.touch(home(), sim::access_kind::write, 2);
+      queue_.push_back(ctx.self());
+      stats_.on_block(ctx.now(), ctx.self());
+      co_await ctx.block();
+      spins = 0;  // woken: re-compete from the top
+    }
+    if (counted) note_waiting(ctx.now(), -1);
+    stats_.on_acquired(ctx.now(), ctx.now() - requested, ctx.self());
+  }
+
+  ct::task<void> unlock(ct::context& ctx) override {
+    co_await ctx.compute(cost_.spin_unlock_overhead);
+    stats_.on_release(ctx.now(), ctx.self());
+    co_await ctx.touch(home(), sim::access_kind::read);
+    co_await release_word(ctx);
+    if (!queue_.empty()) {
+      const auto next = queue_.front();
+      queue_.pop_front();
+      co_await ctx.touch(home(), sim::access_kind::write);
+      co_await ctx.unblock(next);
+    }
+  }
+
+ private:
+  std::int64_t spin_budget_;
+  std::deque<ct::thread_id> queue_;
+};
+
+}  // namespace adx::check

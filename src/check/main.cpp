@@ -1,0 +1,199 @@
+// adx-check: schedule-exploration and fault-injection checker.
+//
+// Sweeps seeds x lock kinds x perturbation profiles over fixture workloads,
+// checking the mutual-exclusion / deadlock / lost-wakeup / starvation /
+// reconfiguration-atomicity oracles on every run. On a violation it prints
+// the full run configuration as JSON (replayable via --config), greedily
+// shrinks the perturbation journal to a minimal reproducer, and exits 1.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/runner.hpp"
+#include "cli/options.hpp"
+#include "obs/report_sink.hpp"
+
+namespace {
+
+using namespace adx;
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+struct failure {
+  check::check_params params;
+  check::check_result result;
+  check::shrink_result shrunk;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt =
+      cli::options("adx-check",
+                   "schedule-exploration & fault-injection checker for the "
+                   "thread package's locks")
+          .str("fixtures", "mutex,oversub,reconfig",
+               "comma list of fixtures (mutex oversub reconfig broken_lock)")
+          .str("locks", "all", "comma list of lock kinds, or 'all'")
+          .str("profiles", "preempt,delay",
+               "comma list of perturbation profiles (none ties delay preempt "
+               "latency chaos)")
+          .u64("seeds", 16, "number of seeds per (fixture, lock, profile) cell")
+          .u64("seed-base", 1, "first seed of the sweep")
+          .u64("processors", 4, "simulated processors (test machine shape)")
+          .u64("iterations", 12, "critical sections per thread")
+          .str("config", "", "replay one run from a run_config JSON file ('-' = stdin)")
+          .str("fixture", "", "fixture for --config replay (default mutex)")
+          .str("format", "table", "report format: table|csv|json")
+          .flag("no-shrink", "skip minimizing failing perturbation journals")
+          .flag("verbose", "print every failing run's configuration JSON");
+  opt.parse(argc, argv);
+
+  const auto fmt = obs::parse_report_format(opt.get_str("format"));
+  if (!fmt) {
+    std::cerr << "adx-check: unknown format: " << opt.get_str("format")
+              << " (valid: table csv json)\n";
+    return 2;
+  }
+
+  try {
+    // ------- single-run replay mode -------
+    if (!opt.get_str("config").empty()) {
+      std::string text;
+      if (opt.get_str("config") == "-") {
+        std::ostringstream buf;
+        buf << std::cin.rdbuf();
+        text = buf.str();
+      } else {
+        std::ifstream in(opt.get_str("config"));
+        if (!in) {
+          std::cerr << "adx-check: cannot open " << opt.get_str("config") << '\n';
+          return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+      }
+      check::check_params p;
+      p.config = run_config::from_json(text);
+      p.fix = opt.get_str("fixture").empty()
+                  ? check::fixture::mutex
+                  : check::parse_fixture(opt.get_str("fixture"));
+      p.iterations = static_cast<unsigned>(opt.get_u64("iterations"));
+      const auto r = check::run_check(p);
+      for (const auto& v : r.violations) {
+        std::cout << "violation: " << check::to_string(v) << '\n';
+      }
+      std::cout << (r.failed() ? "FAIL" : "OK") << " fixture=" << to_string(p.fix)
+                << " lock=" << locks::to_string(p.config.lock)
+                << " seed=" << p.config.seed << '\n';
+      return r.failed() ? 1 : 0;
+    }
+
+    // ------- sweep mode -------
+    std::vector<check::fixture> fixtures;
+    for (const auto& f : split_list(opt.get_str("fixtures"))) {
+      fixtures.push_back(check::parse_fixture(f));
+    }
+    std::vector<locks::lock_kind> kinds;
+    if (opt.get_str("locks") == "all") {
+      for (auto k : locks::all_lock_kinds()) kinds.push_back(k);
+    } else {
+      for (const auto& k : split_list(opt.get_str("locks"))) {
+        kinds.push_back(locks::parse_lock_kind(k));
+      }
+    }
+    std::vector<std::pair<std::string, sim::perturb_profile>> profiles;
+    for (const auto& name : split_list(opt.get_str("profiles"))) {
+      profiles.emplace_back(name, sim::parse_perturb_profile(name));
+    }
+    const auto seeds = opt.get_u64("seeds");
+    const auto seed_base = opt.get_u64("seed-base");
+    const auto nodes = static_cast<unsigned>(opt.get_u64("processors"));
+
+    obs::report_builder table(
+        {"fixture", "lock", "profile", "runs", "violations", "worst oracle"});
+    table.title("adx-check sweep: " + std::to_string(seeds) + " seed(s) per cell");
+    std::vector<failure> failures;
+    std::uint64_t total_runs = 0;
+
+    for (const auto fix : fixtures) {
+      for (const auto kind : kinds) {
+        for (const auto& [pname, profile] : profiles) {
+          std::uint64_t cell_violations = 0;
+          std::string worst;
+          for (std::uint64_t s = 0; s < seeds; ++s) {
+            check::check_params p;
+            p.config = run_config{}
+                           .with_machine(sim::machine_config::test_machine(nodes))
+                           .with_lock(kind)
+                           .with_perturb(profile)
+                           .with_seed(seed_base + s);
+            p.fix = fix;
+            p.iterations = static_cast<unsigned>(opt.get_u64("iterations"));
+            auto r = check::run_check(p);
+            ++total_runs;
+            if (!r.failed()) continue;
+            cell_violations += r.violations.size();
+            if (worst.empty()) worst = r.violations.front().oracle;
+            check::shrink_result shrunk;
+            if (!opt.get_flag("no-shrink")) {
+              shrunk = check::shrink_trace(p, r.trace);
+            } else {
+              shrunk.minimal = r.trace;
+              shrunk.still_fails = true;
+            }
+            failures.push_back({p, std::move(r), std::move(shrunk)});
+          }
+          table.row({to_string(fix), locks::to_string(kind), pname,
+                     std::to_string(seeds), std::to_string(cell_violations),
+                     worst.empty() ? "-" : worst});
+        }
+      }
+    }
+
+    table.note(std::to_string(total_runs) + " runs, " +
+               std::to_string(failures.size()) + " failing");
+    table.emit(*fmt);
+
+    for (const auto& f : failures) {
+      std::cout << "\nFAIL fixture=" << to_string(f.params.fix)
+                << " lock=" << locks::to_string(f.params.config.lock)
+                << " profile=" << sim::to_string(f.params.config.perturb)
+                << " seed=" << f.params.config.seed << '\n';
+      for (const auto& v : f.result.violations) {
+        std::cout << "  violation: " << check::to_string(v) << '\n';
+      }
+      std::cout << "  journal: " << f.result.trace.size() << " action(s), shrunk to "
+                << f.shrunk.minimal.size() << " in " << f.shrunk.replays
+                << " replay(s)" << (f.shrunk.still_fails ? "" : " [NOT stable]")
+                << '\n';
+      for (const auto& a : f.shrunk.minimal) {
+        std::cout << "    " << to_string(a) << '\n';
+      }
+      if (opt.get_flag("verbose")) {
+        std::cout << "  config: " << f.params.config.to_json() << '\n';
+      } else {
+        std::cout << "  reproduce: adx-check --config=<file with the JSON below>"
+                     " --fixture=" << to_string(f.params.fix) << '\n'
+                  << "  " << f.params.config.to_json() << '\n';
+      }
+    }
+
+    return failures.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "adx-check: " << e.what() << '\n';
+    return 2;
+  }
+}

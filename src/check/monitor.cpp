@@ -1,0 +1,236 @@
+#include "check/monitor.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "locks/reconfigurable_lock.hpp"
+
+namespace adx::check {
+
+std::string to_string(const violation& v) {
+  std::ostringstream os;
+  os << v.oracle << " @" << v.lock;
+  if (v.thread != ct::invalid_thread) os << " thread " << v.thread;
+  os << " t=" << v.at.us() << "us: " << v.detail;
+  return os.str();
+}
+
+monitor::monitor(ct::runtime& rt, oracle_params params) : rt_(rt), params_(params) {
+  rt_.attach_observer(this);
+}
+
+monitor::~monitor() {
+  if (rt_.observer() == this) rt_.attach_observer(nullptr);
+  for (auto* s : order_) s->lk->attach_observer(nullptr);
+}
+
+void monitor::watch(locks::lock_object& lk, std::string name) {
+  auto& s = locks_[&lk];
+  s.lk = &lk;
+  s.name = std::move(name);
+  order_.push_back(&s);
+  lk.attach_observer(this);
+}
+
+monitor::lock_state& monitor::state_of(locks::lock_object& lk) {
+  return locks_.at(&lk);
+}
+
+void monitor::add_violation(violation v) {
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->instant("check.violation", "check", v.at, 0,
+                     v.thread == ct::invalid_thread ? 0 : v.thread);
+  }
+  violations_.push_back(std::move(v));
+}
+
+void monitor::report(std::string oracle, const lock_state& s, ct::thread_id tid,
+                     sim::vtime at, std::string detail) {
+  add_violation({std::move(oracle), s.name, tid, at, std::move(detail)});
+}
+
+void monitor::check_psi(lock_state& s, const char* op, ct::thread_id tid, sim::vtime at) {
+  if (!s.in_psi) return;
+  report("reconfig-atomicity", s, tid, at,
+         std::string(op) + " observed mid-Ψ (attribute swap not atomic)");
+}
+
+void monitor::scan_pending(sim::vtime now) {
+  for (auto* s : order_) {
+    if (!s->pending) continue;
+    if (s->grants != s->pending->grants || s->blocked.empty()) {
+      s->pending.reset();
+      continue;
+    }
+    if (now - s->pending->at <= params_.lost_wakeup_bound) continue;
+    if (s->lk->held_raw()) continue;  // re-acquired without a grant event? stay armed
+    // The lock has sat free past the bound with threads still blocked on it
+    // and no grant in between: a wakeup was lost.
+    for (const auto tid : s->blocked) {
+      if (rt_.state_of(tid) == ct::thread_state::blocked) {
+        std::ostringstream os;
+        os << "blocked since before release at " << s->pending->at.us()
+           << "us while the lock sat free (bound "
+           << params_.lost_wakeup_bound.ms() << "ms)";
+        report("lost-wakeup", *s, tid, now, os.str());
+      }
+    }
+    s->pending.reset();
+  }
+}
+
+void monitor::on_acquired(locks::lock_object& lk, sim::vtime at, sim::vdur /*waited*/,
+                          std::uint32_t tid) {
+  auto& s = state_of(lk);
+  check_psi(s, "acquire", tid, at);
+  if (s.oracle_owner != ct::invalid_thread && s.oracle_owner != tid) {
+    std::ostringstream os;
+    os << "acquired while thread " << s.oracle_owner << " still owns the lock";
+    report("mutual-exclusion", s, tid, at, os.str());
+  }
+  s.oracle_owner = tid;
+  ++s.grants;
+  s.blocked.erase(tid);
+  if (const auto it = s.wait_started.find(tid); it != s.wait_started.end()) {
+    // Grants that went to other threads while this one waited, excluding its
+    // own grant just counted.
+    const auto overtakes = s.grants - it->second - 1;
+    if (overtakes > params_.max_overtakes) {
+      std::ostringstream os;
+      os << "overtaken " << overtakes << " times while waiting (bound "
+         << params_.max_overtakes << ')';
+      report("starvation", s, tid, at, os.str());
+    }
+    s.wait_started.erase(it);
+  }
+  scan_pending(at);
+}
+
+void monitor::on_release(locks::lock_object& lk, sim::vtime at, std::uint32_t tid) {
+  auto& s = state_of(lk);
+  check_psi(s, "release", tid, at);
+  if (s.oracle_owner != tid) {
+    std::ostringstream os;
+    if (s.oracle_owner == ct::invalid_thread) {
+      os << "released while not held";
+    } else {
+      os << "released by non-owner (owner is thread " << s.oracle_owner << ')';
+    }
+    report("mutual-exclusion", s, tid, at, os.str());
+  }
+  s.oracle_owner = ct::invalid_thread;
+  if (!s.blocked.empty()) s.pending = lock_state::release_mark{at, s.grants};
+  scan_pending(at);
+}
+
+void monitor::on_contended(locks::lock_object& lk, sim::vtime at, std::uint32_t tid) {
+  auto& s = state_of(lk);
+  s.wait_started.emplace(tid, s.grants);
+  scan_pending(at);
+}
+
+void monitor::on_block(locks::lock_object& lk, sim::vtime at, std::uint32_t tid) {
+  auto& s = state_of(lk);
+  check_psi(s, "block", tid, at);
+  s.blocked.insert(tid);
+  scan_pending(at);
+}
+
+void monitor::on_psi_begin(locks::lock_object& lk, sim::vtime at) {
+  auto& s = state_of(lk);
+  if (s.in_psi) {
+    report("reconfig-atomicity", s, ct::invalid_thread, at, "nested Ψ begin");
+  }
+  s.in_psi = true;
+}
+
+void monitor::on_psi_end(locks::lock_object& lk, sim::vtime at) {
+  auto& s = state_of(lk);
+  if (!s.in_psi) {
+    report("reconfig-atomicity", s, ct::invalid_thread, at, "Ψ end without begin");
+  }
+  s.in_psi = false;
+}
+
+void monitor::on_unblock(ct::thread_id t, sim::vtime at) {
+  for (auto* s : order_) s->blocked.erase(t);
+  scan_pending(at);
+}
+
+void monitor::on_ready(ct::thread_id t, sim::vtime at) {
+  // Covers timed self-wakes (block_for expiry) and sleep expiry, which never
+  // pass through unblock(): the thread is runnable, so it is no longer a
+  // lost-wakeup candidate.
+  for (auto* s : order_) s->blocked.erase(t);
+  scan_pending(at);
+}
+
+void monitor::finish(const ct::runtime::run_result& r) {
+  scan_pending(r.end_time);
+
+  // Quiescent analysis over the stuck threads: an edge t -> owner(l) for
+  // every thread t still blocked on a watched lock l.
+  std::unordered_map<ct::thread_id, ct::thread_id> waits_on;  // thread -> owner
+  std::unordered_map<ct::thread_id, const lock_state*> via;
+  for (const auto tid : r.stuck) {
+    if (rt_.state_of(tid) != ct::thread_state::blocked) continue;
+    for (const auto* s : order_) {
+      if (!s->blocked.contains(tid)) continue;
+      const auto owner = s->lk->owner();
+      if (owner == ct::invalid_thread && !s->lk->held_raw()) {
+        std::ostringstream os;
+        os << "still blocked at quiescence while the lock is free";
+        report("lost-wakeup", *s, tid, r.end_time, os.str());
+      } else if (owner != ct::invalid_thread) {
+        waits_on[tid] = owner;
+        via[tid] = s;
+      }
+      break;
+    }
+  }
+
+  // Cycle detection by pointer chasing with a visited set per start node
+  // (graphs here are tiny: out-degree <= 1).
+  std::set<ct::thread_id> reported;
+  for (const auto& [start, first_owner] : waits_on) {
+    if (reported.contains(start)) continue;
+    std::vector<ct::thread_id> path{start};
+    std::set<ct::thread_id> seen{start};
+    auto cur = first_owner;
+    while (true) {
+      if (seen.contains(cur)) {
+        // Found a cycle; report it once, rooted at its smallest member.
+        std::ostringstream os;
+        os << "wait-for cycle:";
+        for (const auto t : path) os << ' ' << t;
+        os << " -> " << cur;
+        const auto* s = via.at(start);
+        report("deadlock", *s, start, r.end_time, os.str());
+        for (const auto t : path) reported.insert(t);
+        break;
+      }
+      const auto it = waits_on.find(cur);
+      if (it == waits_on.end()) break;  // chain ends at a live thread
+      seen.insert(cur);
+      path.push_back(cur);
+      cur = it->second;
+    }
+  }
+
+  // Reconfiguration liveness: a scheduler transition still pending at
+  // quiescence means the adoption handshake was lost.
+  for (const auto* s : order_) {
+    if (const auto* rl = dynamic_cast<const locks::reconfigurable_lock*>(s->lk)) {
+      if (rl->scheduler_transition_pending()) {
+        report("reconfig-atomicity", *s, ct::invalid_thread, r.end_time,
+               "scheduler transition flag still set at quiescence");
+      }
+    }
+    if (s->in_psi) {
+      report("reconfig-atomicity", *s, ct::invalid_thread, r.end_time,
+             "Ψ still open at quiescence");
+    }
+  }
+}
+
+}  // namespace adx::check

@@ -1,0 +1,134 @@
+#include "check/perturbers.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace adx::check {
+namespace {
+
+/// Category-tagged sub-seed: one run seed fans out into independent streams.
+std::uint64_t sub_seed(std::uint64_t seed, std::uint64_t tag) {
+  std::uint64_t s = seed ^ (tag * 0x9e3779b97f4a7c15ULL);
+  return sim::splitmix64(s);
+}
+
+constexpr std::uint64_t kTieTag = 1;
+constexpr std::uint64_t kDelayTag = 2;
+constexpr std::uint64_t kPreemptTag = 3;
+constexpr std::uint64_t kLatencyTag = 4;
+
+}  // namespace
+
+const char* to_string(perturb_action::category c) {
+  switch (c) {
+    case perturb_action::category::resume_delay: return "resume_delay";
+    case perturb_action::category::access_delay: return "access_delay";
+    case perturb_action::category::preempt: return "preempt";
+  }
+  return "?";
+}
+
+std::string to_string(const perturb_action& a) {
+  std::ostringstream os;
+  os << to_string(a.cat) << '#' << a.index;
+  if (a.value_ns != 0) os << "+" << a.value_ns << "ns";
+  return os.str();
+}
+
+random_perturber::random_perturber(sim::perturb_profile profile, std::uint64_t seed)
+    : profile_(profile),
+      tie_rng_(sub_seed(seed, kTieTag)),
+      delay_rng_(sub_seed(seed, kDelayTag)),
+      preempt_rng_(sub_seed(seed, kPreemptTag)),
+      latency_rng_(sub_seed(seed, kLatencyTag)) {}
+
+std::uint64_t random_perturber::tie_key(sim::vtime /*at*/, std::uint64_t seq) {
+  // A random key per event randomizes the order within every same-timestamp
+  // group; drawing unconditionally keeps the stream aligned with replays.
+  const auto k = tie_rng_();
+  return profile_.reorder_ties ? k : seq;
+}
+
+sim::vdur random_perturber::access_delay(sim::node_id /*from*/, sim::node_id /*home*/) {
+  ++access_calls_;
+  if (profile_.latency_pct == 0) return {};
+  const bool hit = latency_rng_.below(100) < profile_.latency_pct;
+  if (!hit) return {};
+  return sim::microseconds(static_cast<double>(profile_.latency_spike_us));
+}
+
+sim::vdur random_perturber::resume_delay(std::uint32_t /*tid*/) {
+  ++resume_calls_;
+  if (profile_.delay_pct == 0) return {};
+  const bool hit = delay_rng_.below(100) < profile_.delay_pct;
+  // The magnitude is drawn even on a miss so that the decision whether call
+  // k is delayed never depends on earlier magnitudes (replay stability).
+  const auto magnitude = delay_rng_.uniform(1, std::max<std::int64_t>(profile_.max_delay_us, 1));
+  if (!hit) return {};
+  return sim::microseconds(static_cast<double>(magnitude));
+}
+
+bool random_perturber::preempt_at_lock(std::uint32_t /*tid*/) {
+  ++preempt_calls_;
+  if (profile_.preempt_pct == 0) return false;
+  return preempt_rng_.below(100) < profile_.preempt_pct;
+}
+
+sim::vdur recording_perturber::access_delay(sim::node_id from, sim::node_id home) {
+  const auto index = access_calls_;  // index of the call about to happen
+  const auto d = random_perturber::access_delay(from, home);
+  if (d.ns != 0) {
+    trace_.push_back({perturb_action::category::access_delay, index, d.ns});
+  }
+  return d;
+}
+
+sim::vdur recording_perturber::resume_delay(std::uint32_t tid) {
+  const auto index = resume_calls_;
+  const auto d = random_perturber::resume_delay(tid);
+  if (d.ns != 0) {
+    trace_.push_back({perturb_action::category::resume_delay, index, d.ns});
+  }
+  return d;
+}
+
+bool recording_perturber::preempt_at_lock(std::uint32_t tid) {
+  const auto index = preempt_calls_;
+  const bool hit = random_perturber::preempt_at_lock(tid);
+  if (hit) trace_.push_back({perturb_action::category::preempt, index, 0});
+  return hit;
+}
+
+replay_perturber::replay_perturber(sim::perturb_profile profile, std::uint64_t seed,
+                                   std::vector<perturb_action> actions)
+    : profile_(profile), tie_rng_(sub_seed(seed, kTieTag)), actions_(std::move(actions)) {}
+
+const perturb_action* replay_perturber::lookup(perturb_action::category c,
+                                               std::uint64_t index) const {
+  for (const auto& a : actions_) {
+    if (a.cat == c && a.index == index) return &a;
+  }
+  return nullptr;
+}
+
+std::uint64_t replay_perturber::tie_key(sim::vtime /*at*/, std::uint64_t seq) {
+  const auto k = tie_rng_();
+  return profile_.reorder_ties ? k : seq;
+}
+
+sim::vdur replay_perturber::access_delay(sim::node_id /*from*/, sim::node_id /*home*/) {
+  const auto* a = lookup(perturb_action::category::access_delay, access_calls_++);
+  return a ? sim::vdur{a->value_ns} : sim::vdur{};
+}
+
+sim::vdur replay_perturber::resume_delay(std::uint32_t /*tid*/) {
+  const auto* a = lookup(perturb_action::category::resume_delay, resume_calls_++);
+  return a ? sim::vdur{a->value_ns} : sim::vdur{};
+}
+
+bool replay_perturber::preempt_at_lock(std::uint32_t /*tid*/) {
+  return lookup(perturb_action::category::preempt, preempt_calls_++) != nullptr;
+}
+
+}  // namespace adx::check

@@ -1,0 +1,106 @@
+// Concrete perturbers for schedule exploration.
+//
+// `random_perturber` turns a (profile, seed) pair into perturbation
+// decisions, drawing each hook category from its own RNG stream so that the
+// decisions one hook sees never depend on how often another hook fired —
+// what keeps a replay aligned when injection sites are selectively disabled.
+//
+// `recording_perturber` wraps a random one and journals every *action* it
+// injects (delays, spikes, preemptions) as (category, call-index, magnitude)
+// triples. `replay_perturber` re-applies a subset of such a journal: the
+// shrinker removes actions chunk by chunk and re-runs until only those
+// needed to reproduce a violation remain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/perturb.hpp"
+#include "sim/rng.hpp"
+
+namespace adx::check {
+
+/// One injected perturbation, identified by its hook category and the index
+/// of the call within that category (deterministic across replays).
+struct perturb_action {
+  enum class category : std::uint8_t { resume_delay, access_delay, preempt };
+  category cat{category::resume_delay};
+  std::uint64_t index{0};    ///< per-category call index at injection time
+  std::int64_t value_ns{0};  ///< injected delay magnitude (0 for preempt)
+
+  friend bool operator==(const perturb_action&, const perturb_action&) = default;
+};
+
+[[nodiscard]] const char* to_string(perturb_action::category c);
+[[nodiscard]] std::string to_string(const perturb_action& a);
+
+/// Seeded stochastic perturber implementing a perturb_profile.
+class random_perturber : public sim::perturber {
+ public:
+  random_perturber(sim::perturb_profile profile, std::uint64_t seed);
+
+  [[nodiscard]] std::uint64_t tie_key(sim::vtime at, std::uint64_t seq) override;
+  [[nodiscard]] sim::vdur access_delay(sim::node_id from, sim::node_id home) override;
+  [[nodiscard]] sim::vdur resume_delay(std::uint32_t tid) override;
+  [[nodiscard]] bool preempt_at_lock(std::uint32_t tid) override;
+
+  [[nodiscard]] const sim::perturb_profile& profile() const { return profile_; }
+
+ protected:
+  /// Per-category call counters, exposed for the recording subclass.
+  std::uint64_t resume_calls_{0};
+  std::uint64_t access_calls_{0};
+  std::uint64_t preempt_calls_{0};
+
+ private:
+  sim::perturb_profile profile_;
+  // Independent streams: one per hook category, seeded by mixing the run
+  // seed with a fixed category tag.
+  sim::rng tie_rng_;
+  sim::rng delay_rng_;
+  sim::rng preempt_rng_;
+  sim::rng latency_rng_;
+};
+
+/// A random_perturber that also journals every action it injects.
+class recording_perturber final : public random_perturber {
+ public:
+  using random_perturber::random_perturber;
+
+  [[nodiscard]] sim::vdur access_delay(sim::node_id from, sim::node_id home) override;
+  [[nodiscard]] sim::vdur resume_delay(std::uint32_t tid) override;
+  [[nodiscard]] bool preempt_at_lock(std::uint32_t tid) override;
+
+  [[nodiscard]] const std::vector<perturb_action>& trace() const { return trace_; }
+
+ private:
+  std::vector<perturb_action> trace_;
+};
+
+/// Replays a journaled action subset. Tie reordering stays seed-driven (it
+/// is a pure permutation, not an action), so a replayer uses the same
+/// profile + seed for ties and applies only the listed delays/preemptions.
+class replay_perturber final : public sim::perturber {
+ public:
+  replay_perturber(sim::perturb_profile profile, std::uint64_t seed,
+                   std::vector<perturb_action> actions);
+
+  [[nodiscard]] std::uint64_t tie_key(sim::vtime at, std::uint64_t seq) override;
+  [[nodiscard]] sim::vdur access_delay(sim::node_id from, sim::node_id home) override;
+  [[nodiscard]] sim::vdur resume_delay(std::uint32_t tid) override;
+  [[nodiscard]] bool preempt_at_lock(std::uint32_t tid) override;
+
+ private:
+  [[nodiscard]] const perturb_action* lookup(perturb_action::category c,
+                                             std::uint64_t index) const;
+
+  sim::perturb_profile profile_;
+  sim::rng tie_rng_;
+  std::vector<perturb_action> actions_;
+  std::uint64_t resume_calls_{0};
+  std::uint64_t access_calls_{0};
+  std::uint64_t preempt_calls_{0};
+};
+
+}  // namespace adx::check

@@ -1,0 +1,189 @@
+#include "check/runner.hpp"
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "check/broken_lock.hpp"
+#include "locks/scheduler.hpp"
+
+namespace adx::check {
+
+const char* to_string(fixture f) {
+  switch (f) {
+    case fixture::mutex: return "mutex";
+    case fixture::oversub: return "oversub";
+    case fixture::reconfig: return "reconfig";
+    case fixture::broken_lock: return "broken_lock";
+  }
+  return "?";
+}
+
+fixture parse_fixture(std::string_view name) {
+  for (auto f : all_fixtures()) {
+    if (name == to_string(f)) return f;
+  }
+  std::string msg = "unknown fixture: " + std::string(name) + " (valid:";
+  for (auto f : all_fixtures()) {
+    msg += ' ';
+    msg += to_string(f);
+  }
+  msg += ')';
+  throw std::invalid_argument(msg);
+}
+
+std::span<const fixture> all_fixtures() {
+  static constexpr fixture all[] = {fixture::mutex, fixture::oversub,
+                                    fixture::reconfig, fixture::broken_lock};
+  return all;
+}
+
+namespace {
+
+/// Shared worker body: `iters` critical sections incrementing the witness
+/// counter with a deliberate read-compute-write shape, so a mutual-exclusion
+/// failure also loses updates (a second, independent evidence trail).
+ct::task<void> worker(ct::context& ctx, locks::lock_object& lk, std::uint64_t& counter,
+                      unsigned iters) {
+  for (unsigned i = 0; i < iters; ++i) {
+    co_await lk.lock(ctx);
+    const auto v = counter;
+    co_await ctx.compute(sim::microseconds(2));
+    counter = v + 1;
+    co_await lk.unlock(ctx);
+    co_await ctx.compute(sim::microseconds(3));
+  }
+}
+
+/// Ψ driver for the reconfig fixture: cycles waiting policies and scheduler
+/// disciplines while the workers keep the lock busy.
+ct::task<void> configurator(ct::context& ctx, locks::reconfigurable_lock& rl,
+                            unsigned rounds) {
+  for (unsigned round = 0; round < rounds; ++round) {
+    co_await ctx.sleep_for(sim::microseconds(120));
+    const auto wp = round % 3 == 0   ? locks::waiting_policy::pure_spin(32)
+                    : round % 3 == 1 ? locks::waiting_policy::mixed(10)
+                                     : locks::waiting_policy::pure_sleep();
+    co_await rl.configure_waiting_policy(ctx, wp);
+    if (round % 2 == 1) {
+      std::unique_ptr<locks::lock_scheduler> next;
+      if (round % 4 == 1) {
+        next = std::make_unique<locks::priority_scheduler>();
+      } else {
+        next = std::make_unique<locks::fcfs_scheduler>();
+      }
+      co_await rl.configure_scheduler(ctx, std::move(next));
+    }
+  }
+}
+
+check_result run_with(const check_params& p, sim::perturber& pert) {
+  ct::runtime rt(p.config.effective_machine());
+  rt.set_perturber(&pert);
+  monitor mon(rt, p.oracles);
+
+  const locks::lock_cost_model cost{};
+  std::unique_ptr<locks::lock_object> lk;
+  if (p.fix == fixture::broken_lock) {
+    lk = std::make_unique<broken_lock>(0, cost);
+  } else {
+    lk = locks::make_lock(p.config, 0, cost);
+  }
+  mon.watch(*lk, std::string(lk->kind()));
+
+  std::uint64_t counter = 0;
+  const unsigned per_proc = p.fix == fixture::oversub ? 3 : 1;
+  std::uint64_t expected = 0;
+  for (ct::proc_id proc = 0; proc < rt.processors(); ++proc) {
+    for (unsigned k = 0; k < per_proc; ++k) {
+      rt.fork(proc, [&lk, &counter, &p](ct::context& ctx) -> ct::task<void> {
+        return worker(ctx, *lk, counter, p.iterations);
+      });
+      expected += p.iterations;
+    }
+  }
+  if (p.fix == fixture::reconfig) {
+    if (auto* rl = dynamic_cast<locks::reconfigurable_lock*>(lk.get())) {
+      rt.fork(0, [rl](ct::context& ctx) -> ct::task<void> {
+        return configurator(ctx, *rl, /*rounds=*/8);
+      });
+    }
+  }
+
+  const auto r = rt.run(p.max_events);
+  mon.finish(r);
+
+  check_result out;
+  out.completed = r.completed;
+  out.end_time = r.end_time;
+  out.events = r.events;
+  out.violations = mon.violations();
+  if (r.completed && counter != expected) {
+    std::ostringstream os;
+    os << "lost update: counter " << counter << ", expected " << expected;
+    out.violations.push_back({"mutual-exclusion", std::string(lk->kind()),
+                              ct::invalid_thread, r.end_time, os.str()});
+  }
+  if (!r.completed && !rt.mach().events().empty()) {
+    // Event budget exhausted with work still queued: livelock guard tripped.
+    std::ostringstream os;
+    os << "event budget (" << p.max_events << ") exhausted with "
+       << r.stuck.size() << " thread(s) live";
+    out.violations.push_back({"livelock", std::string(lk->kind()),
+                              ct::invalid_thread, r.end_time, os.str()});
+  }
+  return out;
+}
+
+}  // namespace
+
+check_result run_check(const check_params& p) {
+  recording_perturber pert(p.config.perturb, p.config.seed);
+  auto out = run_with(p, pert);
+  out.trace = pert.trace();
+  return out;
+}
+
+check_result replay_check(const check_params& p,
+                          const std::vector<perturb_action>& actions) {
+  replay_perturber pert(p.config.perturb, p.config.seed, actions);
+  return run_with(p, pert);
+}
+
+shrink_result shrink_trace(const check_params& p,
+                           const std::vector<perturb_action>& full) {
+  shrink_result out;
+  out.minimal = full;
+  // Greedy delta debugging over the action journal: try dropping chunks of
+  // size n/2, n/4, ..., 1; keep any removal after which a replay still
+  // fails. The seed-driven tie reordering is part of (config, seed), not the
+  // journal, so the minimal journal can legitimately be empty.
+  std::size_t chunk = (out.minimal.size() + 1) / 2;
+  while (chunk >= 1 && !out.minimal.empty()) {
+    bool removed_any = false;
+    for (std::size_t start = 0; start < out.minimal.size();) {
+      auto candidate = out.minimal;
+      const auto end = std::min(start + chunk, candidate.size());
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(start),
+                      candidate.begin() + static_cast<std::ptrdiff_t>(end));
+      ++out.replays;
+      if (replay_check(p, candidate).failed()) {
+        out.minimal = std::move(candidate);
+        removed_any = true;
+        // Same start index now addresses the next chunk.
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1) {
+      if (!removed_any) break;  // fixpoint at granularity 1
+      continue;                 // keep sweeping single actions
+    }
+    chunk = (chunk + 1) / 2;
+  }
+  ++out.replays;
+  out.still_fails = replay_check(p, out.minimal).failed();
+  return out;
+}
+
+}  // namespace adx::check

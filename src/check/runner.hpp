@@ -1,0 +1,73 @@
+// The checker's execution engine: builds a runtime + lock from an
+// adx::run_config, attaches a seeded perturber and a monitor, drives one of
+// the fixture workloads, and reports every violation found.
+//
+// Each run is a pure function of (run_config, fixture, fixture shape): the
+// recording run journals the perturbations it injected, a replay run
+// re-applies any subset of that journal, and `shrink_trace` uses replays to
+// reduce a failing journal to a minimal reproducer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/monitor.hpp"
+#include "check/perturbers.hpp"
+#include "locks/run_config.hpp"
+
+namespace adx::check {
+
+/// Fixture workloads (see runner.cpp for their shapes).
+enum class fixture {
+  mutex,        ///< N threads on N processors pound one lock + counter
+  oversub,      ///< multiprogrammed: several threads per processor
+  reconfig,     ///< lock traffic + concurrent Ψ reconfiguration
+  broken_lock,  ///< the mutex workload on the planted-bug lock
+};
+
+[[nodiscard]] const char* to_string(fixture f);
+[[nodiscard]] fixture parse_fixture(std::string_view name);
+[[nodiscard]] std::span<const fixture> all_fixtures();
+
+struct check_params {
+  adx::run_config config;
+  fixture fix{fixture::mutex};
+  unsigned iterations{12};  ///< critical sections per thread
+  oracle_params oracles{};
+  std::uint64_t max_events{20'000'000ULL};
+};
+
+struct check_result {
+  std::vector<violation> violations;
+  bool completed{true};
+  sim::vtime end_time{};
+  std::uint64_t events{0};
+  /// Perturbation journal of the run (recording runs only).
+  std::vector<perturb_action> trace;
+
+  [[nodiscard]] bool failed() const { return !violations.empty(); }
+};
+
+/// One recording run: random perturber from (config.perturb, config.seed).
+[[nodiscard]] check_result run_check(const check_params& p);
+
+/// One replay run applying only `actions` from the journal (tie reordering
+/// stays seed-driven).
+[[nodiscard]] check_result replay_check(const check_params& p,
+                                        const std::vector<perturb_action>& actions);
+
+struct shrink_result {
+  std::vector<perturb_action> minimal;
+  unsigned replays{0};  ///< replay runs spent shrinking
+  bool still_fails{true};
+};
+
+/// Greedily shrinks a failing run's journal (ddmin-style: halves, quarters,
+/// ... single actions) to a subset that still reproduces a violation.
+[[nodiscard]] shrink_result shrink_trace(const check_params& p,
+                                         const std::vector<perturb_action>& full);
+
+}  // namespace adx::check

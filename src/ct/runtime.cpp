@@ -104,6 +104,10 @@ const tcb& runtime::thread_ref(thread_id t) const { return *threads_.at(t); }
 void runtime::schedule_resume(tcb& t, std::coroutine_handle<> h, sim::vtime at) {
   t.resume_point = h;
   const auto epoch = ++t.epoch;
+  // Injected resume-point delay (schedule exploration): the thread holds its
+  // processor slightly longer, widening the window for other processors'
+  // memory traffic to interleave with this atomic window's neighbours.
+  if (perturber_ != nullptr) at = at + perturber_->resume_delay(t.id);
   mach_.events().schedule_at(at, [&t, h, epoch] {
     if (t.epoch == epoch && t.state == thread_state::running) h.resume();
   });
@@ -158,6 +162,7 @@ bool runtime::unblock(thread_id id) {
                      static_cast<std::uint32_t>(t.proc), t.id);
   }
   t.last_block_timed_out = false;
+  if (observer_ != nullptr) observer_->on_unblock(t.id, mach_.now());
   make_ready(t);
   return true;
 }
@@ -208,6 +213,7 @@ void runtime::on_thread_exit(tcb& t) {
 }
 
 void runtime::make_ready(tcb& t) {
+  if (observer_ != nullptr) observer_->on_ready(t.id, mach_.now());
   t.state = thread_state::ready;
   ++t.epoch;
   auto& p = procs_[t.proc];

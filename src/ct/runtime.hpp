@@ -78,6 +78,27 @@ class simulation_limit_error : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Host-side observer of scheduling transitions. Like the tracer, it never
+/// charges virtual time and never schedules events, so attaching one cannot
+/// perturb a run. adx::check's invariant oracles (lost-wakeup, deadlock)
+/// subscribe here to see wakeups that lock-level instrumentation cannot.
+class runtime_observer {
+ public:
+  virtual ~runtime_observer() = default;
+
+  /// A blocked/sleeping thread was woken by unblock().
+  virtual void on_unblock(thread_id t, sim::vtime at) {
+    (void)t;
+    (void)at;
+  }
+
+  /// A thread became ready (wakeup, timeout self-wake, sleep expiry, fork).
+  virtual void on_ready(thread_id t, sim::vtime at) {
+    (void)t;
+    (void)at;
+  }
+};
+
 class runtime {
  public:
   using thread_fn = std::function<task<void>(context&)>;
@@ -158,6 +179,20 @@ class runtime {
   void attach_tracer(obs::tracer* t) { tracer_ = t; }
   [[nodiscard]] obs::tracer* tracer() const { return tracer_; }
 
+  /// Attaches a host-side scheduling observer (not owned; null detaches).
+  void attach_observer(runtime_observer* o) { observer_ = o; }
+  [[nodiscard]] runtime_observer* observer() const { return observer_; }
+
+  /// Attaches a schedule perturber (not owned; null detaches): forwarded to
+  /// the machine (tie-breaks, access spikes) and consulted directly for
+  /// resume-point delays. Lock code reads it back via perturber() to honour
+  /// forced preemption at lock-word touchpoints.
+  void set_perturber(sim::perturber* p) {
+    perturber_ = p;
+    mach_.set_perturber(p);
+  }
+  [[nodiscard]] sim::perturber* perturber() const { return perturber_; }
+
   /// Snapshots the scheduling counters into a metrics registry.
   void export_metrics(obs::metrics& m, const std::string& prefix = "ct") const;
 
@@ -186,6 +221,8 @@ class runtime {
   std::size_t live_threads_{0};
 
   obs::tracer* tracer_{nullptr};
+  runtime_observer* observer_{nullptr};
+  sim::perturber* perturber_{nullptr};
   std::uint64_t forks_{0};
   std::uint64_t dispatches_{0};
   std::uint64_t blocks_{0};

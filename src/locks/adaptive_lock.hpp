@@ -37,6 +37,8 @@ struct simple_adapt_params {
   /// to the cap, then block — the bounded-spin rule production adaptive
   /// mutexes use.
   bool pure_spin_on_idle = true;
+
+  friend bool operator==(const simple_adapt_params&, const simple_adapt_params&) = default;
 };
 
 /// The paper's simple-adapt policy, operating on a reconfigurable lock.

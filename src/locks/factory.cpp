@@ -30,14 +30,27 @@ const char* to_string(lock_kind k) {
   return "?";
 }
 
+std::span<const lock_kind> all_lock_kinds() {
+  static constexpr lock_kind kinds[] = {
+      lock_kind::atomior,  lock_kind::spin,   lock_kind::backoff,
+      lock_kind::blocking, lock_kind::combined, lock_kind::advisory,
+      lock_kind::ticket,   lock_kind::mcs,    lock_kind::reconfigurable,
+      lock_kind::adaptive,
+  };
+  return kinds;
+}
+
 lock_kind parse_lock_kind(std::string_view name) {
-  for (auto k : {lock_kind::atomior, lock_kind::spin, lock_kind::backoff,
-                 lock_kind::blocking, lock_kind::combined, lock_kind::advisory,
-                 lock_kind::ticket, lock_kind::mcs, lock_kind::reconfigurable,
-                 lock_kind::adaptive}) {
+  for (auto k : all_lock_kinds()) {
     if (name == to_string(k)) return k;
   }
-  throw std::invalid_argument("unknown lock kind: " + std::string(name));
+  std::string msg = "unknown lock kind: " + std::string(name) + " (valid:";
+  for (auto k : all_lock_kinds()) {
+    msg += ' ';
+    msg += to_string(k);
+  }
+  msg += ')';
+  throw std::invalid_argument(msg);
 }
 
 std::unique_ptr<lock_object> make_lock(lock_kind kind, sim::node_id home,

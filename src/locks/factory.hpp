@@ -3,6 +3,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string_view>
 
 #include "locks/adaptive_lock.hpp"
@@ -26,8 +27,12 @@ enum class lock_kind {
 [[nodiscard]] const char* to_string(lock_kind k);
 
 /// Parses a lock-kind name (as printed by to_string); throws
-/// std::invalid_argument on unknown names.
+/// std::invalid_argument naming the valid kinds on unknown names.
 [[nodiscard]] lock_kind parse_lock_kind(std::string_view name);
+
+/// All lock kinds, in declaration order — the sweep axis for benches and
+/// the adx-check CLI.
+[[nodiscard]] std::span<const lock_kind> all_lock_kinds();
 
 struct lock_params {
   std::int64_t combined_spin_limit = 10;
@@ -37,6 +42,8 @@ struct lock_params {
   /// handoff (paper setting), 1 = release-and-retry (barging; avoids grant
   /// convoys under heavy multiprogramming).
   std::int64_t grant_mode = 0;
+
+  friend bool operator==(const lock_params&, const lock_params&) = default;
 };
 
 [[nodiscard]] std::unique_ptr<lock_object> make_lock(lock_kind kind, sim::node_id home,

@@ -52,12 +52,30 @@ class lock_object {
   /// Owner thread (ct::invalid_thread when free); maintained natively.
   [[nodiscard]] ct::thread_id owner() const { return owner_; }
 
+  /// Attaches a lock-event observer (not owned; null detaches). The observer
+  /// sees every state transition this lock reports into its stats.
+  void attach_observer(lock_event_observer* o) { stats_.attach_observer(this, o); }
+
  protected:
   lock_object(sim::node_id home, lock_cost_model cost)
       : word_(home, 0), cost_(cost) {}
 
+  /// Schedule exploration: forced preemption at a lock-word touchpoint. The
+  /// perturber may demand the thread yield here — legal because every caller
+  /// is already at an await point, so all lock protocols must tolerate an
+  /// interleaving at this spot anyway. Only yields when a peer is ready
+  /// (otherwise the yield is a no-op that just burns dispatch latency).
+  ct::task<void> maybe_preempt(ct::context& ctx) {
+    auto* p = ctx.rt().perturber();
+    if (p != nullptr && p->preempt_at_lock(ctx.self()) &&
+        ctx.rt().has_ready_peer(ctx.proc())) {
+      co_await ctx.yield();
+    }
+  }
+
   /// One test-and-set attempt (atomior): returns true if acquired.
   ct::task<bool> try_acquire(ct::context& ctx) {
+    co_await maybe_preempt(ctx);
     const auto old = co_await ctx.fetch_or(word_, std::uint64_t{1});
     if ((old & 1) == 0) {
       owner_ = ctx.self();
@@ -72,6 +90,7 @@ class lock_object {
   ct::task<bool> spin_ttas(ct::context& ctx, std::int64_t max_iters) {
     for (std::int64_t i = 0; max_iters < 0 || i < max_iters; ++i) {
       stats_.on_spin_iteration();
+      co_await maybe_preempt(ctx);
       const auto v = co_await ctx.read(word_);
       if ((v & 1) == 0) {
         if (co_await try_acquire(ctx)) co_return true;

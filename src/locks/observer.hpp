@@ -1,0 +1,63 @@
+// Lock-event observer: a host-side subscription to the state transitions
+// every lock implementation already reports into lock_stats. Where the
+// tracer renders those transitions for humans, an observer lets *programs*
+// watch them — adx::check's invariant oracles (mutual exclusion, lost
+// wakeup, reconfiguration atomicity, fairness) are observers.
+//
+// All callbacks run host-side at the moment the lock reports the event; they
+// charge no virtual time and must not schedule events or touch lock state.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace adx::locks {
+
+class lock_object;
+
+class lock_event_observer {
+ public:
+  virtual ~lock_event_observer() = default;
+
+  /// Lock acquired by `tid` after waiting `waited`.
+  virtual void on_acquired(lock_object& lk, sim::vtime at, sim::vdur waited,
+                           std::uint32_t tid) {
+    (void)lk, (void)at, (void)waited, (void)tid;
+  }
+
+  /// Lock released by `tid` (reported at unlock entry, before any handoff).
+  virtual void on_release(lock_object& lk, sim::vtime at, std::uint32_t tid) {
+    (void)lk, (void)at, (void)tid;
+  }
+
+  /// `tid` found the lock busy and entered its waiting protocol.
+  virtual void on_contended(lock_object& lk, sim::vtime at, std::uint32_t tid) {
+    (void)lk, (void)at, (void)tid;
+  }
+
+  /// `tid` is about to block (give up its processor) waiting for the lock.
+  virtual void on_block(lock_object& lk, sim::vtime at, std::uint32_t tid) {
+    (void)lk, (void)at, (void)tid;
+  }
+
+  /// Releaser handed the lock directly to `to_tid` (grant_mode 0).
+  virtual void on_handoff(lock_object& lk, sim::vtime at, std::uint32_t to_tid) {
+    (void)lk, (void)at, (void)to_tid;
+  }
+
+  /// A reconfiguration decision fired (policy change chosen by `tid`).
+  virtual void on_reconfigure(lock_object& lk, sim::vtime at, std::uint32_t tid,
+                              std::string_view decision) {
+    (void)lk, (void)at, (void)tid, (void)decision;
+  }
+
+  /// A Ψ transition (atomic attribute-set swap) is starting / has finished.
+  /// Any acquire, release or block reported between the pair violates
+  /// reconfiguration atomicity.
+  virtual void on_psi_begin(lock_object& lk, sim::vtime at) { (void)lk, (void)at; }
+  virtual void on_psi_end(lock_object& lk, sim::vtime at) { (void)lk, (void)at; }
+};
+
+}  // namespace adx::locks

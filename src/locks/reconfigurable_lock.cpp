@@ -42,7 +42,8 @@ waiting_policy reconfigurable_lock::current_policy() const {
 }
 
 bool reconfigurable_lock::apply_waiting_policy(const waiting_policy& wp,
-                                               std::optional<core::agent_id> who) {
+                                               std::optional<core::agent_id> who,
+                                               sim::vtime at) {
   auto& a = attributes();
   const auto cur = current_policy();
   if (cur == wp) return true;  // no-op: no Ψ recorded
@@ -53,10 +54,15 @@ bool reconfigurable_lock::apply_waiting_policy(const waiting_policy& wp,
     if (!attr.is_mutable()) return false;
     if (attr.owner() && (!who || *who != *attr.owner())) return false;
   }
+  // The four sets below form one Ψ transition: the single-threaded event loop
+  // makes the window atomic (no awaits), and the brackets let an attached
+  // observer verify that — any lock traffic between them is a violation.
+  stats_.on_psi_begin(at);
   a.at("spin-time").set(wp.spin_time, who);
   a.at("delay-time").set(wp.delay_time, who);
   a.at("sleep-time").set(wp.sleep_time, who);
   a.at("timeout").set(wp.timeout_us, who);
+  stats_.on_psi_end(at);
   note_reconfiguration(core::op_cost{1, 1});  // packed policy word
   return true;
 }
@@ -189,7 +195,7 @@ ct::task<void> reconfigurable_lock::configure_waiting_policy(ct::context& ctx,
   co_await ctx.compute(cost_.configure_attr_overhead);
   co_await ctx.touch(home(), sim::access_kind::read);
   co_await ctx.touch(home(), sim::access_kind::write);
-  apply_waiting_policy(wp);
+  apply_waiting_policy(wp, std::nullopt, ctx.now());
 }
 
 ct::task<void> reconfigurable_lock::configure_scheduler(

@@ -105,9 +105,12 @@ class reconfigurable_lock : public lock_object, public core::adaptive_object {
 
   /// Applies all four waiting-policy attributes as one packed Ψ (1R + 1W).
   /// Returns false (and changes nothing) if any attribute is immutable or
-  /// owned by another agent; true on success or no-op.
+  /// owned by another agent; true on success or no-op. `at` labels the Ψ
+  /// brackets reported to an attached lock-event observer (host-side callers
+  /// without a clock may leave it zero).
   bool apply_waiting_policy(const waiting_policy& wp,
-                            std::optional<core::agent_id> who = std::nullopt);
+                            std::optional<core::agent_id> who = std::nullopt,
+                            sim::vtime at = {});
 
   [[nodiscard]] waiting_policy current_policy() const;
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <utility>
 
+#include "locks/observer.hpp"
 #include "obs/log_histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
@@ -32,6 +33,7 @@ class lock_stats {
     if (tracing()) {
       tracer_->instant(name_contend_, "lock", at, pid_, tid);
     }
+    if (observer_) observer_->on_contended(*owner_, at, tid);
   }
 
   void on_acquired(sim::vtime at, sim::vdur waited, std::uint32_t tid) {
@@ -43,6 +45,7 @@ class lock_stats {
       tracer_->complete(name_acquire_, "lock", sim::vtime{at.ns - waited.ns},
                         waited, pid_, tid);
     }
+    if (observer_) observer_->on_acquired(*owner_, at, waited, tid);
   }
 
   void on_release(sim::vtime at, std::uint32_t tid) {
@@ -53,6 +56,7 @@ class lock_stats {
     if (tracing()) {
       tracer_->complete(name_held_, "lock", held_since_, held, pid_, tid);
     }
+    if (observer_) observer_->on_release(*owner_, at, tid);
   }
 
   void on_spin_iteration() { ++spin_iterations_; }
@@ -62,6 +66,7 @@ class lock_stats {
     if (tracing()) {
       tracer_->instant(name_block_, "lock", at, pid_, tid);
     }
+    if (observer_) observer_->on_block(*owner_, at, tid);
   }
 
   void on_handoff(sim::vtime at, std::uint32_t to_tid) {
@@ -70,6 +75,7 @@ class lock_stats {
       tracer_->instant(name_handoff_, "lock", at, pid_, to_tid,
                        {"to_tid", to_tid});
     }
+    if (observer_) observer_->on_handoff(*owner_, at, to_tid);
   }
 
   /// A reconfiguration decision d_c, annotated with the sensor value v_i
@@ -77,10 +83,20 @@ class lock_stats {
   void on_reconfigure(sim::vtime at, std::uint32_t tid, std::int64_t sensor_value,
                       std::string decision) {
     ++reconfigures_;
+    if (observer_) observer_->on_reconfigure(*owner_, at, tid, decision);
     if (tracing()) {
       tracer_->instant(name_reconfigure_, "lock", at, pid_, tid,
                        {"v_i", sensor_value}, {}, "d_c", std::move(decision));
     }
+  }
+
+  /// Ψ transition brackets: reconfigurable locks call these around the
+  /// atomic attribute-set swap so observers can check nothing slipped in.
+  void on_psi_begin(sim::vtime at) {
+    if (observer_) observer_->on_psi_begin(*owner_, at);
+  }
+  void on_psi_end(sim::vtime at) {
+    if (observer_) observer_->on_psi_end(*owner_, at);
   }
 
   /// Records the current number of waiting threads; feeds the pattern trace
@@ -116,6 +132,15 @@ class lock_stats {
   }
   [[nodiscard]] obs::tracer* tracer() const { return tracer_; }
   [[nodiscard]] const std::string& trace_name() const { return trace_name_; }
+
+  /// Attaches a lock-event observer (not owned; null detaches). `owner` is
+  /// the lock these stats belong to — passed back on every callback so one
+  /// observer can watch many locks.
+  void attach_observer(lock_object* owner, lock_event_observer* o) {
+    owner_ = owner;
+    observer_ = o;
+  }
+  [[nodiscard]] lock_event_observer* observer() const { return observer_; }
 
   /// Snapshots counters and distributions into a metrics registry under
   /// `prefix` (e.g. "lock.qlock").
@@ -174,6 +199,8 @@ class lock_stats {
   obs::log_histogram held_hist_{/*min_value=*/0.5};
   sim::trace* pattern_{nullptr};
 
+  lock_object* owner_{nullptr};
+  lock_event_observer* observer_{nullptr};
   obs::tracer* tracer_{nullptr};
   std::uint32_t pid_{0};
   std::string trace_name_;

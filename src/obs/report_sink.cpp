@@ -3,10 +3,23 @@
 #include <algorithm>
 #include <iomanip>
 #include <ostream>
+#include <sstream>
 
 #include "obs/json.hpp"
 
 namespace adx::obs {
+
+std::string report_builder::num(double v, int prec) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(prec) << v;
+  return ss.str();
+}
+
+std::string report_builder::pct(double fraction, int prec) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(prec) << fraction * 100.0 << '%';
+  return ss.str();
+}
 
 std::optional<report_format> parse_report_format(std::string_view s) {
   if (s == "table") return report_format::table;

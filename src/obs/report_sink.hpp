@@ -9,10 +9,11 @@
 //           cells that parse fully as numbers are emitted unquoted.
 #pragma once
 
-#include <iosfwd>
+#include <iostream>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace adx::obs {
@@ -51,6 +52,55 @@ class report_sink {
 
   report_format fmt_;
   std::ostream* os_;
+};
+
+/// Fluent construction of a report, plus the shared numeric cell formatters.
+/// This is the one table-building API: benches, examples and the checker all
+/// assemble their output through it and render via a report_sink.
+class report_builder {
+ public:
+  explicit report_builder(std::vector<std::string> headers) {
+    rep_.columns = std::move(headers);
+  }
+
+  report_builder& title(std::string t) {
+    rep_.title = std::move(t);
+    return *this;
+  }
+  report_builder& preamble(std::string line) {
+    rep_.preamble.push_back(std::move(line));
+    return *this;
+  }
+  report_builder& note(std::string line) {
+    rep_.notes.push_back(std::move(line));
+    return *this;
+  }
+  report_builder& row(std::vector<std::string> cells) {
+    rep_.add_row(std::move(cells));
+    return *this;
+  }
+
+  /// Renders the classic fixed-width +---+ grid (byte-identical to the old
+  /// hand-rolled printer when no title/preamble/notes are set).
+  void print(std::ostream& os = std::cout) const {
+    emit(report_format::table, os);
+  }
+
+  /// Renders through a report_sink in any supported format.
+  void emit(report_format f, std::ostream& os = std::cout) const {
+    report_sink(f, os).emit(rep_);
+  }
+
+  [[nodiscard]] const report& rep() const { return rep_; }
+  [[nodiscard]] report& rep() { return rep_; }
+
+  /// Formats a double with `prec` decimals.
+  [[nodiscard]] static std::string num(double v, int prec = 2);
+  /// Formats a percentage (e.g. "17.8%").
+  [[nodiscard]] static std::string pct(double fraction, int prec = 1);
+
+ private:
+  report rep_;
 };
 
 }  // namespace adx::obs

@@ -6,7 +6,9 @@ namespace adx::sim {
 
 void event_queue::schedule_at(vtime at, callback cb) {
   if (at < now_) at = now_;
-  heap_.push(entry{at, seq_++, std::move(cb)});
+  const auto seq = seq_++;
+  const auto key = perturber_ ? perturber_->tie_key(at, seq) : seq;
+  heap_.push(entry{at, key, seq, std::move(cb)});
 }
 
 bool event_queue::run_one() {

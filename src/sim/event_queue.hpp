@@ -1,6 +1,8 @@
 // The discrete-event core: a time-ordered queue of callbacks. The whole
 // simulation is single-threaded and deterministic; ties are broken by
-// insertion sequence number so identical runs replay identically.
+// insertion sequence number so identical runs replay identically. An attached
+// perturber can override the tie-break key (schedule exploration); ordering
+// stays deterministic because the key is computed once, at insertion.
 #pragma once
 
 #include <cstdint>
@@ -8,6 +10,7 @@
 #include <queue>
 #include <vector>
 
+#include "sim/perturb.hpp"
 #include "sim/time.hpp"
 
 namespace adx::sim {
@@ -40,15 +43,23 @@ class event_queue {
   /// are included if due). Returns the number processed.
   std::uint64_t run_until(vtime until);
 
+  /// Attaches a schedule perturber (not owned; null detaches). Only the
+  /// tie-break hook is consulted here; events already queued keep the key
+  /// they were inserted with.
+  void set_perturber(perturber* p) { perturber_ = p; }
+  [[nodiscard]] perturber* get_perturber() const { return perturber_; }
+
  private:
   struct entry {
     vtime at;
+    std::uint64_t key;  ///< tie-break key (== seq unless perturbed)
     std::uint64_t seq;
     callback cb;
   };
   struct later {
     bool operator()(const entry& a, const entry& b) const {
-      return a.at == b.at ? a.seq > b.seq : a.at > b.at;
+      if (a.at != b.at) return a.at > b.at;
+      return a.key == b.key ? a.seq > b.seq : a.key > b.key;
     }
   };
 
@@ -56,6 +67,7 @@ class event_queue {
   vtime now_{};
   std::uint64_t seq_{0};
   std::uint64_t processed_{0};
+  perturber* perturber_{nullptr};
 };
 
 }  // namespace adx::sim

@@ -31,14 +31,19 @@ vtime machine::access(node_id from, node_id home, access_kind kind) {
       break;
   }
 
+  // Injected interconnect congestion spike (schedule exploration): extra
+  // latency on the outbound leg, so the access also occupies the module
+  // later — downstream queueing shifts exactly as a real spike would.
+  const vdur spike = perturber_ ? perturber_->access_delay(from, home) : vdur{};
+
   if (!local && network_) {
     // Staged network: queue through the switches out and back.
-    const vtime arrival = network_->traverse(from, home, now());
+    const vtime arrival = network_->traverse(from, home, now() + spike);
     const vtime done_at_module = modules_[home].service(arrival, service);
     return network_->traverse(home, from, done_at_module);
   }
   const vdur wire = local ? cfg_.local_wire : cfg_.remote_wire;
-  const vtime arrival = now() + wire;
+  const vtime arrival = now() + wire + spike;
   const vtime done_at_module = modules_[home].service(arrival, service);
   return done_at_module + wire;
 }

@@ -49,6 +49,15 @@ class machine {
   /// The staged network, when wire_model == butterfly (null otherwise).
   [[nodiscard]] const butterfly_network* network() const { return network_.get(); }
 
+  /// Attaches a schedule perturber (not owned; null detaches). The machine
+  /// consults its access-delay hook (interconnect spikes) and forwards the
+  /// pointer to the event queue for tie-break perturbation.
+  void set_perturber(perturber* p) {
+    perturber_ = p;
+    events_.set_perturber(p);
+  }
+  [[nodiscard]] perturber* get_perturber() const { return perturber_; }
+
  private:
   machine_config cfg_;
   event_queue events_;
@@ -56,6 +65,7 @@ class machine {
   access_counts counts_;
   rng rng_;
   std::unique_ptr<butterfly_network> network_;
+  perturber* perturber_{nullptr};
 };
 
 }  // namespace adx::sim

@@ -61,6 +61,8 @@ struct machine_config {
   /// Seed for all randomness owned by the machine.
   std::uint64_t seed = 0x5eedULL;
 
+  friend bool operator==(const machine_config&, const machine_config&) = default;
+
   /// The paper's platform: 32-node BBN Butterfly GP1000.
   [[nodiscard]] static machine_config butterfly_gp1000();
 

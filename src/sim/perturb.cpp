@@ -1,0 +1,28 @@
+#include "sim/perturb.hpp"
+
+#include <stdexcept>
+
+namespace adx::sim {
+
+const char* to_string(const perturb_profile& p) {
+  if (p == perturb_profile::none()) return "none";
+  if (p == perturb_profile::ties()) return "ties";
+  if (p == perturb_profile::delay()) return "delay";
+  if (p == perturb_profile::preempt()) return "preempt";
+  if (p == perturb_profile::latency()) return "latency";
+  if (p == perturb_profile::chaos()) return "chaos";
+  return "custom";
+}
+
+perturb_profile parse_perturb_profile(std::string_view name) {
+  if (name == "none") return perturb_profile::none();
+  if (name == "ties") return perturb_profile::ties();
+  if (name == "delay") return perturb_profile::delay();
+  if (name == "preempt") return perturb_profile::preempt();
+  if (name == "latency") return perturb_profile::latency();
+  if (name == "chaos") return perturb_profile::chaos();
+  throw std::invalid_argument("unknown perturbation profile: '" + std::string(name) +
+                              "' (valid: none, ties, delay, preempt, latency, chaos)");
+}
+
+}  // namespace adx::sim

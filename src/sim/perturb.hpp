@@ -1,0 +1,105 @@
+// Schedule-perturbation interface for the deterministic simulator.
+//
+// A `perturber` is a set of hooks the simulation core consults at the points
+// where real hardware exhibits timing nondeterminism: tie-breaking among
+// events due at the same instant, extra latency on memory accesses
+// (interconnect congestion spikes), extra delay before a thread resumes at an
+// await point, and forced preemption at lock-word touchpoints. The default
+// implementation of every hook is the identity, so an attached null or
+// default perturber leaves a run bit-identical to an unperturbed one.
+//
+// Perturbers are pure schedule modifiers: they may change *when* things
+// happen, never *what* the simulated program does — which is what makes them
+// safe to drive from a seeded RNG and replay exactly (adx::check builds its
+// schedule-exploration harness on top of this interface).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/machine_config.hpp"
+#include "sim/time.hpp"
+
+namespace adx::sim {
+
+class perturber {
+ public:
+  virtual ~perturber() = default;
+
+  /// Tie-break key for an event scheduled at `at` with insertion sequence
+  /// `seq`. Events due at the same instant run in increasing key order (key
+  /// ties fall back to insertion order). Returning `seq` preserves the
+  /// default FIFO tie-breaking.
+  [[nodiscard]] virtual std::uint64_t tie_key(vtime at, std::uint64_t seq) {
+    (void)at;
+    return seq;
+  }
+
+  /// Extra round-trip latency added to one memory access from `from` to the
+  /// module at `home` (an interconnect congestion spike).
+  [[nodiscard]] virtual vdur access_delay(node_id from, node_id home) {
+    (void)from;
+    (void)home;
+    return {};
+  }
+
+  /// Extra delay before thread `tid` resumes at an await point (the thread
+  /// keeps its processor; models cache refill / TLB / interrupt jitter).
+  [[nodiscard]] virtual vdur resume_delay(std::uint32_t tid) {
+    (void)tid;
+    return {};
+  }
+
+  /// True if thread `tid` should be forced to yield its processor at a
+  /// lock-word touchpoint (models involuntary preemption inside the lock
+  /// acquisition path — the window where lost wakeups and barging races
+  /// hide).
+  [[nodiscard]] virtual bool preempt_at_lock(std::uint32_t tid) {
+    (void)tid;
+    return false;
+  }
+};
+
+/// A declarative perturbation intensity profile — the serializable half of a
+/// perturber. adx::check turns a profile plus a seed into a concrete seeded
+/// perturber; keeping the profile here lets run configurations round-trip
+/// through JSON without depending on the checker.
+struct perturb_profile {
+  /// Randomize the ordering of events due at the same instant.
+  bool reorder_ties{false};
+  /// Percent chance (0-100) that a resume at an await point is delayed.
+  std::uint32_t delay_pct{0};
+  /// Upper bound on one injected resume delay, in microseconds.
+  std::int64_t max_delay_us{0};
+  /// Percent chance (0-100) of a forced yield at a lock-word touchpoint.
+  std::uint32_t preempt_pct{0};
+  /// Percent chance (0-100) that a memory access is latency-spiked.
+  std::uint32_t latency_pct{0};
+  /// Magnitude of one interconnect latency spike, in microseconds.
+  std::int64_t latency_spike_us{0};
+
+  friend bool operator==(const perturb_profile&, const perturb_profile&) = default;
+
+  [[nodiscard]] bool enabled() const {
+    return reorder_ties || delay_pct > 0 || preempt_pct > 0 || latency_pct > 0;
+  }
+
+  // Named presets, in increasing order of aggression.
+  [[nodiscard]] static perturb_profile none() { return {}; }
+  [[nodiscard]] static perturb_profile ties() { return {true, 0, 0, 0, 0, 0}; }
+  [[nodiscard]] static perturb_profile delay() { return {true, 25, 200, 0, 0, 0}; }
+  [[nodiscard]] static perturb_profile preempt() { return {true, 0, 0, 20, 0, 0}; }
+  [[nodiscard]] static perturb_profile latency() { return {true, 0, 0, 0, 25, 150}; }
+  [[nodiscard]] static perturb_profile chaos() { return {true, 25, 200, 20, 25, 150}; }
+};
+
+/// Name of a preset profile ("none", "ties", "delay", "preempt", "latency",
+/// "chaos"), or "custom" for anything else.
+[[nodiscard]] const char* to_string(const perturb_profile& p);
+
+/// Parses a preset profile name (as printed by to_string); throws
+/// std::invalid_argument on unknown names, listing the valid ones.
+[[nodiscard]] perturb_profile parse_perturb_profile(std::string_view name);
+
+}  // namespace adx::sim

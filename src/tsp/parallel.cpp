@@ -77,29 +77,29 @@ struct tsp_sim {
   tsp_sim(const instance& in, const parallel_config& c)
       : inst(in),
         cfg(c),
-        rt(c.machine),
+        rt(c.run.effective_machine()),
         P(c.processors),
         nshards(c.impl == variant::centralized ? 1 : c.processors),
         active(0, static_cast<std::int64_t>(c.processors)),
         done(0, 0),
         pending(0, 0) {
-    if (P == 0 || P > c.machine.nodes) {
+    if (P == 0 || P > c.run.machine.nodes) {
       throw std::invalid_argument("tsp: processors out of range for machine");
     }
     shards.resize(nshards);
     for (unsigned s = 0; s < nshards; ++s) {
       const sim::node_id home = shard_home(s);
       shard_size.push_back(std::make_unique<ct::svar<std::int64_t>>(home, 0));
-      qlocks.push_back(locks::make_lock(cfg.lock_kind, home, cfg.cost, cfg.lock_params));
+      qlocks.push_back(locks::make_lock(cfg.run, home, cfg.cost));
     }
     const unsigned nbest = cfg.impl == variant::centralized ? 1 : P;
     for (unsigned b = 0; b < nbest; ++b) {
       const sim::node_id home = cfg.impl == variant::centralized ? 0 : b;
       best_val.push_back(std::make_unique<ct::svar<std::int64_t>>(home, kInfBound));
-      low_locks.push_back(locks::make_lock(cfg.lock_kind, home, cfg.cost, cfg.lock_params));
+      low_locks.push_back(locks::make_lock(cfg.run, home, cfg.cost));
     }
-    act_lock = locks::make_lock(cfg.lock_kind, 0, cfg.cost, cfg.lock_params);
-    glob_lock = locks::make_lock(cfg.lock_kind, 0, cfg.cost, cfg.lock_params);
+    act_lock = locks::make_lock(cfg.run, 0, cfg.cost);
+    glob_lock = locks::make_lock(cfg.run, 0, cfg.cost);
 
     if (cfg.record_patterns) {
       for (auto& q : qlocks) q->stats().attach_pattern_trace(&qlock_pattern);

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "locks/factory.hpp"
+#include "locks/run_config.hpp"
 #include "obs/tracer.hpp"
 #include "sim/trace.hpp"
 #include "tsp/lmsk.hpp"
@@ -44,10 +45,11 @@ struct parallel_config {
   unsigned processors = 10;
   variant impl = variant::centralized;
 
-  locks::lock_kind lock_kind = locks::lock_kind::blocking;
-  locks::lock_params lock_params{};
+  /// Unified run configuration (machine shape, lock kind + parameters,
+  /// perturbation profile, seed). `processors`/`impl` and the lock cost
+  /// model stay TSP-specific knobs on top of it.
+  adx::run_config run = adx::run_config{}.with_lock(locks::lock_kind::blocking);
   locks::lock_cost_model cost = locks::lock_cost_model::butterfly_cthreads();
-  sim::machine_config machine = sim::machine_config::butterfly_gp1000();
 
   /// Charged processor time per LMSK matrix-cell operation. Calibrated so
   /// the sequential 32-city baseline lands near the paper's 20.7 s.

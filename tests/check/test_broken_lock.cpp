@@ -1,0 +1,135 @@
+// End-to-end checker validation: the planted-bug lock must be caught by the
+// sweep, the failure must replay from its journal, and the shrinker must
+// produce a (possibly empty) journal that still reproduces it. A checker
+// that cannot catch a known-broken lock proves nothing about correct ones.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <utility>
+
+#include "check/runner.hpp"
+
+namespace adx::check {
+namespace {
+
+check_params broken_params(std::uint64_t seed,
+                           sim::perturb_profile profile = sim::perturb_profile::delay()) {
+  check_params p;
+  p.config = run_config{}
+                 .with_machine(sim::machine_config::test_machine(4))
+                 .with_perturb(profile)
+                 .with_seed(seed);
+  p.fix = fixture::broken_lock;
+  return p;
+}
+
+/// The broken lock's races are seed-dependent; sweep until one fires.
+std::optional<std::pair<check_params, check_result>> find_failure() {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    for (const auto& profile :
+         {sim::perturb_profile::delay(), sim::perturb_profile::chaos()}) {
+      auto p = broken_params(seed, profile);
+      auto r = run_check(p);
+      if (r.failed()) return {{p, std::move(r)}};
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(BrokenLock, SweepCatchesThePlantedBug) {
+  const auto failure = find_failure();
+  ASSERT_TRUE(failure.has_value())
+      << "no seed in the sweep tripped the broken lock";
+  const auto& [p, r] = *failure;
+  bool safety = false;
+  for (const auto& v : r.violations) {
+    safety |= v.oracle == "mutual-exclusion" || v.oracle == "lost-wakeup" ||
+              v.oracle == "deadlock";
+  }
+  EXPECT_TRUE(safety) << to_string(r.violations.front());
+}
+
+TEST(BrokenLock, FailureReplaysFromItsJournal) {
+  const auto failure = find_failure();
+  ASSERT_TRUE(failure.has_value());
+  const auto& [p, r] = *failure;
+  const auto replay = replay_check(p, r.trace);
+  EXPECT_TRUE(replay.failed());
+}
+
+TEST(BrokenLock, ShrinkerReducesToAStableReproducer) {
+  const auto failure = find_failure();
+  ASSERT_TRUE(failure.has_value());
+  const auto& [p, r] = *failure;
+  const auto shrunk = shrink_trace(p, r.trace);
+  EXPECT_TRUE(shrunk.still_fails);
+  EXPECT_LE(shrunk.minimal.size(), r.trace.size());
+  EXPECT_GT(shrunk.replays, 0u);
+}
+
+TEST(BrokenLock, ConfigJsonRoundTripsTheFailingRun) {
+  const auto failure = find_failure();
+  ASSERT_TRUE(failure.has_value());
+  const auto& [p, r] = *failure;
+  auto p2 = p;
+  p2.config = run_config::from_json(p.config.to_json());
+  EXPECT_EQ(p2.config, p.config);
+  EXPECT_TRUE(run_check(p2).failed());
+}
+
+TEST(Checker, CorrectLocksPassTheSweep) {
+  for (const auto kind : locks::all_lock_kinds()) {
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      check_params p;
+      p.config = run_config{}
+                     .with_machine(sim::machine_config::test_machine(4))
+                     .with_lock(kind)
+                     .with_perturb(sim::perturb_profile::preempt())
+                     .with_seed(seed);
+      p.fix = fixture::mutex;
+      p.iterations = 8;
+      const auto r = run_check(p);
+      EXPECT_TRUE(r.completed) << locks::to_string(kind) << " seed " << seed;
+      EXPECT_TRUE(r.violations.empty())
+          << locks::to_string(kind) << " seed " << seed << ": "
+          << to_string(r.violations.front());
+    }
+  }
+}
+
+TEST(Checker, ReconfigFixtureExercisesPsiSafely) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    check_params p;
+    p.config = run_config{}
+                   .with_machine(sim::machine_config::test_machine(4))
+                   .with_lock(locks::lock_kind::reconfigurable)
+                   .with_perturb(sim::perturb_profile::delay())
+                   .with_seed(seed);
+    p.fix = fixture::reconfig;
+    const auto r = run_check(p);
+    EXPECT_TRUE(r.completed) << "seed " << seed;
+    EXPECT_TRUE(r.violations.empty())
+        << "seed " << seed << ": " << to_string(r.violations.front());
+  }
+}
+
+TEST(Checker, FixtureNamesRoundTrip) {
+  for (const auto f : all_fixtures()) {
+    EXPECT_EQ(parse_fixture(to_string(f)), f);
+  }
+  EXPECT_THROW((void)parse_fixture("nope"), std::invalid_argument);
+}
+
+TEST(Checker, RunsAreDeterministic) {
+  auto p = broken_params(7);
+  p.fix = fixture::mutex;
+  p.config.with_lock(locks::lock_kind::blocking);
+  const auto a = run_check(p);
+  const auto b = run_check(p);
+  EXPECT_EQ(a.end_time.ns, b.end_time.ns);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.trace, b.trace);
+}
+
+}  // namespace
+}  // namespace adx::check

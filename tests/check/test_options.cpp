@@ -1,0 +1,101 @@
+#include "cli/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace adx::cli {
+namespace {
+
+options make_opts() {
+  return options("prog", "test program")
+      .u64("cities", 32, "problem size")
+      .str("lock", "blocking", "lock kind")
+      .flag("csv", "emit csv");
+}
+
+void parse(options& o, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  o.parse(static_cast<int>(args.size()),
+          const_cast<char**>(const_cast<const char**>(args.data())));
+}
+
+TEST(Options, DefaultsHoldWithoutArguments) {
+  auto o = make_opts();
+  parse(o, {});
+  EXPECT_EQ(o.get_u64("cities"), 32u);
+  EXPECT_EQ(o.get_str("lock"), "blocking");
+  EXPECT_FALSE(o.get_flag("csv"));
+  EXPECT_FALSE(o.was_set("cities"));
+}
+
+TEST(Options, ParsesEqualsAndSpaceForms) {
+  auto o = make_opts();
+  parse(o, {"--cities=48", "--lock", "adaptive", "--csv"});
+  EXPECT_EQ(o.get_u64("cities"), 48u);
+  EXPECT_EQ(o.get_str("lock"), "adaptive");
+  EXPECT_TRUE(o.get_flag("csv"));
+  EXPECT_TRUE(o.was_set("cities"));
+  EXPECT_TRUE(o.was_set("lock"));
+}
+
+TEST(Options, UnknownFlagExitsWithCodeTwo) {
+  EXPECT_EXIT(
+      {
+        auto o = make_opts();
+        parse(o, {"--citeis=48"});
+      },
+      testing::ExitedWithCode(2), "unknown flag: --citeis");
+}
+
+TEST(Options, MalformedIntegerExitsWithCodeTwo) {
+  EXPECT_EXIT(
+      {
+        auto o = make_opts();
+        parse(o, {"--cities=ten"});
+      },
+      testing::ExitedWithCode(2), "unsigned integer");
+}
+
+TEST(Options, MissingValueExitsWithCodeTwo) {
+  EXPECT_EXIT(
+      {
+        auto o = make_opts();
+        parse(o, {"--lock"});
+      },
+      testing::ExitedWithCode(2), "needs a value");
+}
+
+TEST(Options, PositionalArgumentIsRejected) {
+  EXPECT_EXIT(
+      {
+        auto o = make_opts();
+        parse(o, {"stray"});
+      },
+      testing::ExitedWithCode(2), "unexpected argument");
+}
+
+TEST(Options, HelpExitsZero) {
+  EXPECT_EXIT(
+      {
+        auto o = make_opts();
+        parse(o, {"--help"});
+      },
+      testing::ExitedWithCode(0), "");
+}
+
+TEST(Options, HelpScreenListsEveryDeclaredFlag) {
+  const auto o = make_opts();
+  std::ostringstream os;
+  o.print_help(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("--cities=<n>"), std::string::npos);
+  EXPECT_NE(s.find("--lock=<s>"), std::string::npos);
+  EXPECT_NE(s.find("--csv"), std::string::npos);
+  EXPECT_NE(s.find("default: 32"), std::string::npos);
+  EXPECT_NE(s.find("--help"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adx::cli

@@ -1,0 +1,74 @@
+#include "locks/run_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace adx {
+namespace {
+
+TEST(RunConfig, DefaultRoundTripsThroughJson) {
+  const run_config rc{};
+  EXPECT_EQ(run_config::from_json(rc.to_json()), rc);
+}
+
+TEST(RunConfig, CustomizedConfigRoundTripsThroughJson) {
+  auto rc = run_config{}
+                .with_machine(sim::machine_config::test_machine(4))
+                .with_lock(locks::lock_kind::adaptive)
+                .with_policy(locks::waiting_policy::pure_spin(32))
+                .with_grant_mode(1)
+                .with_perturb(sim::perturb_profile::chaos())
+                .with_seed(42);
+  rc.machine.wire_model = sim::interconnect_model::butterfly;
+  rc.params.combined_spin_limit = 17;
+  rc.params.adapt = {12, 20, 400, 2};
+  EXPECT_EQ(run_config::from_json(rc.to_json()), rc);
+}
+
+TEST(RunConfig, EveryPresetProfileRoundTrips) {
+  for (const auto& p :
+       {sim::perturb_profile::none(), sim::perturb_profile::ties(),
+        sim::perturb_profile::delay(), sim::perturb_profile::preempt(),
+        sim::perturb_profile::latency(), sim::perturb_profile::chaos()}) {
+    const auto rc = run_config{}.with_perturb(p);
+    EXPECT_EQ(run_config::from_json(rc.to_json()).perturb, p) << to_string(p);
+  }
+}
+
+TEST(RunConfig, EffectiveMachineAppliesTheRunSeed) {
+  auto rc = run_config{}.with_machine(sim::machine_config::test_machine(4));
+  const auto base_seed = rc.machine.seed;
+  EXPECT_EQ(rc.effective_machine().seed, base_seed);  // seed 0: keep as-is
+  rc.with_seed(777);
+  EXPECT_EQ(rc.effective_machine().seed, 777u);
+  EXPECT_EQ(rc.machine.seed, base_seed);  // the stored config is untouched
+}
+
+TEST(RunConfig, MissingAndUnknownKeysAreTolerated) {
+  const auto rc = run_config::from_json(R"({"seed": 9, "future_key": [1, 2]})");
+  EXPECT_EQ(rc.seed, 9u);
+  EXPECT_EQ(rc.lock, locks::lock_kind::spin);  // default preserved
+}
+
+TEST(RunConfig, MalformedJsonThrows) {
+  EXPECT_THROW((void)run_config::from_json("not json"), std::invalid_argument);
+  EXPECT_THROW((void)run_config::from_json("{\"seed\": }"), std::invalid_argument);
+}
+
+TEST(RunConfig, FluentBuilderSetsEveryField) {
+  const auto rc = run_config{}
+                      .with_nodes(6)
+                      .with_lock(locks::lock_kind::combined)
+                      .with_grant_mode(1)
+                      .with_perturb(sim::perturb_profile::preempt())
+                      .with_seed(5);
+  EXPECT_EQ(rc.machine.nodes, 6u);
+  EXPECT_EQ(rc.lock, locks::lock_kind::combined);
+  EXPECT_EQ(rc.params.grant_mode, 1);
+  EXPECT_EQ(rc.perturb, sim::perturb_profile::preempt());
+  EXPECT_EQ(rc.seed, 5u);
+}
+
+}  // namespace
+}  // namespace adx

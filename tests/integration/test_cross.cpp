@@ -19,8 +19,8 @@ TEST(CrossModule, TspOnStagedInterconnectStillOptimalAndDeterministic) {
   cfg.impl = tsp::variant::centralized;
   cfg.processors = 6;
   cfg.cost = locks::lock_cost_model::fast_test();
-  cfg.machine = sim::machine_config::test_machine(8);
-  cfg.machine.wire_model = sim::interconnect_model::butterfly;
+  cfg.run.machine = sim::machine_config::test_machine(8);
+  cfg.run.machine.wire_model = sim::interconnect_model::butterfly;
   cfg.per_op_us = 0.2;
 
   const auto a = tsp::solve_parallel(inst, cfg);
@@ -35,10 +35,10 @@ TEST(CrossModule, StagedInterconnectChangesTimingNotResults) {
   flat.impl = tsp::variant::distributed;
   flat.processors = 5;
   flat.cost = locks::lock_cost_model::fast_test();
-  flat.machine = sim::machine_config::test_machine(8);
+  flat.run.machine = sim::machine_config::test_machine(8);
   flat.per_op_us = 0.2;
   auto staged = flat;
-  staged.machine.wire_model = sim::interconnect_model::butterfly;
+  staged.run.machine.wire_model = sim::interconnect_model::butterfly;
 
   const auto rf = tsp::solve_parallel(inst, flat);
   const auto rs = tsp::solve_parallel(inst, staged);

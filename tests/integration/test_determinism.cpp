@@ -18,7 +18,7 @@ TEST(Determinism, TspAllVariantsReplayExactly) {
     cfg.impl = v;
     cfg.processors = 5;
     cfg.cost = locks::lock_cost_model::fast_test();
-    cfg.machine = sim::machine_config::test_machine(6);
+    cfg.run.machine = sim::machine_config::test_machine(6);
     cfg.per_op_us = 0.3;
     cfg.record_patterns = true;
     const auto a = tsp::solve_parallel(inst, cfg);

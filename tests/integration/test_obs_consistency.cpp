@@ -142,7 +142,7 @@ TEST(ObsConsistency, TspTracerSeesAllFourLockFamilies) {
   tr.enable();
   tsp::parallel_config cfg;
   cfg.processors = 4;
-  cfg.lock_kind = locks::lock_kind::adaptive;
+  cfg.run.lock = locks::lock_kind::adaptive;
   cfg.tracer = &tr;
   const auto res = tsp::solve_parallel(inst, cfg);
   EXPECT_GT(res.expansions, 0u);

@@ -1,0 +1,57 @@
+#include "locks/factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "locks/run_config.hpp"
+
+namespace adx::locks {
+namespace {
+
+TEST(Factory, LockKindNamesRoundTrip) {
+  for (const auto k : all_lock_kinds()) {
+    EXPECT_EQ(parse_lock_kind(to_string(k)), k) << to_string(k);
+  }
+}
+
+TEST(Factory, AllLockKindsAreDistinctAndComplete) {
+  std::set<std::string> names;
+  for (const auto k : all_lock_kinds()) names.insert(to_string(k));
+  EXPECT_EQ(names.size(), all_lock_kinds().size());
+  EXPECT_EQ(all_lock_kinds().size(), 10u);
+  EXPECT_TRUE(names.contains("spin"));
+  EXPECT_TRUE(names.contains("adaptive"));
+}
+
+TEST(Factory, ParseErrorListsTheValidKinds) {
+  try {
+    (void)parse_lock_kind("bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("bogus"), std::string::npos);
+    EXPECT_NE(msg.find("valid:"), std::string::npos);
+    for (const auto k : all_lock_kinds()) {
+      EXPECT_NE(msg.find(to_string(k)), std::string::npos) << to_string(k);
+    }
+  }
+}
+
+TEST(Factory, MakeLockFromRunConfigBuildsEveryKind) {
+  const lock_cost_model cost = lock_cost_model::fast_test();
+  for (const auto k : all_lock_kinds()) {
+    const auto rc = adx::run_config{}.with_lock(k);
+    const auto lk = make_lock(rc, 0, cost);
+    ASSERT_NE(lk, nullptr) << to_string(k);
+  }
+  EXPECT_EQ(make_lock(adx::run_config{}.with_lock(lock_kind::spin), 0, cost)->kind(),
+            "spin");
+  EXPECT_EQ(
+      make_lock(adx::run_config{}.with_lock(lock_kind::adaptive), 0, cost)->kind(),
+      "adaptive");
+}
+
+}  // namespace
+}  // namespace adx::locks

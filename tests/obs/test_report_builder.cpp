@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/report_sink.hpp"
+
+namespace adx::obs {
+namespace {
+
+TEST(ReportBuilder, PrintsHeadersAndRows) {
+  report_builder t({"lock", "time (ms)"});
+  t.row({"blocking", "3207"});
+  t.row({"adaptive", "2636"});
+  std::ostringstream os;
+  t.print(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("lock"), std::string::npos);
+  EXPECT_NE(s.find("blocking"), std::string::npos);
+  EXPECT_NE(s.find("2636"), std::string::npos);
+}
+
+TEST(ReportBuilder, PadsToWidestCell) {
+  report_builder t({"a"});
+  t.row({"longer-cell-content"});
+  std::ostringstream os;
+  t.print(os);
+  // The header row must be padded at least as wide as the widest cell.
+  const auto s = os.str();
+  const auto header_pos = s.find("| a");
+  const auto header_end = s.find('\n', header_pos);
+  EXPECT_GE(header_end - header_pos, std::string("| longer-cell-content |").size());
+}
+
+TEST(ReportBuilder, ShortRowsTolerated) {
+  report_builder t({"x", "y"});
+  t.row({"only-one"});
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.print(os));
+}
+
+TEST(ReportBuilder, NumFormatting) {
+  EXPECT_EQ(report_builder::num(3.14159, 2), "3.14");
+  EXPECT_EQ(report_builder::num(17.0, 0), "17");
+}
+
+TEST(ReportBuilder, PctFormatting) {
+  EXPECT_EQ(report_builder::pct(0.178), "17.8%");
+  EXPECT_EQ(report_builder::pct(0.065), "6.5%");
+}
+
+TEST(ReportBuilder, EmitRoutesThroughReportSinks) {
+  report_builder t({"k", "v"});
+  t.title("demo");
+  t.row({"a", "1"});
+  std::ostringstream table_os;
+  t.emit(report_format::table, table_os);
+  EXPECT_NE(table_os.str().find("demo"), std::string::npos);
+  std::ostringstream csv_os;
+  t.emit(report_format::csv, csv_os);
+  EXPECT_NE(csv_os.str().find("k,v"), std::string::npos);
+  std::ostringstream json_os;
+  t.emit(report_format::json, json_os);
+  EXPECT_NE(json_os.str().find("\"k\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adx::obs

@@ -8,10 +8,10 @@ namespace {
 parallel_config fast_cfg(variant v, locks::lock_kind k) {
   parallel_config cfg;
   cfg.impl = v;
-  cfg.lock_kind = k;
+  cfg.run.lock = k;
   cfg.processors = 6;
   cfg.cost = locks::lock_cost_model::fast_test();
-  cfg.machine = sim::machine_config::test_machine(8);
+  cfg.run.machine = sim::machine_config::test_machine(8);
   cfg.per_op_us = 0.2;  // keep virtual runs small for tests
   return cfg;
 }
