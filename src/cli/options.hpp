@@ -53,6 +53,14 @@ class options {
     return *this;
   }
 
+  /// Appends a free-form line to the generated --help screen (printed after
+  /// the flag table). Benches use this to state which clock each figure is
+  /// measured on — simulated virtual time vs host wall time.
+  options& note(std::string line) {
+    notes_.push_back(std::move(line));
+    return *this;
+  }
+
   /// Parses argv. On `--help`/`-h` prints the generated usage table and exits
   /// 0; on an unknown flag or malformed value prints an error and exits 2.
   void parse(int argc, char** argv) {
@@ -123,6 +131,10 @@ class options {
     }
     os << "  --help" << std::string(width > 4 ? width - 4 + 2 : 2, ' ')
        << "show this help\n";
+    if (!notes_.empty()) {
+      os << '\n';
+      for (const auto& n : notes_) os << n << '\n';
+    }
   }
 
  private:
@@ -177,6 +189,7 @@ class options {
   std::string program_;
   std::string summary_;
   std::vector<decl> decls_;
+  std::vector<std::string> notes_;
 };
 
 }  // namespace adx::cli

@@ -8,7 +8,6 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -19,6 +18,7 @@
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "sim/machine.hpp"
+#include "sim/small_ring.hpp"
 
 namespace adx::ct {
 
@@ -204,7 +204,7 @@ class runtime {
  private:
   struct processor {
     tcb* current{nullptr};
-    std::deque<tcb*> ready;
+    sim::small_ring<tcb*, 4> ready;  ///< inline: ready depth rarely exceeds 4
   };
 
   void make_ready(tcb& t);

@@ -7,9 +7,8 @@
 // registrant instead.
 #pragma once
 
-#include <deque>
-
 #include "locks/lock.hpp"
+#include "locks/waiter_queue.hpp"
 
 namespace adx::locks {
 
@@ -76,7 +75,7 @@ class blocking_lock final : public lock_object {
   }
 
  private:
-  std::deque<ct::thread_id> queue_;
+  waiter_queue queue_;
 };
 
 }  // namespace adx::locks

@@ -4,9 +4,8 @@
 // that observation is exactly what motivates the adaptive lock.
 #pragma once
 
-#include <deque>
-
 #include "locks/lock.hpp"
+#include "locks/waiter_queue.hpp"
 
 namespace adx::locks {
 
@@ -66,7 +65,7 @@ class combined_lock final : public lock_object {
 
  private:
   std::int64_t spin_limit_;
-  std::deque<ct::thread_id> queue_;
+  waiter_queue queue_;
 };
 
 }  // namespace adx::locks

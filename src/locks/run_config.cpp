@@ -1,236 +1,31 @@
 #include "locks/run_config.hpp"
 
-#include <charconv>
-#include <map>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
-#include <variant>
-#include <vector>
 
 #include "obs/json.hpp"
+#include "obs/json_reader.hpp"
 
 namespace adx {
 namespace {
 
-// ---------------------------------------------------------------------------
-// A miniature JSON reader, private to run_config. The obs subsystem is
-// emit-only by design; run_config is the one place in the codebase that needs
-// to read JSON back (replaying a printed configuration), so the parser lives
-// here rather than growing obs into a document-model library. Numbers keep
-// their raw text so 64-bit seeds round-trip without double truncation.
-// ---------------------------------------------------------------------------
-
-struct jvalue;
-using jobject = std::map<std::string, jvalue, std::less<>>;
-using jarray = std::vector<jvalue>;
-
-struct jvalue {
-  std::variant<std::nullptr_t, bool, std::string /*number (raw)*/,
-               std::pair<char, std::string> /*tagged: 's' = string*/, jobject, jarray>
-      v{nullptr};
-
-  [[nodiscard]] bool is_object() const { return std::holds_alternative<jobject>(v); }
-  [[nodiscard]] const jobject& object() const { return std::get<jobject>(v); }
-
-  [[nodiscard]] bool boolean() const {
-    if (!std::holds_alternative<bool>(v)) throw std::invalid_argument("run_config: expected bool");
-    return std::get<bool>(v);
-  }
-  [[nodiscard]] const std::string& str() const {
-    if (!std::holds_alternative<std::pair<char, std::string>>(v)) {
-      throw std::invalid_argument("run_config: expected string");
-    }
-    return std::get<std::pair<char, std::string>>(v).second;
-  }
-  template <typename T>
-  [[nodiscard]] T number() const {
-    if (!std::holds_alternative<std::string>(v)) {
-      throw std::invalid_argument("run_config: expected number");
-    }
-    const auto& raw = std::get<std::string>(v);
-    T out{};
-    const auto* end = raw.data() + raw.size();
-    const auto [ptr, ec] = std::from_chars(raw.data(), end, out);
-    if (ec != std::errc{} || ptr != end) {
-      throw std::invalid_argument("run_config: bad number: " + raw);
-    }
-    return out;
-  }
-};
-
-class json_reader {
- public:
-  explicit json_reader(std::string_view text) : s_(text) {}
-
-  jvalue parse() {
-    auto v = value();
-    skip_ws();
-    if (pos_ != s_.size()) fail("trailing characters");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw std::invalid_argument("run_config: JSON parse error at offset " +
-                                std::to_string(pos_) + ": " + why);
-  }
-
-  void skip_ws() {
-    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
-                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= s_.size()) fail("unexpected end of input");
-    return s_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + '\'');
-    ++pos_;
-  }
-
-  bool consume_literal(std::string_view lit) {
-    if (s_.substr(pos_, lit.size()) != lit) return false;
-    pos_ += lit.size();
-    return true;
-  }
-
-  jvalue value() {
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return jvalue{{std::pair<char, std::string>{'s', string()}}};
-      case 't':
-        if (!consume_literal("true")) fail("bad literal");
-        return jvalue{{true}};
-      case 'f':
-        if (!consume_literal("false")) fail("bad literal");
-        return jvalue{{false}};
-      case 'n':
-        if (!consume_literal("null")) fail("bad literal");
-        return jvalue{{nullptr}};
-      default: return number();
-    }
-  }
-
-  jvalue object() {
-    expect('{');
-    jobject out;
-    if (peek() == '}') {
-      ++pos_;
-      return jvalue{{std::move(out)}};
-    }
-    for (;;) {
-      if (peek() != '"') fail("expected object key");
-      auto key = string();
-      expect(':');
-      out.emplace(std::move(key), value());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return jvalue{{std::move(out)}};
-    }
-  }
-
-  jvalue array() {
-    expect('[');
-    jarray out;
-    if (peek() == ']') {
-      ++pos_;
-      return jvalue{{std::move(out)}};
-    }
-    for (;;) {
-      out.push_back(value());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return jvalue{{std::move(out)}};
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      char c = s_[pos_++];
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= s_.size()) fail("bad escape");
-      const char e = s_[pos_++];
-      switch (e) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'u': {
-          if (pos_ + 4 > s_.size()) fail("bad \\u escape");
-          unsigned cp{};
-          const auto* first = s_.data() + pos_;
-          const auto [ptr, ec] = std::from_chars(first, first + 4, cp, 16);
-          if (ec != std::errc{} || ptr != first + 4) fail("bad \\u escape");
-          pos_ += 4;
-          // Config text is ASCII; anything beyond is preserved byte-wise.
-          if (cp < 0x80) {
-            out += static_cast<char>(cp);
-          } else {
-            fail("non-ASCII \\u escape unsupported");
-          }
-          break;
-        }
-        default: fail("bad escape");
-      }
-    }
-    if (pos_ >= s_.size()) fail("unterminated string");
-    ++pos_;  // closing quote
-    return out;
-  }
-
-  jvalue number() {
-    const auto start = pos_;
-    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
-    while (pos_ < s_.size() &&
-           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
-            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '-' || s_[pos_] == '+')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected value");
-    return jvalue{{std::string(s_.substr(start, pos_ - start))}};
-  }
-
-  std::string_view s_;
-  std::size_t pos_{0};
-};
-
-const jvalue* find(const jobject& o, std::string_view key) {
-  const auto it = o.find(key);
-  return it == o.end() ? nullptr : &it->second;
-}
+// The JSON reader lives in obs/json_reader.hpp (shared with the perf
+// baseline differ); run_config keeps only its typed field helpers here.
+using obs::jobject;
+using obs::jvalue;
+using obs::json_find;
 
 // Field helpers: absent keys keep the caller's default.
 void read_ns(const jobject& o, std::string_view key, sim::vdur& out) {
-  if (const auto* v = find(o, key)) out = sim::nanoseconds(v->number<std::int64_t>());
+  if (const auto* v = json_find(o, key)) out = sim::nanoseconds(v->number<std::int64_t>());
 }
 template <typename T>
 void read_num(const jobject& o, std::string_view key, T& out) {
-  if (const auto* v = find(o, key)) out = v->number<T>();
+  if (const auto* v = json_find(o, key)) out = v->number<T>();
 }
 void read_bool(const jobject& o, std::string_view key, bool& out) {
-  if (const auto* v = find(o, key)) out = v->boolean();
+  if (const auto* v = json_find(o, key)) out = v->boolean();
 }
 
 const char* to_string(sim::interconnect_model m) {
@@ -289,18 +84,18 @@ std::string run_config::to_json() const {
 }
 
 run_config run_config::from_json(std::string_view text) {
-  const auto root = json_reader(text).parse();
+  const auto root = obs::json_reader(text, "run_config").parse();
   if (!root.is_object()) throw std::invalid_argument("run_config: expected a JSON object");
   const auto& o = root.object();
 
   run_config rc;
-  if (const auto* m = find(o, "machine")) {
+  if (const auto* m = json_find(o, "machine")) {
     if (!m->is_object()) throw std::invalid_argument("run_config: machine must be an object");
     const auto& mo = m->object();
     read_num(mo, "nodes", rc.machine.nodes);
     read_ns(mo, "local_wire_ns", rc.machine.local_wire);
     read_ns(mo, "remote_wire_ns", rc.machine.remote_wire);
-    if (const auto* wm = find(mo, "wire_model")) {
+    if (const auto* wm = json_find(mo, "wire_model")) {
       rc.machine.wire_model = parse_wire_model(wm->str());
     }
     read_ns(mo, "switch_stage_latency_ns", rc.machine.switch_stage_latency);
@@ -311,20 +106,20 @@ run_config run_config::from_json(std::string_view text) {
     read_ns(mo, "dispatch_latency_ns", rc.machine.dispatch_latency);
     read_num(mo, "seed", rc.machine.seed);
   }
-  if (const auto* lk = find(o, "lock")) rc.lock = locks::parse_lock_kind(lk->str());
-  if (const auto* p = find(o, "params")) {
+  if (const auto* lk = json_find(o, "lock")) rc.lock = locks::parse_lock_kind(lk->str());
+  if (const auto* p = json_find(o, "params")) {
     if (!p->is_object()) throw std::invalid_argument("run_config: params must be an object");
     const auto& po = p->object();
     read_num(po, "combined_spin_limit", rc.params.combined_spin_limit);
     read_num(po, "grant_mode", rc.params.grant_mode);
-    if (const auto* ip = find(po, "initial_policy")) {
+    if (const auto* ip = json_find(po, "initial_policy")) {
       const auto& io = ip->object();
       read_num(io, "spin_time", rc.params.initial_policy.spin_time);
       read_num(io, "delay_time", rc.params.initial_policy.delay_time);
       read_num(io, "sleep_time", rc.params.initial_policy.sleep_time);
       read_num(io, "timeout_us", rc.params.initial_policy.timeout_us);
     }
-    if (const auto* ad = find(po, "adapt")) {
+    if (const auto* ad = json_find(po, "adapt")) {
       const auto& ao = ad->object();
       read_num(ao, "waiting_threshold", rc.params.adapt.waiting_threshold);
       read_num(ao, "n", rc.params.adapt.n);
@@ -333,7 +128,7 @@ run_config run_config::from_json(std::string_view text) {
       read_bool(ao, "pure_spin_on_idle", rc.params.adapt.pure_spin_on_idle);
     }
   }
-  if (const auto* pt = find(o, "perturb")) {
+  if (const auto* pt = json_find(o, "perturb")) {
     if (!pt->is_object()) throw std::invalid_argument("run_config: perturb must be an object");
     const auto& to = pt->object();
     read_bool(to, "reorder_ties", rc.perturb.reorder_ties);
@@ -343,7 +138,7 @@ run_config run_config::from_json(std::string_view text) {
     read_num(to, "latency_pct", rc.perturb.latency_pct);
     read_num(to, "latency_spike_us", rc.perturb.latency_spike_us);
   }
-  if (const auto* s = find(o, "seed")) rc.seed = s->number<std::uint64_t>();
+  if (const auto* s = json_find(o, "seed")) rc.seed = s->number<std::uint64_t>();
   return rc;
 }
 

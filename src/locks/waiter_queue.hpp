@@ -1,0 +1,20 @@
+// Small-buffer FIFO of waiting threads.
+//
+// Every contended lock keeps a wait queue, and in practice it is tiny: even
+// the paper's worst-case locking patterns (Figures 4-9) peak at a handful of
+// simultaneous waiters per lock. The inline ring keeps the first 8 waiters
+// without any heap allocation — a fresh lock costs nothing to construct —
+// and spills transparently when contention runs deeper.
+//
+// Supports exactly what the locks need: FIFO push_back/pop_front plus
+// push_front (a woken loser re-queues at the head so wake order stays fair).
+#pragma once
+
+#include "ct/runtime.hpp"
+#include "sim/small_ring.hpp"
+
+namespace adx::locks {
+
+using waiter_queue = sim::small_ring<ct::thread_id, 8>;
+
+}  // namespace adx::locks

@@ -1,0 +1,246 @@
+// The one JSON *reader* in the codebase. The obs subsystem is emit-only by
+// design (json.hpp); the reader exists for the two places that must consume
+// JSON they themselves printed: adx::run_config (replaying a checker
+// configuration) and adx::perf (diffing a BENCH.json against the committed
+// baseline). It is deliberately a miniature: objects, arrays, strings,
+// bools, null, and numbers kept as raw text so 64-bit seeds round-trip
+// without double truncation.
+//
+// Header-only; errors throw std::invalid_argument prefixed with the caller's
+// chosen context string ("run_config", "bench_report", ...).
+#pragma once
+
+#include <charconv>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace adx::obs {
+
+struct jvalue;
+using jobject = std::map<std::string, jvalue, std::less<>>;
+using jarray = std::vector<jvalue>;
+
+struct jvalue {
+  std::variant<std::nullptr_t, bool, std::string /*number (raw)*/,
+               std::pair<char, std::string> /*tagged: 's' = string*/, jobject, jarray>
+      v{nullptr};
+
+  /// Error-message prefix used by the typed accessors below.
+  std::string_view ctx{"json"};
+
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<jobject>(v); }
+  [[nodiscard]] const jobject& object() const {
+    if (!is_object()) throw std::invalid_argument(std::string(ctx) + ": expected object");
+    return std::get<jobject>(v);
+  }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<jarray>(v); }
+  [[nodiscard]] const jarray& array() const {
+    if (!is_array()) throw std::invalid_argument(std::string(ctx) + ": expected array");
+    return std::get<jarray>(v);
+  }
+
+  [[nodiscard]] bool boolean() const {
+    if (!std::holds_alternative<bool>(v)) {
+      throw std::invalid_argument(std::string(ctx) + ": expected bool");
+    }
+    return std::get<bool>(v);
+  }
+  [[nodiscard]] const std::string& str() const {
+    if (!std::holds_alternative<std::pair<char, std::string>>(v)) {
+      throw std::invalid_argument(std::string(ctx) + ": expected string");
+    }
+    return std::get<std::pair<char, std::string>>(v).second;
+  }
+  template <typename T>
+  [[nodiscard]] T number() const {
+    if (!std::holds_alternative<std::string>(v)) {
+      throw std::invalid_argument(std::string(ctx) + ": expected number");
+    }
+    const auto& raw = std::get<std::string>(v);
+    T out{};
+    const auto* end = raw.data() + raw.size();
+    const auto [ptr, ec] = std::from_chars(raw.data(), end, out);
+    if (ec != std::errc{} || ptr != end) {
+      throw std::invalid_argument(std::string(ctx) + ": bad number: " + raw);
+    }
+    return out;
+  }
+};
+
+class json_reader {
+ public:
+  /// `ctx` prefixes every error message ("run_config: JSON parse error ...").
+  explicit json_reader(std::string_view text, std::string_view ctx = "json")
+      : s_(text), ctx_(ctx) {}
+
+  jvalue parse() {
+    auto v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument(std::string(ctx_) + ": JSON parse error at offset " +
+                                std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + '\'');
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  [[nodiscard]] jvalue tag(jvalue v) const {
+    v.ctx = ctx_;
+    return v;
+  }
+
+  jvalue value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return tag({{std::pair<char, std::string>{'s', string()}}});
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return tag({{true}});
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return tag({{false}});
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return tag({{nullptr}});
+      default: return number();
+    }
+  }
+
+  jvalue object() {
+    expect('{');
+    jobject out;
+    if (peek() == '}') {
+      ++pos_;
+      return tag({{std::move(out)}});
+    }
+    for (;;) {
+      if (peek() != '"') fail("expected object key");
+      auto key = string();
+      expect(':');
+      out.emplace(std::move(key), value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return tag({{std::move(out)}});
+    }
+  }
+
+  jvalue array() {
+    expect('[');
+    jarray out;
+    if (peek() == ']') {
+      ++pos_;
+      return tag({{std::move(out)}});
+    }
+    for (;;) {
+      out.push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return tag({{std::move(out)}});
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("bad escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+          unsigned cp{};
+          const auto* first = s_.data() + pos_;
+          const auto [ptr, ec] = std::from_chars(first, first + 4, cp, 16);
+          if (ec != std::errc{} || ptr != first + 4) fail("bad \\u escape");
+          pos_ += 4;
+          // Config/report text is ASCII; anything beyond is preserved byte-wise.
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else {
+            fail("non-ASCII \\u escape unsupported");
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+    if (pos_ >= s_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  jvalue number() {
+    const auto start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected value");
+    return tag({{std::string(s_.substr(start, pos_ - start))}});
+  }
+
+  std::string_view s_;
+  std::string_view ctx_;
+  std::size_t pos_{0};
+};
+
+/// Looks up `key` in `o`; returns null when absent (caller keeps defaults).
+[[nodiscard]] inline const jvalue* json_find(const jobject& o, std::string_view key) {
+  const auto it = o.find(key);
+  return it == o.end() ? nullptr : &it->second;
+}
+
+}  // namespace adx::obs

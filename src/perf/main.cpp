@@ -1,0 +1,176 @@
+// adx-bench — the unified benchmark driver and perf regression gate.
+//
+//   adx-bench --list                         what can be measured
+//   adx-bench --out=BENCH.json               measure everything, write report
+//   adx-bench --compare=baseline.json        measure + diff against a baseline
+//             --tolerance=0.25               (wall metrics only; virtual
+//                                            metrics always require an exact
+//                                            match and refuse a tolerance)
+//
+// Exit codes: 0 success, 1 regression (or virtual divergence) against the
+// baseline, 2 usage error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/options.hpp"
+#include "perf/bench_report.hpp"
+#include "perf/scenario.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace adx;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "adx-bench: cannot read '" << path << "'\n";
+    std::exit(2);
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out || !(out << text) || !out.flush()) {
+    std::cerr << "adx-bench: cannot write '" << path << "'\n";
+    std::exit(2);
+  }
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto comma = text.find(',', pos);
+    const auto end = comma == std::string::npos ? text.size() : comma;
+    if (end > pos) out.push_back(text.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt =
+      cli::options("adx-bench",
+                   "unified benchmark driver: runs the paper's table/figure/ablation "
+                   "scenarios and gates wall-time regressions against a committed baseline")
+          .flag("list", "list scenarios and exit")
+          .str("scenarios", "", "comma-separated subset to run (default: all)")
+          .u64("reps", 5, "measured repetitions per scenario")
+          .u64("warmup", 1, "discarded warmup repetitions per scenario")
+          .str("out", "BENCH.json", "where to write the report")
+          .str("compare", "", "baseline BENCH.json to diff against")
+          .str("tolerance", "",
+               "wall-metric tolerance: global fraction, then name=frac overrides "
+               "(e.g. 0.25,wall_ns=0.5); requires --compare")
+          .str("note", "", "free-text provenance recorded in the report")
+          .u64("slow-pop-ns", 0,
+               "debug: busy-wait N ns of host time in every event-queue pop "
+               "(gate self-test; virtual results unchanged)")
+          .note("Clocks: metrics tagged clock=virtual are simulated virtual time —")
+          .note("deterministic for a fixed seed, identical on every machine, and compared")
+          .note("EXACTLY against the baseline (--tolerance refuses to apply to them).")
+          .note("Metrics tagged clock=wall are host wall-clock time — noisy, compared")
+          .note("within tolerance * baseline + an IQR-scaled band.")
+          .note("")
+          .note("Exit codes: 0 ok, 1 regression vs --compare baseline, 2 usage error.");
+  opt.parse(argc, argv);
+
+  if (opt.get_flag("list")) {
+    for (const auto& s : perf::all_scenarios()) {
+      std::cout << s.name << "\n    " << s.description << '\n';
+    }
+    return 0;
+  }
+
+  if (!opt.get_str("tolerance").empty() && opt.get_str("compare").empty()) {
+    std::cerr << "adx-bench: --tolerance only makes sense with --compare\n";
+    return 2;
+  }
+  if (opt.get_u64("reps") == 0) {
+    std::cerr << "adx-bench: --reps must be >= 1\n";
+    return 2;
+  }
+
+  // Parse the baseline and the tolerance BEFORE measuring: a malformed file or
+  // a tolerance naming a deterministic metric should fail in milliseconds, not
+  // after a full benchmark sweep.
+  perf::bench_report baseline;
+  perf::tolerance_spec tol;
+  const bool comparing = !opt.get_str("compare").empty();
+  if (comparing) {
+    try {
+      baseline = perf::bench_report::from_json(read_file(opt.get_str("compare")));
+      tol = perf::tolerance_spec::parse(opt.get_str("tolerance"));
+    } catch (const std::exception& e) {
+      std::cerr << "adx-bench: " << e.what() << '\n';
+      return 2;
+    }
+    const auto errors = perf::validate_tolerance(tol, baseline);
+    if (!errors.empty()) {
+      for (const auto& e : errors) std::cerr << "adx-bench: " << e << '\n';
+      return 2;
+    }
+  }
+
+  std::vector<const perf::scenario*> to_run;
+  if (opt.get_str("scenarios").empty()) {
+    for (const auto& s : perf::all_scenarios()) to_run.push_back(&s);
+  } else {
+    for (const auto& name : split_csv(opt.get_str("scenarios"))) {
+      const auto* s = perf::find_scenario(name);
+      if (s == nullptr) {
+        std::cerr << "adx-bench: unknown scenario '" << name << "' (see --list)\n";
+        return 2;
+      }
+      to_run.push_back(s);
+    }
+  }
+
+  sim::event_queue::set_debug_pop_delay_ns(opt.get_u64("slow-pop-ns"));
+
+  perf::bench_report report;
+  report.reps = static_cast<unsigned>(opt.get_u64("reps"));
+  report.warmup = static_cast<unsigned>(opt.get_u64("warmup"));
+  report.note = opt.get_str("note");
+
+  for (const auto* s : to_run) {
+    std::cerr << "  running " << s->name << " ..." << std::flush;
+    try {
+      report.scenarios.push_back(perf::run_scenario(*s, report.reps, report.warmup));
+    } catch (const std::exception& e) {
+      std::cerr << "\nadx-bench: scenario " << s->name << " failed: " << e.what() << '\n';
+      return 1;
+    }
+    std::cerr << " done\n";
+  }
+
+  write_file(opt.get_str("out"), report.to_json());
+  std::cerr << "adx-bench: wrote " << opt.get_str("out") << " (" << report.scenarios.size()
+            << " scenarios, " << report.reps << " reps)\n";
+
+  if (!comparing) return 0;
+
+  const auto cmp = perf::compare_reports(report, baseline, tol);
+  for (const auto& f : cmp.findings) {
+    (f.fatal() ? std::cerr : std::cout) << (f.fatal() ? "FAIL " : "info ") << f.describe()
+                                        << '\n';
+  }
+  if (cmp.failed()) {
+    std::cerr << "adx-bench: regression gate FAILED; offending scenarios:";
+    for (const auto& name : cmp.regressed_scenarios()) std::cerr << ' ' << name;
+    std::cerr << '\n';
+    return 1;
+  }
+  std::cout << "adx-bench: regression gate passed (" << baseline.scenarios.size()
+            << " baseline scenarios checked)\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Metric model for the adx-bench perf harness.
+//
+// Every scenario reports a set of named metrics, and every metric is tagged
+// with the clock it was measured on — the distinction the whole regression
+// gate turns on:
+//
+//   * virtual_time — the simulator's deterministic clock (or a deterministic
+//     count derived from it: virtual cycles, expansions, locking-cycle cost).
+//     For a fixed seed and machine shape two runs produce bit-identical
+//     values on any host, so the baseline comparison demands an EXACT match;
+//     a divergence means simulated behaviour changed, never noise.
+//   * wall — host wall-clock time (or a rate derived from it). Noisy by
+//     nature; comparisons apply a relative tolerance widened by the measured
+//     inter-repetition IQR.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adx::perf {
+
+enum class metric_clock : std::uint8_t { virtual_time, wall };
+
+[[nodiscard]] constexpr const char* to_string(metric_clock c) {
+  return c == metric_clock::virtual_time ? "virtual" : "wall";
+}
+
+[[nodiscard]] inline std::optional<metric_clock> parse_metric_clock(std::string_view s) {
+  if (s == "virtual") return metric_clock::virtual_time;
+  if (s == "wall") return metric_clock::wall;
+  return std::nullopt;
+}
+
+/// One measured value from one repetition of a scenario.
+struct metric_sample {
+  std::string name;
+  std::string unit;  ///< "us", "ms", "ns", "events/s", ...
+  metric_clock clock{metric_clock::virtual_time};
+  double value{0};
+  /// Direction for wall-clock gating: false (default) means higher is worse
+  /// (times, costs); true means higher is better (throughput rates). Ignored
+  /// for virtual-clock metrics, which are compared exactly.
+  bool higher_better{false};
+};
+
+/// Robust location/spread over the repetition values of one metric.
+struct summary_stats {
+  double median{0};
+  double iqr{0};  ///< Q3 - Q1 (0 for deterministic metrics)
+  double min{0};
+};
+
+/// Median/IQR/min of `values` (copied; empty input yields all-zero stats).
+/// Quartiles use linear interpolation between order statistics.
+[[nodiscard]] inline summary_stats summarize(std::vector<double> values) {
+  summary_stats s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  const auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] + (values[hi] - values[lo]) * frac;
+  };
+  s.median = quantile(0.5);
+  s.iqr = quantile(0.75) - quantile(0.25);
+  s.min = values.front();
+  return s;
+}
+
+/// A summarized metric: what BENCH.json records per scenario.
+struct metric_summary {
+  std::string name;
+  std::string unit;
+  metric_clock clock{metric_clock::virtual_time};
+  summary_stats stats;
+  unsigned reps{0};
+  bool higher_better{false};  ///< see metric_sample::higher_better
+};
+
+}  // namespace adx::perf

@@ -1,0 +1,75 @@
+#include "perf/scenario.hpp"
+
+#include <chrono>
+#include <map>
+#include <stdexcept>
+
+namespace adx::perf {
+namespace {
+
+struct collected {
+  std::string unit;
+  metric_clock clock{metric_clock::virtual_time};
+  bool higher_better{false};
+  std::vector<double> values;
+};
+
+}  // namespace
+
+scenario_summary run_scenario(const scenario& sc, unsigned reps, unsigned warmup) {
+  if (reps == 0) throw std::invalid_argument("run_scenario: reps must be >= 1");
+  for (unsigned i = 0; i < warmup; ++i) (void)sc.body();
+
+  std::vector<std::string> order;  // first-seen metric order, for stable output
+  std::map<std::string, collected, std::less<>> by_name;
+  const auto record = [&](const metric_sample& m) {
+    auto it = by_name.find(m.name);
+    if (it == by_name.end()) {
+      order.push_back(m.name);
+      it = by_name.emplace(m.name, collected{m.unit, m.clock, m.higher_better, {}}).first;
+    } else if (it->second.unit != m.unit || it->second.clock != m.clock ||
+               it->second.higher_better != m.higher_better) {
+      throw std::logic_error("scenario " + sc.name + ": metric " + m.name +
+                             " changed unit/clock between repetitions");
+    }
+    it->second.values.push_back(m.value);
+  };
+
+  for (unsigned rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = sc.body();
+    const auto t1 = std::chrono::steady_clock::now();
+    for (const auto& m : result.metrics) record(m);
+    record({"wall_ns", "ns", metric_clock::wall,
+            static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count())});
+  }
+
+  scenario_summary out;
+  out.name = sc.name;
+  for (const auto& name : order) {
+    const auto& c = by_name.at(name);
+    if (c.values.size() != reps) {
+      throw std::logic_error("scenario " + sc.name + ": metric " + name +
+                             " reported in only " + std::to_string(c.values.size()) +
+                             " of " + std::to_string(reps) + " repetitions");
+    }
+    if (c.clock == metric_clock::virtual_time) {
+      // The simulator's clock cannot see host timing; any spread here means a
+      // scenario body leaked real-world state into the simulation.
+      for (const double v : c.values) {
+        if (v != c.values.front()) {
+          throw std::logic_error("scenario " + sc.name + ": virtual-clock metric " +
+                                 name + " varied between repetitions (" +
+                                 std::to_string(c.values.front()) + " vs " +
+                                 std::to_string(v) + ") — determinism broken");
+        }
+      }
+    }
+    out.metrics.push_back({name, c.unit, c.clock, summarize(c.values),
+                           static_cast<unsigned>(c.values.size()), c.higher_better});
+  }
+  return out;
+}
+
+}  // namespace adx::perf

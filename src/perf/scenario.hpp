@@ -1,0 +1,59 @@
+// The adx-bench scenario registry.
+//
+// A scenario is a named, self-contained measurement: it runs one of the
+// paper's table/figure experiments (or an ablation / pure-simulator
+// microbench) at a fixed seed and reduced-but-representative shape, and
+// returns its metrics. Scenario names match the bench binaries they mirror
+// (bench_table7_cycle_adaptive, bench_fig1_cs_sweep, ...) so a regression
+// report points straight at the binary to rerun by hand.
+//
+// The runner (run_scenario) layers warmup + R timed repetitions on top of
+// each scenario body, measures host wall time around every repetition, and
+// folds the per-repetition samples into median/IQR/min summaries.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "perf/metric.hpp"
+
+namespace adx::perf {
+
+/// What one repetition of a scenario body reports. Wall time around the body
+/// is measured by the runner; bodies only report virtual-clock metrics plus
+/// any wall-derived rates they want tracked (tagged metric_clock::wall).
+struct scenario_result {
+  std::vector<metric_sample> metrics;
+};
+
+struct scenario {
+  std::string name;         ///< bench-binary-style identifier
+  std::string description;  ///< one line for --list
+  std::function<scenario_result()> body;
+};
+
+/// All registered scenarios, in registration order. Names are unique.
+[[nodiscard]] const std::vector<scenario>& all_scenarios();
+
+/// Finds a scenario by name; null when unknown.
+[[nodiscard]] const scenario* find_scenario(std::string_view name);
+
+/// One summarized scenario run, as recorded in BENCH.json.
+struct scenario_summary {
+  std::string name;
+  std::vector<metric_summary> metrics;
+};
+
+/// Runs `sc` with `warmup` discarded repetitions followed by `reps` measured
+/// ones and summarizes every reported metric plus the implicit `wall_ns`
+/// (host wall time of one repetition, clock=wall). Virtual-clock metrics are
+/// checked for cross-repetition determinism; a mismatch throws
+/// std::logic_error naming the offending metric — that would mean simulated
+/// behaviour depends on host timing, which the simulator forbids.
+[[nodiscard]] scenario_summary run_scenario(const scenario& sc, unsigned reps,
+                                            unsigned warmup);
+
+}  // namespace adx::perf

@@ -1,0 +1,496 @@
+// Scenario definitions for adx-bench: every paper table, Figure 1, the six
+// locking-pattern figures, representative extension/ablation benches, and a
+// pure event-queue microbench. Shapes are reduced from the bench binaries'
+// defaults (fewer seeds, smaller instances) so a full sweep stays in CI
+// budget, but each scenario exercises the same code path as the binary it is
+// named after.
+//
+// Scenario bodies report virtual-clock metrics (deterministic for the fixed
+// seeds used here) plus wall-derived rates; the runner adds `wall_ns` around
+// every repetition. Micro-cost scenarios loop their probes several times per
+// repetition so the wall measurement rises above scheduler jitter.
+#include "perf/scenario.hpp"
+
+#include <chrono>
+#include <memory>
+
+#include "locks/adaptive_lock.hpp"
+#include "locks/reconfigurable_lock.hpp"
+#include "locks/scheduler.hpp"
+#include "perf/probes.hpp"
+#include "sim/event_queue.hpp"
+#include "tsp/instance.hpp"
+#include "tsp/parallel.hpp"
+#include "workload/cs_workload.hpp"
+
+namespace adx::perf {
+namespace {
+
+constexpr metric_clock kVirtual = metric_clock::virtual_time;
+constexpr metric_clock kWall = metric_clock::wall;
+
+double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// ---------------------------------------------------------------------------
+// Pure event-queue churn: 64 self-rescheduling chains plus tie bursts. The
+// closest thing to a direct measurement of the simulator's hot path — every
+// other scenario pays for its workload on top of this.
+// ---------------------------------------------------------------------------
+
+struct churn_chain {
+  sim::event_queue* q{nullptr};
+  std::uint64_t remaining{0};
+  std::uint64_t x{0};
+  std::uint64_t* tie_hits{nullptr};
+};
+
+void churn_step(churn_chain& c) {
+  if (c.remaining-- == 0) return;
+  c.x = c.x * 6364136223846793005ULL + 1442695040888963407ULL;
+  const auto delta = sim::nanoseconds(static_cast<std::int64_t>(c.x % 997) + 1);
+  c.q->schedule_after(delta, [&c] { churn_step(c); });
+  if (c.x % 16 == 0) {
+    // A burst of events due at the same instant: exercises FIFO tie-breaking.
+    const auto at = c.q->now() + delta;
+    for (int i = 0; i < 4; ++i) {
+      c.q->schedule_at(at, [&c] { ++*c.tie_hits; });
+    }
+  }
+}
+
+scenario_result run_event_queue_churn() {
+  sim::event_queue q;
+  std::uint64_t tie_hits = 0;
+  std::vector<churn_chain> chains(64);
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    chains[i] = {&q, /*remaining=*/4000, /*x=*/0x9e3779b97f4a7c15ULL + i, &tie_hits};
+    q.schedule_at(sim::vtime{i}, [&c = chains[i]] { churn_step(c); });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  q.run();
+  const double wall_s = wall_seconds_since(t0);
+
+  scenario_result r;
+  r.metrics.push_back({"events_processed", "count", kVirtual,
+                       static_cast<double>(q.processed())});
+  r.metrics.push_back({"tie_events", "count", kVirtual, static_cast<double>(tie_hits)});
+  r.metrics.push_back({"end_virtual_us", "us", kVirtual, q.now().us()});
+  r.metrics.push_back({"events_per_sec", "events/s", kWall,
+                       static_cast<double>(q.processed()) / wall_s,
+                       /*higher_better=*/true});
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Tables 1-3: TSP blocking vs adaptive (reduced: 16 cities, 3 seeds).
+// ---------------------------------------------------------------------------
+
+scenario_result run_tsp_scenario(tsp::variant v) {
+  constexpr unsigned kCities = 16;
+  constexpr unsigned kProcessors = 8;
+  const std::vector<std::uint64_t> seeds = {9001, 1234, 777};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto blocking = run_tsp(v, locks::lock_kind::blocking, kCities, kProcessors, seeds);
+  const auto adaptive = run_tsp(v, locks::lock_kind::adaptive, kCities, kProcessors, seeds);
+  const double wall_s = wall_seconds_since(t0);
+
+  const double total_nodes =
+      static_cast<double>(blocking.mean_expansions + adaptive.mean_expansions) *
+      static_cast<double>(seeds.size());
+
+  scenario_result r;
+  r.metrics.push_back({"blocking_virtual_ms", "ms", kVirtual, blocking.mean_ms});
+  r.metrics.push_back({"adaptive_virtual_ms", "ms", kVirtual, adaptive.mean_ms});
+  r.metrics.push_back({"improvement_frac", "frac", kVirtual,
+                       (blocking.mean_ms - adaptive.mean_ms) / blocking.mean_ms});
+  r.metrics.push_back({"expansions_blocking", "count", kVirtual,
+                       static_cast<double>(blocking.mean_expansions)});
+  r.metrics.push_back({"expansions_adaptive", "count", kVirtual,
+                       static_cast<double>(adaptive.mean_expansions)});
+  r.metrics.push_back({"tsp_nodes_per_sec", "nodes/s", kWall, total_nodes / wall_s,
+                       /*higher_better=*/true});
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Tables 4-5: lock/unlock op cost, every kind, local + remote.
+// ---------------------------------------------------------------------------
+
+scenario_result run_lock_op_costs(bool unlock_side) {
+  constexpr int kInner = 8;  // lift wall time above timer jitter
+  const struct {
+    locks::lock_kind kind;
+    const char* name;
+  } kinds[] = {
+      {locks::lock_kind::atomior, "atomior"},   {locks::lock_kind::spin, "spin"},
+      {locks::lock_kind::backoff, "backoff"},   {locks::lock_kind::blocking, "blocking"},
+      {locks::lock_kind::adaptive, "adaptive"},
+  };
+  scenario_result r;
+  for (int i = 0; i < kInner; ++i) {
+    const bool record = i == 0;  // identical every iteration (deterministic)
+    for (const auto& k : kinds) {
+      const auto local = time_lock_ops(k.kind, false);
+      const auto remote = time_lock_ops(k.kind, true);
+      if (!record) continue;
+      const char* op = unlock_side ? "unlock" : "lock";
+      const double lv = unlock_side ? local.unlock_us : local.lock_us;
+      const double rv = unlock_side ? remote.unlock_us : remote.lock_us;
+      r.metrics.push_back({std::string(op) + '_' + k.name + "_local_us", "us", kVirtual, lv});
+      r.metrics.push_back({std::string(op) + '_' + k.name + "_remote_us", "us", kVirtual, rv});
+    }
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Tables 6-7: the locking cycle (release-to-acquire with a waiter present).
+// ---------------------------------------------------------------------------
+
+scenario_result run_cycle_static() {
+  constexpr int kInner = 6;
+  const struct {
+    locks::lock_kind kind;
+    const char* name;
+  } kinds[] = {
+      {locks::lock_kind::spin, "spin"},
+      {locks::lock_kind::backoff, "backoff"},
+      {locks::lock_kind::blocking, "blocking"},
+  };
+  scenario_result r;
+  for (int i = 0; i < kInner; ++i) {
+    const bool record = i == 0;
+    for (const auto& k : kinds) {
+      const auto make = [&](ct::runtime&, sim::node_id home) {
+        return locks::make_lock(k.kind, home, locks::lock_cost_model::butterfly_cthreads());
+      };
+      const double local = time_cycle_us(make, false);
+      const double remote = time_cycle_us(make, true);
+      if (!record) continue;
+      r.metrics.push_back({std::string("cycle_") + k.name + "_local_us", "us", kVirtual, local});
+      r.metrics.push_back({std::string("cycle_") + k.name + "_remote_us", "us", kVirtual, remote});
+    }
+  }
+  return r;
+}
+
+scenario_result run_cycle_adaptive() {
+  constexpr int kInner = 20;  // small per-cycle cost: amortize timer jitter
+  const struct {
+    const char* name;
+    locks::waiting_policy policy;
+  } rows[] = {
+      {"as_spin", locks::waiting_policy::pure_spin(4096)},
+      {"as_blocking", locks::waiting_policy::pure_sleep()},
+  };
+  scenario_result r;
+  for (int i = 0; i < kInner; ++i) {
+    const bool record = i == 0;
+    for (const auto& row : rows) {
+      const auto make = [&](ct::runtime&, sim::node_id home) {
+        // A reconfigurable lock pinned to the configuration (no monitor /
+        // policy feedback, exactly like an adaptive lock between adaptations).
+        return std::make_unique<locks::reconfigurable_lock>(
+            home, locks::lock_cost_model::butterfly_cthreads(), row.policy);
+      };
+      const double local = time_cycle_us(make, false);
+      const double remote = time_cycle_us(make, true);
+      if (!record) continue;
+      r.metrics.push_back({std::string("cycle_") + row.name + "_local_us", "us", kVirtual, local});
+      r.metrics.push_back({std::string("cycle_") + row.name + "_remote_us", "us", kVirtual, remote});
+    }
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Table 8: configuration-operation costs (Ψ machinery).
+// ---------------------------------------------------------------------------
+
+double time_config_acquisition(bool remote) {
+  ct::runtime rt(sim::machine_config::butterfly_gp1000());
+  locks::reconfigurable_lock lk(remote ? 7 : 0,
+                                locks::lock_cost_model::butterfly_cthreads());
+  double us = 0;
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    const auto t0 = ctx.now();
+    (void)co_await lk.acquire_attribute(ctx, "spin-time", 1);
+    us = (ctx.now() - t0).us();
+  });
+  rt.run_all();
+  return us;
+}
+
+double time_config_policy(bool remote) {
+  ct::runtime rt(sim::machine_config::butterfly_gp1000());
+  locks::reconfigurable_lock lk(remote ? 7 : 0,
+                                locks::lock_cost_model::butterfly_cthreads());
+  double us = 0;
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    const auto t0 = ctx.now();
+    co_await lk.configure_waiting_policy(ctx, locks::waiting_policy::pure_spin(16));
+    us = (ctx.now() - t0).us();
+  });
+  rt.run_all();
+  return us;
+}
+
+double time_config_scheduler(bool remote) {
+  ct::runtime rt(sim::machine_config::butterfly_gp1000());
+  locks::reconfigurable_lock lk(remote ? 7 : 0,
+                                locks::lock_cost_model::butterfly_cthreads());
+  double us = 0;
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    const auto t0 = ctx.now();
+    co_await lk.configure_scheduler(ctx, std::make_unique<locks::priority_scheduler>());
+    us = (ctx.now() - t0).us();
+  });
+  rt.run_all();
+  return us;
+}
+
+scenario_result run_config_ops() {
+  constexpr int kInner = 8;
+  scenario_result r;
+  for (int i = 0; i < kInner; ++i) {
+    const bool record = i == 0;
+    const double acq_l = time_config_acquisition(false);
+    const double acq_r = time_config_acquisition(true);
+    const double pol_l = time_config_policy(false);
+    const double pol_r = time_config_policy(true);
+    const double sch_l = time_config_scheduler(false);
+    const double sch_r = time_config_scheduler(true);
+    if (!record) continue;
+    r.metrics.push_back({"acquisition_local_us", "us", kVirtual, acq_l});
+    r.metrics.push_back({"acquisition_remote_us", "us", kVirtual, acq_r});
+    r.metrics.push_back({"configure_policy_local_us", "us", kVirtual, pol_l});
+    r.metrics.push_back({"configure_policy_remote_us", "us", kVirtual, pol_r});
+    r.metrics.push_back({"configure_scheduler_local_us", "us", kVirtual, sch_l});
+    r.metrics.push_back({"configure_scheduler_remote_us", "us", kVirtual, sch_r});
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1: critical-section-length sweep (reduced grid).
+// ---------------------------------------------------------------------------
+
+scenario_result run_fig1_cs_sweep() {
+  const double cs_lengths_us[] = {10, 100, 800};
+  const struct {
+    const char* name;
+    locks::lock_kind kind;
+    std::int64_t spin_limit;
+  } cols[] = {
+      {"blocking", locks::lock_kind::blocking, 0},
+      {"combined10", locks::lock_kind::combined, 10},
+      {"adaptive", locks::lock_kind::adaptive, 0},
+  };
+  scenario_result r;
+  double total_ms = 0;
+  double total_blocks = 0;
+  for (const auto& col : cols) {
+    double col_ms = 0;
+    for (const double cs : cs_lengths_us) {
+      workload::cs_config cfg;
+      cfg.processors = 6;
+      cfg.threads = 12;
+      cfg.iterations = 60;
+      cfg.cs_length = sim::microseconds(cs);
+      cfg.think_time = sim::microseconds(3 * cs + 100);
+      cfg.kind = col.kind;
+      cfg.params.combined_spin_limit = col.spin_limit;
+      // Multiprogramming-appropriate adaptation constants (as in the bench).
+      cfg.params.adapt = {2, 25, 50, 2};
+      const auto res = run_cs_workload(cfg);
+      col_ms += res.elapsed.ms();
+      total_blocks += static_cast<double>(res.blocks);
+    }
+    total_ms += col_ms;
+    r.metrics.push_back({std::string(col.name) + "_virtual_ms", "ms", kVirtual, col_ms});
+  }
+  r.metrics.push_back({"total_virtual_ms", "ms", kVirtual, total_ms});
+  r.metrics.push_back({"total_blocks", "count", kVirtual, total_blocks});
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Figures 4-9: TSP locking patterns (one recorded solve each).
+// ---------------------------------------------------------------------------
+
+scenario_result run_pattern_figure(tsp::variant v, bool qlock) {
+  auto cfg = tsp_cfg(v, locks::lock_kind::blocking, 10);
+  cfg.record_patterns = true;
+  const auto inst = tsp::instance::random_asymmetric(20, 9001);
+  const auto res = tsp::solve_parallel(inst, cfg);
+  const auto& report = qlock ? res.lock_reports[0] : res.lock_reports[2];
+
+  scenario_result r;
+  r.metrics.push_back({"elapsed_virtual_ms", "ms", kVirtual, res.elapsed.ms()});
+  r.metrics.push_back({"expansions", "count", kVirtual,
+                       static_cast<double>(res.expansions)});
+  r.metrics.push_back({"lock_requests", "count", kVirtual,
+                       static_cast<double>(report.requests)});
+  r.metrics.push_back({"contended_frac", "frac", kVirtual, report.contention_ratio});
+  r.metrics.push_back({"peak_waiting", "count", kVirtual,
+                       static_cast<double>(report.peak_waiting)});
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Extension: spin vs. blocking by threads-per-processor (reduced).
+// ---------------------------------------------------------------------------
+
+scenario_result run_ext_spin_vs_block() {
+  scenario_result r;
+  const struct {
+    unsigned threads;
+    unsigned procs;
+    const char* tag;
+  } shapes[] = {{6, 6, "1x"}, {12, 6, "2x"}, {18, 6, "3x"}};
+  for (const auto& s : shapes) {
+    workload::cs_config base;
+    base.processors = s.procs;
+    base.threads = s.threads;
+    base.iterations = 60;
+    base.cs_length = sim::microseconds(100);
+    base.think_time = sim::microseconds(300);
+    if (s.threads <= s.procs) {
+      auto c = base;
+      c.kind = locks::lock_kind::spin;
+      r.metrics.push_back({std::string("spin_") + s.tag + "_virtual_ms", "ms", kVirtual,
+                           run_cs_workload(c).elapsed.ms()});
+    }
+    auto cc = base;
+    cc.kind = locks::lock_kind::combined;
+    cc.params.combined_spin_limit = 25;
+    r.metrics.push_back({std::string("combined25_") + s.tag + "_virtual_ms", "ms", kVirtual,
+                         run_cs_workload(cc).elapsed.ms()});
+    auto cb = base;
+    cb.kind = locks::lock_kind::blocking;
+    r.metrics.push_back({std::string("blocking_") + s.tag + "_virtual_ms", "ms", kVirtual,
+                         run_cs_workload(cb).elapsed.ms()});
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: constant-wire vs. staged-butterfly interconnect (reduced).
+// ---------------------------------------------------------------------------
+
+scenario_result run_abl_interconnect() {
+  scenario_result r;
+  for (const bool staged : {false, true}) {
+    for (const auto kind : {locks::lock_kind::spin, locks::lock_kind::adaptive}) {
+      workload::cs_config cfg;
+      cfg.processors = 10;
+      cfg.threads = 10;
+      cfg.iterations = 60;
+      cfg.cs_length = sim::microseconds(60);
+      cfg.think_time = sim::microseconds(150);
+      cfg.kind = kind;
+      cfg.params.adapt = {12, 20, 400, 2};
+      if (staged) cfg.machine.wire_model = sim::interconnect_model::butterfly;
+      const auto res = run_cs_workload(cfg);
+      r.metrics.push_back({std::string(staged ? "butterfly_" : "constant_") +
+                               locks::to_string(kind) + "_virtual_ms",
+                           "ms", kVirtual, res.elapsed.ms()});
+    }
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: simple-adapt constants sweep (reduced grid).
+// ---------------------------------------------------------------------------
+
+scenario_result run_abl_threshold() {
+  constexpr unsigned kCities = 14;
+  const auto inst = tsp::instance::random_asymmetric(kCities, 9001);
+  scenario_result r;
+  {
+    auto cfg = tsp_cfg(tsp::variant::centralized, locks::lock_kind::blocking, 10);
+    const auto res = tsp::solve_parallel(inst, cfg);
+    r.metrics.push_back({"blocking_baseline_virtual_ms", "ms", kVirtual, res.elapsed.ms()});
+  }
+  for (const std::int64_t threshold : {1, 12}) {
+    for (const std::int64_t n : {5, 20}) {
+      auto cfg = tsp_cfg(tsp::variant::centralized, locks::lock_kind::adaptive, 10);
+      cfg.run.params.adapt.waiting_threshold = threshold;
+      cfg.run.params.adapt.n = n;
+      const auto res = tsp::solve_parallel(inst, cfg);
+      r.metrics.push_back({"t" + std::to_string(threshold) + "_n" + std::to_string(n) +
+                               "_virtual_ms",
+                           "ms", kVirtual, res.elapsed.ms()});
+    }
+  }
+  return r;
+}
+
+std::vector<scenario> make_registry() {
+  std::vector<scenario> out;
+  const auto add = [&](std::string name, std::string desc,
+                       std::function<scenario_result()> body) {
+    out.push_back({std::move(name), std::move(desc), std::move(body)});
+  };
+
+  add("sim_event_queue_churn",
+      "pure event-queue stress: 64 self-rescheduling chains + tie bursts",
+      run_event_queue_churn);
+  add("bench_table1_tsp_central", "Table 1: centralized TSP, blocking vs adaptive",
+      [] { return run_tsp_scenario(tsp::variant::centralized); });
+  add("bench_table2_tsp_dist", "Table 2: distributed TSP, blocking vs adaptive",
+      [] { return run_tsp_scenario(tsp::variant::distributed); });
+  add("bench_table3_tsp_distlb", "Table 3: distributed+LB TSP, blocking vs adaptive",
+      [] { return run_tsp_scenario(tsp::variant::distributed_lb); });
+  add("bench_table4_lock_cost", "Table 4: Lock-op cost, every kind, local/remote",
+      [] { return run_lock_op_costs(false); });
+  add("bench_table5_unlock_cost", "Table 5: Unlock-op cost, every kind, local/remote",
+      [] { return run_lock_op_costs(true); });
+  add("bench_table6_cycle_static", "Table 6: locking cycle, static locks",
+      run_cycle_static);
+  add("bench_table7_cycle_adaptive", "Table 7: locking cycle, pinned adaptive lock",
+      run_cycle_adaptive);
+  add("bench_table8_config_ops", "Table 8: lock configuration-operation costs",
+      run_config_ops);
+  add("bench_fig1_cs_sweep", "Figure 1: CS-length sweep, blocking/combined/adaptive",
+      run_fig1_cs_sweep);
+  add("bench_fig4_pattern_central_qlock", "Figure 4: centralized TSP, qlock pattern",
+      [] { return run_pattern_figure(tsp::variant::centralized, true); });
+  add("bench_fig5_pattern_central_globact", "Figure 5: centralized TSP, globact pattern",
+      [] { return run_pattern_figure(tsp::variant::centralized, false); });
+  add("bench_fig6_pattern_dist_qlock", "Figure 6: distributed TSP, qlock pattern",
+      [] { return run_pattern_figure(tsp::variant::distributed, true); });
+  add("bench_fig7_pattern_dist_globact", "Figure 7: distributed TSP, globact pattern",
+      [] { return run_pattern_figure(tsp::variant::distributed, false); });
+  add("bench_fig8_pattern_distlb_qlock", "Figure 8: distributed+LB TSP, qlock pattern",
+      [] { return run_pattern_figure(tsp::variant::distributed_lb, true); });
+  add("bench_fig9_pattern_distlb_globact", "Figure 9: distributed+LB TSP, globact pattern",
+      [] { return run_pattern_figure(tsp::variant::distributed_lb, false); });
+  add("bench_ext_spin_vs_block", "extension: spin vs blocking by threads/processor",
+      run_ext_spin_vs_block);
+  add("bench_abl_interconnect", "ablation: constant-wire vs staged butterfly",
+      run_abl_interconnect);
+  add("bench_abl_threshold", "ablation: simple-adapt Waiting-Threshold x n",
+      run_abl_threshold);
+  return out;
+}
+
+}  // namespace
+
+const std::vector<scenario>& all_scenarios() {
+  static const std::vector<scenario> registry = make_registry();
+  return registry;
+}
+
+const scenario* find_scenario(std::string_view name) {
+  for (const auto& s : all_scenarios()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace adx::perf

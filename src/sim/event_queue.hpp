@@ -3,11 +3,33 @@
 // insertion sequence number so identical runs replay identically. An attached
 // perturber can override the tie-break key (schedule exploration); ordering
 // stays deterministic because the key is computed once, at insertion.
+//
+// Layout is tuned for the simulator's hot loop (every simulated microsecond
+// is one or more schedule/pop pairs):
+//
+//   * The priority queue is a 4-ary implicit heap of 32-byte POD handles
+//     {at, key, seq, slot}. A 4-ary heap halves the tree depth of a binary
+//     heap and keeps each node's children in one cache line; sifting moves
+//     handles, never callbacks. The top element is always heap_[0] — peeking
+//     the next timestamp (run_until's loop condition) is a single load.
+//   * Callbacks live in a chunked slab (fixed-size chunks, freelist reuse)
+//     with 48 bytes of in-place storage per event — enough for every capture
+//     list the runtime schedules, so steady-state event traffic performs no
+//     heap allocation at all. Larger callables spill to the heap
+//     transparently. Chunks are never moved or freed, so a callback's address
+//     stays valid while it runs even if it schedules further events.
+//
+// Ordering is exactly what the old binary-heap implementation produced:
+// (at, key, seq) ascending, strict total order because seq is unique.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/perturb.hpp"
@@ -19,13 +41,30 @@ class event_queue {
  public:
   using callback = std::function<void()>;
 
-  /// Schedules `cb` to run at absolute time `at`. Scheduling in the past is a
-  /// logic error and is clamped to `now()` (the event still runs, after all
-  /// events already due at `now()`).
-  void schedule_at(vtime at, callback cb);
+  event_queue() = default;
+  event_queue(const event_queue&) = delete;
+  event_queue& operator=(const event_queue&) = delete;
+  ~event_queue();
 
-  /// Schedules `cb` to run `after` from now.
-  void schedule_after(vdur after, callback cb) { schedule_at(now_ + after, std::move(cb)); }
+  /// Schedules `fn` to run at absolute time `at`. Scheduling in the past is a
+  /// logic error and is clamped to `now()` (the event still runs, after all
+  /// events already due at `now()`). Accepts any void() callable; capture
+  /// lists up to 48 bytes are stored without allocating.
+  template <typename F>
+  void schedule_at(vtime at, F&& fn) {
+    if (at < now_) at = now_;
+    const auto seq = seq_++;
+    const auto key = perturber_ ? perturber_->tie_key(at, seq) : seq;
+    const std::uint32_t slot = acquire_slot();
+    construct_callback(slot_at(slot), std::forward<F>(fn));
+    heap_push(handle{at, key, seq, slot});
+  }
+
+  /// Schedules `fn` to run `after` from now.
+  template <typename F>
+  void schedule_after(vdur after, F&& fn) {
+    schedule_at(now_ + after, std::forward<F>(fn));
+  }
 
   [[nodiscard]] vtime now() const { return now_; }
   [[nodiscard]] bool empty() const { return heap_.empty(); }
@@ -49,21 +88,123 @@ class event_queue {
   void set_perturber(perturber* p) { perturber_ = p; }
   [[nodiscard]] perturber* get_perturber() const { return perturber_; }
 
+  /// Slab observability (tests): total callback slots ever allocated, and how
+  /// many of them are currently on the freelist. The slab grows in
+  /// fixed-size chunks and never shrinks; capacity - free == pending().
+  [[nodiscard]] std::size_t slab_capacity() const {
+    return chunks_.size() * kEventsPerChunk;
+  }
+  [[nodiscard]] std::size_t slab_free() const;
+
+  /// CI/test hook: busy-wait `ns` of host wall time inside every pop.
+  /// Virtual-time results are unaffected (the simulated clock cannot see host
+  /// time); wall metrics degrade proportionally. adx-bench's regression-gate
+  /// self-test uses this to prove the gate trips. 0 (the default) disables.
+  static void set_debug_pop_delay_ns(std::uint64_t ns);
+  [[nodiscard]] static std::uint64_t debug_pop_delay_ns();
+
  private:
-  struct entry {
+  static constexpr std::size_t kInlineCallbackBytes = 48;
+  static constexpr std::uint32_t kEventsPerChunk = 128;
+  static constexpr std::uint32_t kNoSlot = ~0U;
+
+  /// What the heap sifts: timestamp and tie-break keys plus the slab slot
+  /// holding the callback. POD, 32 bytes.
+  struct handle {
     vtime at;
     std::uint64_t key;  ///< tie-break key (== seq unless perturbed)
     std::uint64_t seq;
-    callback cb;
+    std::uint32_t slot;
   };
-  struct later {
-    bool operator()(const entry& a, const entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.key == b.key ? a.seq > b.seq : a.key > b.key;
-    }
+  static_assert(std::is_trivially_copyable_v<handle> && sizeof(handle) <= 32);
+
+  /// One slab slot: in-place callback storage plus its type-erased entry
+  /// points. `next_free` threads the freelist through unused slots.
+  struct event_slot {
+    alignas(alignof(std::max_align_t)) unsigned char buf[kInlineCallbackBytes];
+    void (*invoke)(event_slot&);
+    void (*destroy)(event_slot&);
+    std::uint32_t next_free;
   };
 
-  std::priority_queue<entry, std::vector<entry>, later> heap_;
+  static bool earlier(const handle& a, const handle& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.key == b.key ? a.seq < b.seq : a.key < b.key;
+  }
+
+  /// Sift-up with a hole (no swaps): parent of i is (i-1)/4.
+  void heap_push(handle h) {
+    std::size_t i = heap_.size();
+    heap_.push_back(h);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!earlier(h, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = h;
+  }
+
+  /// Removes and returns heap_[0]; sifts the last element down with a hole.
+  handle heap_pop_top() {
+    const handle top = heap_[0];
+    const handle last = heap_.back();
+    heap_.pop_back();
+    if (const std::size_t n = heap_.size(); n != 0) {
+      std::size_t i = 0;
+      for (;;) {
+        const std::size_t first = 4 * i + 1;
+        if (first >= n) break;
+        std::size_t best = first;
+        const std::size_t end = first + 4 < n ? first + 4 : n;
+        for (std::size_t c = first + 1; c < end; ++c) {
+          if (earlier(heap_[c], heap_[best])) best = c;
+        }
+        if (!earlier(heap_[best], last)) break;
+        heap_[i] = heap_[best];
+        i = best;
+      }
+      heap_[i] = last;
+    }
+    return top;
+  }
+
+  template <typename F>
+  static void construct_callback(event_slot& s, F&& fn) {
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineCallbackBytes &&
+                  alignof(D) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(s.buf)) D(std::forward<F>(fn));
+      s.invoke = [](event_slot& e) { (*std::launder(reinterpret_cast<D*>(e.buf)))(); };
+      s.destroy = [](event_slot& e) { std::launder(reinterpret_cast<D*>(e.buf))->~D(); };
+    } else {
+      ::new (static_cast<void*>(s.buf)) (D*)(new D(std::forward<F>(fn)));
+      s.invoke = [](event_slot& e) { (**std::launder(reinterpret_cast<D**>(e.buf)))(); };
+      s.destroy = [](event_slot& e) { delete *std::launder(reinterpret_cast<D**>(e.buf)); };
+    }
+  }
+
+  [[nodiscard]] event_slot& slot_at(std::uint32_t s) {
+    return chunks_[s / kEventsPerChunk][s % kEventsPerChunk];
+  }
+
+  std::uint32_t acquire_slot() {
+    if (free_head_ == kNoSlot) grow_slab();
+    const auto s = free_head_;
+    free_head_ = slot_at(s).next_free;
+    return s;
+  }
+
+  void release_slot(std::uint32_t s) {
+    slot_at(s).next_free = free_head_;
+    free_head_ = s;
+  }
+
+  void grow_slab();  // cold path: appends one chunk, rebuilds the freelist
+
+  std::vector<handle> heap_;
+  std::vector<std::unique_ptr<event_slot[]>> chunks_;
+  std::uint32_t free_head_{kNoSlot};
   vtime now_{};
   std::uint64_t seq_{0};
   std::uint64_t processed_{0};

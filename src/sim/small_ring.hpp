@@ -1,0 +1,80 @@
+// A small-buffer FIFO ring for trivially-copyable elements.
+//
+// The simulator keeps many tiny queues alive at once — one ready queue per
+// simulated processor, one wait queue per lock — and nearly all of them hold
+// zero to a handful of elements at any instant. std::deque pays a heap
+// allocation (block map + first block) per queue just for being constructed,
+// which dominates the cost of building and tearing down a simulated machine
+// in the micro-benches. This ring keeps the first N elements inline — an
+// empty or shallow queue never touches the heap — and spills to a
+// geometrically grown heap ring beyond that; once spilled it stays spilled
+// (a queue that deep stays deep).
+//
+// Interface is the FIFO subset the simulator needs: push_back / front /
+// pop_front, plus push_front for re-queueing at the head (a woken lock waiter
+// that loses the race keeps its place in line).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+
+namespace adx::sim {
+
+template <typename T, std::size_t N = 8>
+class small_ring {
+  static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(N != 0 && (N & (N - 1)) == 0, "inline capacity must be a power of two");
+
+ public:
+  small_ring() = default;
+  small_ring(const small_ring&) = delete;
+  small_ring& operator=(const small_ring&) = delete;
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  [[nodiscard]] T front() const { return data()[head_]; }
+
+  void push_back(T v) {
+    if (size_ == cap_) grow();
+    data()[(head_ + size_) & (cap_ - 1)] = v;
+    ++size_;
+  }
+
+  void push_front(T v) {
+    if (size_ == cap_) grow();
+    head_ = (head_ + cap_ - 1) & (cap_ - 1);
+    data()[head_] = v;
+    ++size_;
+  }
+
+  void pop_front() {
+    head_ = (head_ + 1) & (cap_ - 1);
+    --size_;
+  }
+
+ private:
+  [[nodiscard]] T* data() { return spill_ ? spill_.get() : inline_; }
+  [[nodiscard]] const T* data() const { return spill_ ? spill_.get() : inline_; }
+
+  void grow() {
+    const std::size_t new_cap = cap_ * 2;
+    auto bigger = std::make_unique<T[]>(new_cap);
+    const auto* src = data();
+    for (std::size_t i = 0; i < size_; ++i) {
+      bigger[i] = src[(head_ + i) & (cap_ - 1)];
+    }
+    spill_ = std::move(bigger);
+    cap_ = new_cap;
+    head_ = 0;
+  }
+
+  T inline_[N];
+  std::unique_ptr<T[]> spill_;
+  std::size_t cap_{N};
+  std::size_t head_{0};
+  std::size_t size_{0};
+};
+
+}  // namespace adx::sim

@@ -1,0 +1,120 @@
+// Metric model: clock tagging, quantile summaries, and the scenario runner's
+// contract (implicit wall_ns, determinism enforcement, full reporting).
+#include "perf/metric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "perf/scenario.hpp"
+
+namespace adx::perf {
+namespace {
+
+TEST(MetricClock, RoundTripsThroughStrings) {
+  EXPECT_STREQ(to_string(metric_clock::virtual_time), "virtual");
+  EXPECT_STREQ(to_string(metric_clock::wall), "wall");
+  EXPECT_EQ(parse_metric_clock("virtual"), metric_clock::virtual_time);
+  EXPECT_EQ(parse_metric_clock("wall"), metric_clock::wall);
+  EXPECT_FALSE(parse_metric_clock("cpu").has_value());
+}
+
+TEST(Summarize, EmptyInputIsAllZero) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.median, 0);
+  EXPECT_EQ(s.iqr, 0);
+  EXPECT_EQ(s.min, 0);
+}
+
+TEST(Summarize, SingleValue) {
+  const auto s = summarize({42.0});
+  EXPECT_EQ(s.median, 42.0);
+  EXPECT_EQ(s.iqr, 0.0);
+  EXPECT_EQ(s.min, 42.0);
+}
+
+TEST(Summarize, OddCountMedianIsMiddleOrderStatistic) {
+  const auto s = summarize({5, 1, 9, 3, 7});
+  EXPECT_EQ(s.median, 5.0);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.iqr, 4.0);  // Q3=7, Q1=3
+}
+
+TEST(Summarize, EvenCountInterpolates) {
+  const auto s = summarize({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_EQ(s.min, 1.0);
+}
+
+TEST(Summarize, InputOrderIrrelevant) {
+  const auto a = summarize({9, 1, 5, 3, 7});
+  const auto b = summarize({1, 3, 5, 7, 9});
+  EXPECT_EQ(a.median, b.median);
+  EXPECT_EQ(a.iqr, b.iqr);
+  EXPECT_EQ(a.min, b.min);
+}
+
+TEST(RunScenario, ZeroRepsRejected) {
+  const scenario sc{"s", "d", [] { return scenario_result{}; }};
+  EXPECT_THROW((void)run_scenario(sc, 0, 0), std::invalid_argument);
+}
+
+TEST(RunScenario, AddsImplicitWallMetricAndRunsWarmup) {
+  int calls = 0;
+  const scenario sc{"s", "d", [&] {
+    ++calls;
+    return scenario_result{{{"v", "count", metric_clock::virtual_time, 7.0}}};
+  }};
+  const auto sum = run_scenario(sc, 3, 2);
+  EXPECT_EQ(calls, 5);  // 2 warmup + 3 measured
+  ASSERT_EQ(sum.metrics.size(), 2u);
+  EXPECT_EQ(sum.metrics[0].name, "v");
+  EXPECT_EQ(sum.metrics[0].stats.median, 7.0);
+  EXPECT_EQ(sum.metrics[0].reps, 3u);
+  EXPECT_EQ(sum.metrics[1].name, "wall_ns");
+  EXPECT_EQ(sum.metrics[1].clock, metric_clock::wall);
+  EXPECT_GT(sum.metrics[1].stats.median, 0.0);
+}
+
+TEST(RunScenario, VirtualMetricVaryingAcrossRepsThrows) {
+  int rep = 0;
+  const scenario sc{"drifty", "d", [&] {
+    return scenario_result{
+        {{"v", "us", metric_clock::virtual_time, static_cast<double>(rep++)}}};
+  }};
+  EXPECT_THROW((void)run_scenario(sc, 3, 0), std::logic_error);
+}
+
+TEST(RunScenario, WallMetricMayVaryAcrossReps) {
+  int rep = 0;
+  const scenario sc{"noisy", "d", [&] {
+    return scenario_result{
+        {{"rate", "events/s", metric_clock::wall, 100.0 + rep++, true}}};
+  }};
+  const auto sum = run_scenario(sc, 3, 0);
+  EXPECT_EQ(sum.metrics[0].stats.median, 101.0);
+  EXPECT_TRUE(sum.metrics[0].higher_better);
+}
+
+TEST(RunScenario, MetricMissingFromSomeRepThrows) {
+  int rep = 0;
+  const scenario sc{"flaky", "d", [&] {
+    scenario_result r;
+    if (rep++ == 0) r.metrics.push_back({"sometimes", "us", metric_clock::wall, 1.0});
+    return r;
+  }};
+  EXPECT_THROW((void)run_scenario(sc, 2, 0), std::logic_error);
+}
+
+TEST(RunScenario, MetricChangingClockThrows) {
+  int rep = 0;
+  const scenario sc{"shifty", "d", [&] {
+    return scenario_result{{{"m", "us",
+                             rep++ == 0 ? metric_clock::virtual_time : metric_clock::wall,
+                             1.0}}};
+  }};
+  EXPECT_THROW((void)run_scenario(sc, 2, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace adx::perf

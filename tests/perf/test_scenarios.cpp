@@ -1,0 +1,66 @@
+// The scenario registry: completeness, naming discipline, and determinism of
+// the virtual-clock metrics that the regression gate compares exactly.
+#include "perf/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace adx::perf {
+namespace {
+
+TEST(Scenarios, NamesAreUniqueAndDescribed) {
+  std::set<std::string> seen;
+  for (const auto& s : all_scenarios()) {
+    EXPECT_TRUE(seen.insert(s.name).second) << "duplicate scenario " << s.name;
+    EXPECT_FALSE(s.description.empty()) << s.name;
+    EXPECT_TRUE(s.body != nullptr) << s.name;
+  }
+  EXPECT_GE(seen.size(), 15u);
+}
+
+TEST(Scenarios, RequiredGateScenariosExist) {
+  // The committed baselines and CI perf gate are keyed on these names.
+  for (const char* name :
+       {"bench_table7_cycle_adaptive", "bench_fig1_cs_sweep", "sim_event_queue_churn",
+        "bench_table1_tsp_central", "bench_table4_lock_cost"}) {
+    EXPECT_NE(find_scenario(name), nullptr) << name;
+  }
+}
+
+TEST(Scenarios, FindRejectsUnknownNames) {
+  EXPECT_EQ(find_scenario("bench_nonexistent"), nullptr);
+  EXPECT_EQ(find_scenario(""), nullptr);
+}
+
+// Every scenario's virtual-clock metrics must be identical across
+// repetitions — the property the whole exact-match gate rests on. The
+// runner enforces it by throwing; two reps of the cheapest scenarios prove
+// the wiring end to end.
+TEST(Scenarios, MicrobenchVirtualMetricsAreDeterministic) {
+  for (const char* name : {"sim_event_queue_churn", "bench_table4_lock_cost"}) {
+    const auto* sc = find_scenario(name);
+    ASSERT_NE(sc, nullptr);
+    const auto sum = run_scenario(*sc, 2, 0);
+    bool any_virtual = false;
+    for (const auto& m : sum.metrics) {
+      if (m.clock != metric_clock::virtual_time) continue;
+      any_virtual = true;
+      EXPECT_EQ(m.stats.iqr, 0.0) << name << ":" << m.name;
+    }
+    EXPECT_TRUE(any_virtual) << name;
+  }
+}
+
+TEST(Scenarios, EveryScenarioReportsAtLeastOneVirtualMetric) {
+  // Statically declared in every body; spot-check by name conventions. A
+  // scenario with only wall metrics would silently weaken the exact gate.
+  for (const auto& s : all_scenarios()) {
+    EXPECT_TRUE(s.name.rfind("bench_", 0) == 0 || s.name.rfind("sim_", 0) == 0)
+        << "scenario name '" << s.name << "' should state what it mirrors";
+  }
+}
+
+}  // namespace
+}  // namespace adx::perf
