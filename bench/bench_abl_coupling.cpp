@@ -11,7 +11,7 @@ int main(int argc, char** argv) {
   using namespace adx;
   using bench::table;
 
-  auto opt = bench::bench_options(argv, "ablation: feedback-loop coupling")
+  auto opt = bench::bench_sweep_options(argv, "ablation: feedback-loop coupling")
                  .u64("iterations", 200, "lock cycles per thread");
   opt.parse(argc, argv);
   const auto iters = opt.get_u64("iterations");
@@ -63,28 +63,35 @@ int main(int argc, char** argv) {
               "(alternating 1-contender / 6-contender phases; adaptation acts on "
               "stale state when loosely coupled)\n\n");
 
+  // Rows as independent jobs: [0] closely coupled, [1..] the lagging-agent
+  // variants. Each builds its own runtime + lock, so they fan out safely.
+  const double lags_ms[] = {0.0, 2.0, 10.0};  // 0 = closely coupled
+  struct cell {
+    double elapsed_ms;
+    std::uint64_t decisions;
+    double mean_wait_us;
+    std::size_t backlog;
+  };
+  exec::job_executor ex(bench::jobs_from(opt));
+  const auto cells = ex.map(std::size(lags_ms), [&](std::size_t i) {
+    ct::runtime rt(machine);
+    locks::adaptive_lock lk(0, cost, params);
+    const bool loose = i != 0;
+    if (loose) lk.object_monitor().set_mode(core::coupling::loosely_coupled);
+    run_phases(lk, rt, loose, sim::milliseconds(lags_ms[i]));
+    const auto r = rt.run_all();
+    return cell{r.end_time.ms(), lk.policy()->decisions(),
+                lk.stats().wait_time_us().mean(),
+                loose ? lk.object_monitor().backlog() : 0};
+  });
+
   table t({"coupling", "elapsed (ms)", "policy decisions", "mean wait (us)",
            "monitor backlog peak"});
-
-  {
-    ct::runtime rt(machine);
-    locks::adaptive_lock lk(0, cost, params);
-    run_phases(lk, rt, false, {});
-    const auto r = rt.run_all();
-    t.row({"closely coupled (paper)", table::num(r.end_time.ms(), 1),
-           std::to_string(lk.policy()->decisions()),
-           table::num(lk.stats().wait_time_us().mean(), 0), "0"});
-  }
-  for (const double lag_ms : {2.0, 10.0}) {
-    ct::runtime rt(machine);
-    locks::adaptive_lock lk(0, cost, params);
-    lk.object_monitor().set_mode(core::coupling::loosely_coupled);
-    run_phases(lk, rt, true, sim::milliseconds(lag_ms));
-    const auto r = rt.run_all();
-    t.row({"loose, agent every " + table::num(lag_ms, 0) + " ms",
-           table::num(r.end_time.ms(), 1), std::to_string(lk.policy()->decisions()),
-           table::num(lk.stats().wait_time_us().mean(), 0),
-           std::to_string(lk.object_monitor().backlog())});
+  for (std::size_t i = 0; i < std::size(lags_ms); ++i) {
+    t.row({i == 0 ? std::string("closely coupled (paper)")
+                  : "loose, agent every " + table::num(lags_ms[i], 0) + " ms",
+           table::num(cells[i].elapsed_ms, 1), std::to_string(cells[i].decisions),
+           table::num(cells[i].mean_wait_us, 0), std::to_string(cells[i].backlog)});
   }
   t.print();
   std::printf("\nexpected shape: the closely-coupled loop reacts within two unlocks; "

@@ -9,7 +9,7 @@ int main(int argc, char** argv) {
   using namespace adx;
   using bench::table;
 
-  auto opt = bench::bench_options(argv, "ablation: monitor sampling period")
+  auto opt = bench::bench_sweep_options(argv, "ablation: monitor sampling period")
                  .u64("iterations", 200, "lock cycles per thread");
   opt.parse(argc, argv);
   const auto iters = opt.get_u64("iterations");
@@ -19,9 +19,17 @@ int main(int argc, char** argv) {
               "processors, CS 60 us, think 900 us — low contention, so the "
               "monitoring overhead itself is visible)\n\n");
 
-  table t({"sampling period k", "elapsed (ms)", "samples", "policy decisions",
-           "mean wait (us)"});
-  for (const std::uint64_t period : {1, 2, 4, 8, 16, 64}) {
+  const std::uint64_t periods[] = {1, 2, 4, 8, 16, 64};
+  struct cell {
+    double elapsed_ms;
+    std::uint64_t samples;
+    std::uint64_t decisions;
+    double mean_wait_us;
+  };
+  // Each period is an independent simulation (own runtime + lock), so the
+  // sweep fans out across host cores and reassembles by index.
+  exec::job_executor ex(bench::jobs_from(opt));
+  const auto cells = ex.map(std::size(periods), [&](std::size_t pi) {
     workload::cs_config cfg;
     cfg.processors = 3;
     cfg.threads = 3;
@@ -29,13 +37,12 @@ int main(int argc, char** argv) {
     cfg.cs_length = sim::microseconds(60);
     cfg.think_time = sim::microseconds(900);
     cfg.kind = locks::lock_kind::adaptive;
-    cfg.params.adapt = {4, 10, 200, static_cast<std::uint64_t>(period)};
+    cfg.params.adapt = {4, 10, 200, periods[pi]};
     cfg.machine = sim::machine_config::butterfly_gp1000();
 
     // Run raw to reach the lock's ledger.
     ct::runtime rt(cfg.machine);
     locks::adaptive_lock lk(0, cfg.cost, cfg.params.adapt);
-    sim::rng jr(cfg.seed);
     for (unsigned th = 0; th < cfg.threads; ++th) {
       rt.fork(th % cfg.processors, [&, th](ct::context& ctx) -> ct::task<void> {
         for (std::uint64_t i = 0; i < cfg.iterations; ++i) {
@@ -47,10 +54,16 @@ int main(int argc, char** argv) {
       });
     }
     const auto run = rt.run_all();
-    t.row({std::to_string(period), table::num(run.end_time.ms(), 2),
-           std::to_string(lk.costs().monitor_samples),
-           std::to_string(lk.policy()->decisions()),
-           table::num(lk.stats().wait_time_us().mean(), 0)});
+    return cell{run.end_time.ms(), lk.costs().monitor_samples,
+                lk.policy()->decisions(), lk.stats().wait_time_us().mean()};
+  });
+
+  table t({"sampling period k", "elapsed (ms)", "samples", "policy decisions",
+           "mean wait (us)"});
+  for (std::size_t pi = 0; pi < std::size(periods); ++pi) {
+    t.row({std::to_string(periods[pi]), table::num(cells[pi].elapsed_ms, 2),
+           std::to_string(cells[pi].samples), std::to_string(cells[pi].decisions),
+           table::num(cells[pi].mean_wait_us, 0)});
   }
   t.print();
   std::printf("\nexpected shape: k=1 pays maximum monitoring overhead, very large k "

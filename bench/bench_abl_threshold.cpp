@@ -8,7 +8,7 @@ int main(int argc, char** argv) {
   using namespace adx;
   using bench::table;
 
-  auto opt = bench::bench_options(argv, "ablation: simple-adapt constants sweep")
+  auto opt = bench::bench_sweep_options(argv, "ablation: simple-adapt constants sweep")
                  .u64("cities", 32, "TSP problem size")
                  .u64("seed", 9001, "instance seed");
   opt.parse(argc, argv);
@@ -20,24 +20,40 @@ int main(int argc, char** argv) {
               "(%u cities, seed %llu, 10 processors, adaptive locks)\n\n",
               cities, static_cast<unsigned long long>(seed));
 
-  // Blocking baseline for reference.
-  {
-    auto cfg = bench::tsp_cfg(tsp::variant::centralized, locks::lock_kind::blocking, 10);
-    const auto r = tsp::solve_parallel(inst, cfg);
-    std::printf("blocking-lock baseline: %.0f ms\n\n", r.elapsed.ms());
+  // Sweep grid: job 0 is the blocking baseline, jobs 1.. the threshold x n
+  // combinations — all independent TSP runs, fanned out across host cores.
+  struct point {
+    std::int64_t threshold;
+    std::int64_t n;
+  };
+  std::vector<point> points{{0, 0}};  // [0] = baseline marker
+  for (const std::int64_t threshold : {1, 4, 12, 24}) {
+    for (const std::int64_t n : {5, 20, 60}) points.push_back({threshold, n});
   }
+  struct cell {
+    double elapsed_ms;
+    double mean_wait_us;
+  };
+  exec::job_executor ex(bench::jobs_from(opt));
+  const auto cells = ex.map(points.size(), [&](std::size_t i) {
+    auto cfg = bench::tsp_cfg(tsp::variant::centralized,
+                              i == 0 ? locks::lock_kind::blocking
+                                     : locks::lock_kind::adaptive,
+                              10);
+    if (i != 0) {
+      cfg.run.params.adapt.waiting_threshold = points[i].threshold;
+      cfg.run.params.adapt.n = points[i].n;
+    }
+    const auto r = tsp::solve_parallel(inst, cfg);
+    return cell{r.elapsed.ms(), r.lock_reports[0].mean_wait_us};
+  });
+
+  std::printf("blocking-lock baseline: %.0f ms\n\n", cells[0].elapsed_ms);
 
   table t({"Waiting-Threshold", "n", "elapsed (ms)", "qlock mean wait (us)"});
-  for (const std::int64_t threshold : {1, 4, 12, 24}) {
-    for (const std::int64_t n : {5, 20, 60}) {
-      auto cfg = bench::tsp_cfg(tsp::variant::centralized, locks::lock_kind::adaptive, 10);
-      cfg.run.params.adapt.waiting_threshold = threshold;
-      cfg.run.params.adapt.n = n;
-      const auto r = tsp::solve_parallel(inst, cfg);
-      t.row({std::to_string(threshold), std::to_string(n),
-             table::num(r.elapsed.ms(), 0),
-             table::num(r.lock_reports[0].mean_wait_us, 0)});
-    }
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    t.row({std::to_string(points[i].threshold), std::to_string(points[i].n),
+           table::num(cells[i].elapsed_ms, 0), table::num(cells[i].mean_wait_us, 0)});
   }
   t.print();
   std::printf("\nexpected shape: tiny thresholds push the hot qlock to pure blocking "

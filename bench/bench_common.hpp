@@ -19,6 +19,7 @@
 
 #include "cli/options.hpp"
 #include "ct/context.hpp"
+#include "exec/job_executor.hpp"
 #include "locks/adaptive_lock.hpp"
 #include "locks/factory.hpp"
 #include "obs/report_sink.hpp"
@@ -43,6 +44,22 @@ inline cli::options bench_options(char** argv, const char* summary) {
             "'wall' (host")
       .note("wall-clock time, noisy). adx-bench tracks both against committed "
             "baselines.");
+}
+
+/// Starts the flag parser for a *sweep* bench: bench_options plus the shared
+/// `--jobs` flag. Sweep benches run every grid point as an independent
+/// simulation on an exec::job_executor, so their figures are byte-identical
+/// for any worker count.
+inline cli::options bench_sweep_options(char** argv, const char* summary) {
+  return bench_options(argv, summary)
+      .u64("jobs", 0,
+           "parallel sweep workers (0 = one per host core); figures are "
+           "byte-identical for any value");
+}
+
+/// Folds the declared `--jobs` flag into a concrete worker count.
+inline unsigned jobs_from(const cli::options& opt) {
+  return exec::resolve_jobs(opt.get_u64("jobs"));
 }
 
 /// Reads a declared `--format` flag; exits 2 on bad values.

@@ -8,7 +8,7 @@ int main(int argc, char** argv) {
   using namespace adx;
   using bench::table;
 
-  auto opt = bench::bench_options(argv, "extension: spin vs. blocking")
+  auto opt = bench::bench_sweep_options(argv, "extension: spin vs. blocking")
                  .u64("iterations", 150, "lock cycles per thread");
   opt.parse(argc, argv);
   const auto iters = opt.get_u64("iterations");
@@ -18,39 +18,45 @@ int main(int argc, char** argv) {
               "and the owner share a processor, so spin only runs at 1 "
               "thread/processor; combined(25) stands in above that)\n\n");
 
-  table t({"threads / processors", "spin", "combined(25)", "blocking", "winner"});
   struct shape {
     unsigned threads;
     unsigned procs;
   };
-  for (const auto& s : {shape{6, 6}, shape{12, 6}, shape{18, 6}}) {
-    workload::cs_config base;
-    base.processors = s.procs;
-    base.threads = s.threads;
-    base.iterations = iters;
-    base.cs_length = sim::microseconds(100);
-    base.think_time = sim::microseconds(300);
+  const shape shapes[] = {{6, 6}, {12, 6}, {18, 6}};
+  const locks::lock_kind col_kinds[] = {locks::lock_kind::spin,
+                                        locks::lock_kind::combined,
+                                        locks::lock_kind::blocking};
+  // Flatten the shape x lock grid; the spin column only runs when threads <=
+  // processors (pure spin livelocks under multiprogramming), returning a
+  // sentinel instead. Every other point is an independent simulation.
+  exec::job_executor ex(bench::jobs_from(opt));
+  const auto grid = ex.map(
+      std::size(shapes) * std::size(col_kinds), [&](std::size_t i) {
+        const auto& s = shapes[i / std::size(col_kinds)];
+        const auto kind = col_kinds[i % std::size(col_kinds)];
+        if (kind == locks::lock_kind::spin && s.threads > s.procs) return 1e300;
+        workload::cs_config c;
+        c.processors = s.procs;
+        c.threads = s.threads;
+        c.iterations = iters;
+        c.cs_length = sim::microseconds(100);
+        c.think_time = sim::microseconds(300);
+        c.kind = kind;
+        if (kind == locks::lock_kind::combined) c.params.combined_spin_limit = 25;
+        return run_cs_workload(c).elapsed.ms();
+      });
 
-    std::string spin_cell = "(livelock)";
-    double spin_ms = 1e300;
-    if (s.threads <= s.procs) {
-      auto c = base;
-      c.kind = locks::lock_kind::spin;
-      spin_ms = run_cs_workload(c).elapsed.ms();
-      spin_cell = table::num(spin_ms, 1);
-    }
-    auto cc = base;
-    cc.kind = locks::lock_kind::combined;
-    cc.params.combined_spin_limit = 25;
-    const double comb_ms = run_cs_workload(cc).elapsed.ms();
-    auto cb = base;
-    cb.kind = locks::lock_kind::blocking;
-    const double block_ms = run_cs_workload(cb).elapsed.ms();
-
+  table t({"threads / processors", "spin", "combined(25)", "blocking", "winner"});
+  for (std::size_t si = 0; si < std::size(shapes); ++si) {
+    const auto& s = shapes[si];
+    const double spin_ms = grid[si * std::size(col_kinds) + 0];
+    const double comb_ms = grid[si * std::size(col_kinds) + 1];
+    const double block_ms = grid[si * std::size(col_kinds) + 2];
     const char* winner = spin_ms < comb_ms && spin_ms < block_ms ? "spin"
                          : comb_ms < block_ms                    ? "combined"
                                                                  : "blocking";
-    t.row({std::to_string(s.threads) + " / " + std::to_string(s.procs), spin_cell,
+    t.row({std::to_string(s.threads) + " / " + std::to_string(s.procs),
+           spin_ms < 1e300 ? table::num(spin_ms, 1) : std::string("(livelock)"),
            table::num(comb_ms, 1), table::num(block_ms, 1), winner});
   }
   t.print();

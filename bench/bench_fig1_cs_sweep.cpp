@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
   using namespace adx;
   using bench::table;
 
-  auto opt = bench::bench_options(argv, "Figure 1: CS length sweep")
+  auto opt = bench::bench_sweep_options(argv, "Figure 1: CS length sweep")
                  .u64("processors", 6, "simulated processors")
                  .u64("threads", 12, "threads (multiprogrammed when > processors)")
                  .u64("iterations", 120, "lock cycles per thread");
@@ -42,13 +42,11 @@ int main(int argc, char** argv) {
       {"adaptive", locks::lock_kind::adaptive, 0},
   };
 
-  table t({"CS length (us)", "blocking", "combined(1)", "combined(10)", "combined(50)",
-           "adaptive"});
-  // For the winner summary.
-  std::vector<std::vector<double>> results;
+  // The sweep grid, flattened row-major (CS length x lock column) into one
+  // job list: every point is an independent simulation, so the whole figure
+  // fans out across host cores and reassembles by index.
+  std::vector<workload::cs_config> grid;
   for (const double cs : cs_lengths_us) {
-    std::vector<std::string> row{table::num(cs, 0)};
-    std::vector<double> times;
     for (const auto& col : cols) {
       workload::cs_config cfg;
       cfg.processors = procs;
@@ -62,9 +60,23 @@ int main(int argc, char** argv) {
       // processors, long pure-spin phases steal cycles from runnable peers,
       // so cap the spin budget low and recover from it in one sample.
       cfg.params.adapt = {2, 25, 50, 2};
-      const auto r = run_cs_workload(cfg);
-      row.push_back(table::num(r.elapsed.ms(), 1));
-      times.push_back(r.elapsed.ms());
+      grid.push_back(cfg);
+    }
+  }
+  exec::job_executor ex(bench::jobs_from(opt));
+  const auto sweep = run_cs_sweep(grid, ex);
+
+  table t({"CS length (us)", "blocking", "combined(1)", "combined(10)", "combined(50)",
+           "adaptive"});
+  // For the winner summary.
+  std::vector<std::vector<double>> results;
+  for (std::size_t r = 0; r < std::size(cs_lengths_us); ++r) {
+    std::vector<std::string> row{table::num(cs_lengths_us[r], 0)};
+    std::vector<double> times;
+    for (std::size_t c = 0; c < std::size(cols); ++c) {
+      const double ms = sweep[r * std::size(cols) + c].elapsed.ms();
+      row.push_back(table::num(ms, 1));
+      times.push_back(ms);
     }
     results.push_back(times);
     t.row(std::move(row));

@@ -7,7 +7,7 @@ function(adx_bench name)
   add_executable(${name} ${ADX_BENCH_DIR}/${name}.cpp)
   target_link_libraries(${name} PRIVATE
     adx_sim adx_obs adx_ct adx_core adx_locks adx_tsp adx_workload adx_apps
-    adx_native)
+    adx_native adx_exec)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endfunction()

@@ -5,6 +5,10 @@
 // reconfiguration-atomicity oracles on every run. On a violation it prints
 // the full run configuration as JSON (replayable via --config), greedily
 // shrinks the perturbation journal to a minimal reproducer, and exits 1.
+//
+// Every run in the sweep is an independent simulation, so the whole grid
+// fans out across host cores (--jobs); results are aggregated by job index,
+// making stdout byte-identical for any worker count.
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -14,6 +18,7 @@
 
 #include "check/runner.hpp"
 #include "cli/options.hpp"
+#include "exec/job_executor.hpp"
 #include "obs/report_sink.hpp"
 
 namespace {
@@ -30,10 +35,19 @@ std::vector<std::string> split_list(const std::string& s) {
   return out;
 }
 
+/// One (fixture, lock, profile) cell of the sweep table.
+struct sweep_cell {
+  check::fixture fix;
+  locks::lock_kind kind;
+  std::string pname;
+  sim::perturb_profile profile;
+};
+
 struct failure {
   check::check_params params;
   check::check_result result;
   check::shrink_result shrunk;
+  bool shrink_skipped{false};  ///< duplicate cell failure, shrink deduplicated
 };
 
 }  // namespace
@@ -53,10 +67,16 @@ int main(int argc, char** argv) {
           .u64("seed-base", 1, "first seed of the sweep")
           .u64("processors", 4, "simulated processors (test machine shape)")
           .u64("iterations", 12, "critical sections per thread")
+          .u64("jobs", 0,
+               "parallel run workers (0 = one per host core); output is "
+               "byte-identical for any value")
           .str("config", "", "replay one run from a run_config JSON file ('-' = stdin)")
           .str("fixture", "", "fixture for --config replay (default mutex)")
           .str("format", "table", "report format: table|csv|json")
           .flag("no-shrink", "skip minimizing failing perturbation journals")
+          .flag("shrink-all",
+                "shrink every failing run (default: only the first failure per "
+                "(fixture, lock, profile) cell)")
           .flag("verbose", "print every failing run's configuration JSON");
   opt.parse(argc, argv);
 
@@ -121,45 +141,75 @@ int main(int argc, char** argv) {
     const auto seeds = opt.get_u64("seeds");
     const auto seed_base = opt.get_u64("seed-base");
     const auto nodes = static_cast<unsigned>(opt.get_u64("processors"));
+    const auto iterations = static_cast<unsigned>(opt.get_u64("iterations"));
 
+    // Flatten the fixture x lock x profile x seed quadruple loop into a job
+    // list (cell-major, seed-minor — the historical iteration order).
+    std::vector<sweep_cell> cells;
+    for (const auto fix : fixtures) {
+      for (const auto kind : kinds) {
+        for (const auto& [pname, profile] : profiles) {
+          cells.push_back({fix, kind, pname, profile});
+        }
+      }
+    }
+    const auto params_for = [&](std::size_t cell, std::uint64_t seed_index) {
+      check::check_params p;
+      p.config = run_config{}
+                     .with_machine(sim::machine_config::test_machine(nodes))
+                     .with_lock(cells[cell].kind)
+                     .with_perturb(cells[cell].profile)
+                     .with_seed(seed_base + seed_index);
+      p.fix = cells[cell].fix;
+      p.iterations = iterations;
+      return p;
+    };
+
+    exec::job_executor ex(exec::resolve_jobs(opt.get_u64("jobs")));
+    const std::uint64_t total_runs = cells.size() * seeds;
+    const auto results = ex.map(total_runs, [&](std::size_t i) {
+      return check::run_check(params_for(i / seeds, i % seeds));
+    });
+
+    // Deterministic aggregation, in job-index order.
     obs::report_builder table(
         {"fixture", "lock", "profile", "runs", "violations", "worst oracle"});
     table.title("adx-check sweep: " + std::to_string(seeds) + " seed(s) per cell");
     std::vector<failure> failures;
-    std::uint64_t total_runs = 0;
 
-    for (const auto fix : fixtures) {
-      for (const auto kind : kinds) {
-        for (const auto& [pname, profile] : profiles) {
-          std::uint64_t cell_violations = 0;
-          std::string worst;
-          for (std::uint64_t s = 0; s < seeds; ++s) {
-            check::check_params p;
-            p.config = run_config{}
-                           .with_machine(sim::machine_config::test_machine(nodes))
-                           .with_lock(kind)
-                           .with_perturb(profile)
-                           .with_seed(seed_base + s);
-            p.fix = fix;
-            p.iterations = static_cast<unsigned>(opt.get_u64("iterations"));
-            auto r = check::run_check(p);
-            ++total_runs;
-            if (!r.failed()) continue;
-            cell_violations += r.violations.size();
-            if (worst.empty()) worst = r.violations.front().oracle;
-            check::shrink_result shrunk;
-            if (!opt.get_flag("no-shrink")) {
-              shrunk = check::shrink_trace(p, r.trace);
-            } else {
-              shrunk.minimal = r.trace;
-              shrunk.still_fails = true;
-            }
-            failures.push_back({p, std::move(r), std::move(shrunk)});
-          }
-          table.row({to_string(fix), locks::to_string(kind), pname,
-                     std::to_string(seeds), std::to_string(cell_violations),
-                     worst.empty() ? "-" : worst});
+    for (std::size_t cell = 0; cell < cells.size(); ++cell) {
+      std::uint64_t cell_violations = 0;
+      std::string worst;  // the most severe oracle violated anywhere in the cell
+      bool first_in_cell = true;
+      for (std::uint64_t s = 0; s < seeds; ++s) {
+        const auto& r = results[cell * seeds + s];
+        if (!r.failed()) continue;
+        cell_violations += r.violations.size();
+        for (const auto& v : r.violations) {
+          worst = std::string(check::worse_oracle(worst, v.oracle));
         }
+        failure f;
+        f.params = params_for(cell, s);
+        f.result = r;
+        // Identical (fixture, lock, profile) failures almost always shrink to
+        // the same reproducer; pay the ddmin replays only once per cell
+        // unless --shrink-all asks for every journal.
+        f.shrink_skipped = !first_in_cell && !opt.get_flag("shrink-all");
+        first_in_cell = false;
+        failures.push_back(std::move(f));
+      }
+      table.row({to_string(cells[cell].fix), locks::to_string(cells[cell].kind),
+                 cells[cell].pname, std::to_string(seeds),
+                 std::to_string(cell_violations), worst.empty() ? "-" : worst});
+    }
+
+    // Shrink phase: each journal's replay probes fan out on the executor.
+    for (auto& f : failures) {
+      if (opt.get_flag("no-shrink") || f.shrink_skipped) {
+        f.shrunk.minimal = f.result.trace;
+        f.shrunk.still_fails = true;
+      } else {
+        f.shrunk = check::shrink_trace(f.params, f.result.trace, ex);
       }
     }
 
@@ -175,12 +225,18 @@ int main(int argc, char** argv) {
       for (const auto& v : f.result.violations) {
         std::cout << "  violation: " << check::to_string(v) << '\n';
       }
-      std::cout << "  journal: " << f.result.trace.size() << " action(s), shrunk to "
-                << f.shrunk.minimal.size() << " in " << f.shrunk.replays
-                << " replay(s)" << (f.shrunk.still_fails ? "" : " [NOT stable]")
-                << '\n';
-      for (const auto& a : f.shrunk.minimal) {
-        std::cout << "    " << to_string(a) << '\n';
+      if (f.shrink_skipped) {
+        std::cout << "  journal: " << f.result.trace.size()
+                  << " action(s), shrink skipped (duplicate cell failure; rerun "
+                     "with --shrink-all to minimize every journal)\n";
+      } else {
+        std::cout << "  journal: " << f.result.trace.size()
+                  << " action(s), shrunk to " << f.shrunk.minimal.size() << " in "
+                  << f.shrunk.replays << " replay(s)"
+                  << (f.shrunk.still_fails ? "" : " [NOT stable]") << '\n';
+        for (const auto& a : f.shrunk.minimal) {
+          std::cout << "    " << to_string(a) << '\n';
+        }
       }
       if (opt.get_flag("verbose")) {
         std::cout << "  config: " << f.params.config.to_json() << '\n';

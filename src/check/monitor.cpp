@@ -15,6 +15,20 @@ std::string to_string(const violation& v) {
   return os.str();
 }
 
+int oracle_severity(std::string_view oracle) {
+  if (oracle == "mutual-exclusion") return 6;
+  if (oracle == "deadlock") return 5;
+  if (oracle == "livelock") return 4;
+  if (oracle == "lost-wakeup") return 3;
+  if (oracle == "starvation") return 2;
+  if (oracle == "reconfig-atomicity") return 1;
+  return 0;
+}
+
+std::string_view worse_oracle(std::string_view a, std::string_view b) {
+  return oracle_severity(b) > oracle_severity(a) ? b : a;
+}
+
 monitor::monitor(ct::runtime& rt, oracle_params params) : rt_(rt), params_(params) {
   rt_.attach_observer(this);
 }

@@ -24,6 +24,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -53,6 +54,15 @@ struct violation {
 };
 
 [[nodiscard]] std::string to_string(const violation& v);
+
+/// Severity rank of an oracle name, higher = worse. The sweep's "worst
+/// oracle" column reports the maximum over a cell:
+///   mutual-exclusion > deadlock > livelock > lost-wakeup > starvation >
+///   reconfig-atomicity > anything unknown.
+[[nodiscard]] int oracle_severity(std::string_view oracle);
+
+/// The more severe of two oracle names (first wins ties).
+[[nodiscard]] std::string_view worse_oracle(std::string_view a, std::string_view b);
 
 class monitor final : public locks::lock_event_observer, public ct::runtime_observer {
  public:

@@ -80,7 +80,6 @@ ct::task<void> configurator(ct::context& ctx, locks::reconfigurable_lock& rl,
 check_result run_with(const check_params& p, sim::perturber& pert) {
   ct::runtime rt(p.config.effective_machine());
   rt.set_perturber(&pert);
-  monitor mon(rt, p.oracles);
 
   const locks::lock_cost_model cost{};
   std::unique_ptr<locks::lock_object> lk;
@@ -89,6 +88,9 @@ check_result run_with(const check_params& p, sim::perturber& pert) {
   } else {
     lk = locks::make_lock(p.config, 0, cost);
   }
+  // Declared after the lock: ~monitor detaches from every watched lock, so
+  // the monitor must die first.
+  monitor mon(rt, p.oracles);
   mon.watch(*lk, std::string(lk->kind()));
 
   std::uint64_t counter = 0;
@@ -151,29 +153,50 @@ check_result replay_check(const check_params& p,
 }
 
 shrink_result shrink_trace(const check_params& p,
-                           const std::vector<perturb_action>& full) {
+                           const std::vector<perturb_action>& full,
+                           exec::job_executor& ex) {
   shrink_result out;
   out.minimal = full;
   // Greedy delta debugging over the action journal: try dropping chunks of
   // size n/2, n/4, ..., 1; keep any removal after which a replay still
   // fails. The seed-driven tie reordering is part of (config, seed), not the
   // journal, so the minimal journal can legitimately be empty.
+  //
+  // Parallel shape: the candidates a greedy pass would try from the current
+  // `start` onward are all derived from the *same* journal, so they fan out
+  // as speculative replay probes; committing the first (lowest-start)
+  // failing candidate reproduces the sequential greedy walk exactly. Only
+  // probes the sequential walk would have paid for count toward `replays`.
   std::size_t chunk = (out.minimal.size() + 1) / 2;
   while (chunk >= 1 && !out.minimal.empty()) {
     bool removed_any = false;
-    for (std::size_t start = 0; start < out.minimal.size();) {
-      auto candidate = out.minimal;
-      const auto end = std::min(start + chunk, candidate.size());
-      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(start),
-                      candidate.begin() + static_cast<std::ptrdiff_t>(end));
-      ++out.replays;
-      if (replay_check(p, candidate).failed()) {
-        out.minimal = std::move(candidate);
-        removed_any = true;
-        // Same start index now addresses the next chunk.
-      } else {
-        start += chunk;
+    std::size_t start = 0;
+    while (start < out.minimal.size()) {
+      std::vector<std::size_t> starts;
+      for (std::size_t s = start; s < out.minimal.size(); s += chunk) {
+        starts.push_back(s);
       }
+      const auto& current = out.minimal;
+      const auto hit = ex.find_first(starts.size(), [&](std::size_t k) {
+        auto candidate = current;
+        const auto b = starts[k];
+        const auto e = std::min(b + chunk, candidate.size());
+        candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(b),
+                        candidate.begin() + static_cast<std::ptrdiff_t>(e));
+        return replay_check(p, candidate).failed();
+      });
+      if (hit == exec::job_executor::npos) {
+        out.replays += static_cast<unsigned>(starts.size());
+        break;  // nothing else removable at this granularity from `start`
+      }
+      out.replays += static_cast<unsigned>(hit) + 1;
+      const auto b = starts[hit];
+      const auto e = std::min(b + chunk, out.minimal.size());
+      out.minimal.erase(out.minimal.begin() + static_cast<std::ptrdiff_t>(b),
+                        out.minimal.begin() + static_cast<std::ptrdiff_t>(e));
+      removed_any = true;
+      // Same start index now addresses the next chunk of the shrunk journal.
+      start = b;
     }
     if (chunk == 1) {
       if (!removed_any) break;  // fixpoint at granularity 1
@@ -184,6 +207,12 @@ shrink_result shrink_trace(const check_params& p,
   ++out.replays;
   out.still_fails = replay_check(p, out.minimal).failed();
   return out;
+}
+
+shrink_result shrink_trace(const check_params& p,
+                           const std::vector<perturb_action>& full) {
+  exec::job_executor seq(1);
+  return shrink_trace(p, full, seq);
 }
 
 }  // namespace adx::check

@@ -16,6 +16,7 @@
 
 #include "check/monitor.hpp"
 #include "check/perturbers.hpp"
+#include "exec/job_executor.hpp"
 #include "locks/run_config.hpp"
 
 namespace adx::check {
@@ -67,6 +68,18 @@ struct shrink_result {
 
 /// Greedily shrinks a failing run's journal (ddmin-style: halves, quarters,
 /// ... single actions) to a subset that still reproduces a violation.
+///
+/// Replay probes fan out on `ex`: at each step the candidate removals still
+/// pending in the current pass are evaluated concurrently and the *first*
+/// (lowest-start) failing candidate is committed, which is exactly the greedy
+/// sequential order — the minimal journal AND the reported replay count are
+/// identical for any worker count (speculative probes past the committed
+/// candidate are not billed to `replays`).
+[[nodiscard]] shrink_result shrink_trace(const check_params& p,
+                                         const std::vector<perturb_action>& full,
+                                         exec::job_executor& ex);
+
+/// Sequential convenience overload (one inline worker).
 [[nodiscard]] shrink_result shrink_trace(const check_params& p,
                                          const std::vector<perturb_action>& full);
 

@@ -11,11 +11,13 @@
 // baseline, 2 usage error.
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "cli/options.hpp"
+#include "exec/job_executor.hpp"
 #include "perf/bench_report.hpp"
 #include "perf/scenario.hpp"
 #include "sim/event_queue.hpp"
@@ -66,6 +68,11 @@ int main(int argc, char** argv) {
           .str("scenarios", "", "comma-separated subset to run (default: all)")
           .u64("reps", 5, "measured repetitions per scenario")
           .u64("warmup", 1, "discarded warmup repetitions per scenario")
+          .u64("jobs", 1,
+               "parallel scenario workers (0 = one per host core); reps stay "
+               "sequential within a scenario, virtual metrics are identical "
+               "for any value, wall metrics get noisier — keep 1 when "
+               "recording a baseline")
           .str("out", "BENCH.json", "where to write the report")
           .str("compare", "", "baseline BENCH.json to diff against")
           .str("tolerance", "",
@@ -142,15 +149,35 @@ int main(int argc, char** argv) {
   report.warmup = static_cast<unsigned>(opt.get_u64("warmup"));
   report.note = opt.get_str("note");
 
-  for (const auto* s : to_run) {
-    std::cerr << "  running " << s->name << " ..." << std::flush;
-    try {
-      report.scenarios.push_back(perf::run_scenario(*s, report.reps, report.warmup));
-    } catch (const std::exception& e) {
-      std::cerr << "\nadx-bench: scenario " << s->name << " failed: " << e.what() << '\n';
+  exec::job_executor ex(exec::resolve_jobs(opt.get_u64("jobs")));
+  const bool parallel = ex.jobs() > 1 && to_run.size() > 1;
+  std::mutex progress_mu;
+  perf::scenario_progress progress;
+  if (parallel) {
+    std::cerr << "adx-bench: running " << to_run.size() << " scenarios across "
+              << ex.jobs() << " workers\n";
+    progress.finished = [&](const perf::scenario& s, const perf::scenario_outcome& o) {
+      const std::lock_guard<std::mutex> l(progress_mu);
+      std::cerr << "  finished " << s.name << (o.ok() ? "" : " (FAILED)") << '\n';
+    };
+  } else {
+    progress.started = [](const perf::scenario& s) {
+      std::cerr << "  running " << s.name << " ..." << std::flush;
+    };
+    progress.finished = [](const perf::scenario&, const perf::scenario_outcome& o) {
+      if (o.ok()) std::cerr << " done\n";
+    };
+  }
+
+  const auto outcomes =
+      perf::run_scenarios(to_run, report.reps, report.warmup, ex, progress);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].ok()) {
+      std::cerr << "\nadx-bench: scenario " << to_run[i]->name
+                << " failed: " << outcomes[i].error << '\n';
       return 1;
     }
-    std::cerr << " done\n";
+    report.scenarios.push_back(outcomes[i].summary);
   }
 
   write_file(opt.get_str("out"), report.to_json());

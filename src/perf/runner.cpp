@@ -72,4 +72,21 @@ scenario_summary run_scenario(const scenario& sc, unsigned reps, unsigned warmup
   return out;
 }
 
+std::vector<scenario_outcome> run_scenarios(const std::vector<const scenario*>& list,
+                                            unsigned reps, unsigned warmup,
+                                            exec::job_executor& ex,
+                                            const scenario_progress& progress) {
+  return ex.map(list.size(), [&](std::size_t i) {
+    if (progress.started) progress.started(*list[i]);
+    scenario_outcome o;
+    try {
+      o.summary = run_scenario(*list[i], reps, warmup);
+    } catch (const std::exception& e) {
+      o.error = e.what();
+    }
+    if (progress.finished) progress.finished(*list[i], o);
+    return o;
+  });
+}
+
 }  // namespace adx::perf

@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "exec/job_executor.hpp"
 #include "perf/metric.hpp"
 
 namespace adx::perf {
@@ -55,5 +56,32 @@ struct scenario_summary {
 /// behaviour depends on host timing, which the simulator forbids.
 [[nodiscard]] scenario_summary run_scenario(const scenario& sc, unsigned reps,
                                             unsigned warmup);
+
+/// One scenario's outcome in a batch run: either a summary or the error that
+/// stopped it (empty = success).
+struct scenario_outcome {
+  scenario_summary summary;
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Progress hooks for run_scenarios. With several workers the callbacks fire
+/// from pool threads, possibly concurrently — synchronize any shared output.
+struct scenario_progress {
+  std::function<void(const scenario&)> started;
+  std::function<void(const scenario&, const scenario_outcome&)> finished;
+};
+
+/// Runs every scenario in `list` through run_scenario, fanning independent
+/// scenarios out across `ex`'s workers. Wall-clock repetitions stay
+/// sequential *within* each scenario (one scenario never times another's
+/// reps against itself on the same worker), and outcomes are collected by
+/// list index, so the report content — and every virtual-clock metric in it —
+/// is identical to a sequential run for any worker count. Wall metrics keep
+/// their usual noise; measure committed baselines with one worker.
+[[nodiscard]] std::vector<scenario_outcome> run_scenarios(
+    const std::vector<const scenario*>& list, unsigned reps, unsigned warmup,
+    exec::job_executor& ex, const scenario_progress& progress = {});
 
 }  // namespace adx::perf

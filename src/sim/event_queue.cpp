@@ -1,24 +1,34 @@
 #include "sim/event_queue.hpp"
 
+#include <atomic>
 #include <chrono>
 
 namespace adx::sim {
 namespace {
 
-std::uint64_t g_debug_pop_delay_ns = 0;
+// The only process-global in the simulator. Atomic because independent
+// event_queue instances now pop concurrently on exec::job_executor workers;
+// relaxed is enough — it is a debug knob set before runs start, and the hot
+// path only needs a data-race-free load.
+std::atomic<std::uint64_t> g_debug_pop_delay_ns{0};
 
 void debug_pop_delay() {
-  if (g_debug_pop_delay_ns == 0) return;
+  const auto ns = g_debug_pop_delay_ns.load(std::memory_order_relaxed);
+  if (ns == 0) return;
   const auto t0 = std::chrono::steady_clock::now();
-  const auto until = t0 + std::chrono::nanoseconds(g_debug_pop_delay_ns);
+  const auto until = t0 + std::chrono::nanoseconds(ns);
   while (std::chrono::steady_clock::now() < until) {
   }
 }
 
 }  // namespace
 
-void event_queue::set_debug_pop_delay_ns(std::uint64_t ns) { g_debug_pop_delay_ns = ns; }
-std::uint64_t event_queue::debug_pop_delay_ns() { return g_debug_pop_delay_ns; }
+void event_queue::set_debug_pop_delay_ns(std::uint64_t ns) {
+  g_debug_pop_delay_ns.store(ns, std::memory_order_relaxed);
+}
+std::uint64_t event_queue::debug_pop_delay_ns() {
+  return g_debug_pop_delay_ns.load(std::memory_order_relaxed);
+}
 
 event_queue::~event_queue() {
   // Pending events still own their callbacks; run their destructors. The

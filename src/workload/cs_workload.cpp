@@ -65,4 +65,10 @@ cs_result run_cs_workload(const cs_config& cfg) {
   return res;
 }
 
+std::vector<cs_result> run_cs_sweep(const std::vector<cs_config>& configs,
+                                    exec::job_executor& ex) {
+  return ex.map(configs.size(),
+                [&](std::size_t i) { return run_cs_workload(configs[i]); });
+}
+
 }  // namespace adx::workload

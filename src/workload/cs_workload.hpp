@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "exec/job_executor.hpp"
 #include "locks/factory.hpp"
 #include "sim/machine_config.hpp"
 
@@ -50,5 +52,13 @@ struct cs_result {
 };
 
 [[nodiscard]] cs_result run_cs_workload(const cs_config& cfg);
+
+/// Sweep driver: runs every configuration as an independent simulation,
+/// fanning the sweep points out across `ex`'s workers. Results are collected
+/// by index (out[i] is configs[i]'s result), so a sweep's figures are
+/// byte-identical for any worker count — with one worker this is exactly the
+/// historical sequential loop.
+[[nodiscard]] std::vector<cs_result> run_cs_sweep(const std::vector<cs_config>& configs,
+                                                  exec::job_executor& ex);
 
 }  // namespace adx::workload
