@@ -20,6 +20,7 @@
 #include "cli/options.hpp"
 #include "exec/job_executor.hpp"
 #include "obs/report_sink.hpp"
+#include "policy/registry.hpp"
 
 namespace {
 
@@ -35,10 +36,12 @@ std::vector<std::string> split_list(const std::string& s) {
   return out;
 }
 
-/// One (fixture, lock, profile) cell of the sweep table.
+/// One (fixture, lock, policy, profile) cell of the sweep table. `policy` is
+/// empty for non-adaptive locks and for the default built-in policy.
 struct sweep_cell {
   check::fixture fix;
   locks::lock_kind kind;
+  std::string policy;
   std::string pname;
   sim::perturb_profile profile;
 };
@@ -60,6 +63,10 @@ int main(int argc, char** argv) {
           .str("fixtures", "mutex,oversub,reconfig",
                "comma list of fixtures (mutex oversub reconfig broken_lock)")
           .str("locks", "all", "comma list of lock kinds, or 'all'")
+          .str("policies", "default",
+               "adaptation policies for adaptive locks: 'default' (built-in "
+               "simple-adapt), 'all' (every registered policy), or a comma "
+               "list of policy names")
           .str("profiles", "preempt,delay",
                "comma list of perturbation profiles (none ties delay preempt "
                "latency chaos)")
@@ -138,18 +145,37 @@ int main(int argc, char** argv) {
     for (const auto& name : split_list(opt.get_str("profiles"))) {
       profiles.emplace_back(name, sim::parse_perturb_profile(name));
     }
+    // Policy axis: applies to adaptive-kind cells only. "" = the built-in
+    // default; named entries are validated against the registry up front so a
+    // typo fails fast with the full list (exit 2), not mid-sweep.
+    std::vector<std::string> policies;
+    if (opt.get_str("policies") == "default") {
+      policies.emplace_back();
+    } else if (opt.get_str("policies") == "all") {
+      for (auto name : policy::all_policy_names()) policies.emplace_back(name);
+    } else {
+      for (const auto& name : split_list(opt.get_str("policies"))) {
+        policies.emplace_back(policy::parse_policy_name(name));
+      }
+    }
     const auto seeds = opt.get_u64("seeds");
     const auto seed_base = opt.get_u64("seed-base");
     const auto nodes = static_cast<unsigned>(opt.get_u64("processors"));
     const auto iterations = static_cast<unsigned>(opt.get_u64("iterations"));
 
-    // Flatten the fixture x lock x profile x seed quadruple loop into a job
-    // list (cell-major, seed-minor — the historical iteration order).
+    // Flatten the fixture x lock x policy x profile x seed loop into a job
+    // list (cell-major, seed-minor — the historical iteration order; the
+    // policy axis collapses to one empty entry for non-adaptive kinds).
     std::vector<sweep_cell> cells;
     for (const auto fix : fixtures) {
       for (const auto kind : kinds) {
-        for (const auto& [pname, profile] : profiles) {
-          cells.push_back({fix, kind, pname, profile});
+        const bool adaptive = kind == locks::lock_kind::adaptive;
+        const std::size_t npol = adaptive ? policies.size() : 1;
+        for (std::size_t pi = 0; pi < npol; ++pi) {
+          for (const auto& [pname, profile] : profiles) {
+            cells.push_back({fix, kind, adaptive ? policies[pi] : std::string{},
+                             pname, profile});
+          }
         }
       }
     }
@@ -160,6 +186,9 @@ int main(int argc, char** argv) {
                      .with_lock(cells[cell].kind)
                      .with_perturb(cells[cell].profile)
                      .with_seed(seed_base + seed_index);
+      if (!cells[cell].policy.empty()) {
+        p.config.params.policy = policy::default_spec(cells[cell].policy);
+      }
       p.fix = cells[cell].fix;
       p.iterations = iterations;
       return p;
@@ -173,7 +202,7 @@ int main(int argc, char** argv) {
 
     // Deterministic aggregation, in job-index order.
     obs::report_builder table(
-        {"fixture", "lock", "profile", "runs", "violations", "worst oracle"});
+        {"fixture", "lock", "policy", "profile", "runs", "violations", "worst oracle"});
     table.title("adx-check sweep: " + std::to_string(seeds) + " seed(s) per cell");
     std::vector<failure> failures;
 
@@ -199,6 +228,7 @@ int main(int argc, char** argv) {
         failures.push_back(std::move(f));
       }
       table.row({to_string(cells[cell].fix), locks::to_string(cells[cell].kind),
+                 cells[cell].policy.empty() ? "-" : cells[cell].policy,
                  cells[cell].pname, std::to_string(seeds),
                  std::to_string(cell_violations), worst.empty() ? "-" : worst});
     }
@@ -219,8 +249,11 @@ int main(int argc, char** argv) {
 
     for (const auto& f : failures) {
       std::cout << "\nFAIL fixture=" << to_string(f.params.fix)
-                << " lock=" << locks::to_string(f.params.config.lock)
-                << " profile=" << sim::to_string(f.params.config.perturb)
+                << " lock=" << locks::to_string(f.params.config.lock);
+      if (!f.params.config.params.policy.is_default()) {
+        std::cout << " policy=" << f.params.config.params.policy.name;
+      }
+      std::cout << " profile=" << sim::to_string(f.params.config.perturb)
                 << " seed=" << f.params.config.seed << '\n';
       for (const auto& v : f.result.violations) {
         std::cout << "  violation: " << check::to_string(v) << '\n';

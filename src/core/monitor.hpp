@@ -32,6 +32,14 @@ class monitor {
     return sensors_.back();
   }
 
+  /// Replaces the sensor set wholesale (used when a new adaptation policy is
+  /// installed and brings its own sensors). Queued loosely-coupled
+  /// observations from the old sensors are dropped with them.
+  void clear_sensors() {
+    sensors_.clear();
+    queue_.clear();
+  }
+
   [[nodiscard]] coupling mode() const { return mode_; }
   void set_mode(coupling m) { mode_ = m; }
 

@@ -31,10 +31,10 @@ ct::task<void> adaptive_lock::post_release_hook(ct::context& ctx) {
                          static_cast<std::int64_t>(reconfigs));
     co_await ctx.touch(home(), sim::access_kind::read, reconfigs);
     co_await ctx.touch(home(), sim::access_kind::write, reconfigs);
-    if (auto* p = dynamic_cast<const simple_adapt_policy*>(policy())) {
+    if (auto* p = dynamic_cast<const lock_adapt_policy*>(policy())) {
       const auto& d = p->last_decision();
       stats_.on_reconfigure(ctx.now(), ctx.self(), d.sensor_value,
-                            describe(d.applied));
+                            describe(d.applied), p->policy_name(), d.sensors);
     }
   }
 }

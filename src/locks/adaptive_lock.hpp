@@ -18,6 +18,7 @@
 #pragma once
 
 #include <algorithm>
+#include <string>
 
 #include "core/policy.hpp"
 #include "core/sensor.hpp"
@@ -41,18 +42,34 @@ struct simple_adapt_params {
   friend bool operator==(const simple_adapt_params&, const simple_adapt_params&) = default;
 };
 
-/// The paper's simple-adapt policy, operating on a reconfigurable lock.
-class simple_adapt_policy final : public core::adaptation_policy {
+/// The policy interface an adaptive lock drives. The lock's feedback loop is
+/// policy-agnostic: it delivers observations, charges the monitor/policy/Ψ
+/// costs, and asks the installed policy for its identity and most recent
+/// decision when annotating reconfigure events. Concrete policies are the
+/// built-in `simple_adapt_policy` below (the default) and any policy built by
+/// the `adx::policy` engine (src/policy) — which is how one lock class runs
+/// the whole registered policy family.
+class lock_adapt_policy : public core::adaptation_policy {
  public:
-  simple_adapt_policy(reconfigurable_lock& lk, simple_adapt_params p)
-      : lk_(&lk), p_(p) {}
-
   /// The most recent reconfiguration decision d_c together with the sensor
-  /// value v_i that caused it, for trace annotation.
+  /// value v_i that caused it and a rendering of the full sensor vector, for
+  /// trace annotation.
   struct decision_record {
     std::int64_t sensor_value{0};
     waiting_policy applied{};
+    std::string sensors{};  ///< "name=value ..." snapshot at decision time
   };
+
+  /// Registry-style policy name ("simple-adapt", "break-even", ...).
+  [[nodiscard]] virtual std::string_view policy_name() const = 0;
+  [[nodiscard]] virtual const decision_record& last_decision() const = 0;
+};
+
+/// The paper's simple-adapt policy, operating on a reconfigurable lock.
+class simple_adapt_policy final : public lock_adapt_policy {
+ public:
+  simple_adapt_policy(reconfigurable_lock& lk, simple_adapt_params p)
+      : lk_(&lk), p_(p) {}
 
   void observe(const core::observation& obs) override {
     if (obs.sensor != "no-of-waiting-threads") return;
@@ -82,12 +99,14 @@ class simple_adapt_policy final : public core::adaptation_policy {
     }
     if (next != cur && lk_->apply_waiting_policy(next)) {
       note_decision();
-      last_ = {waiting, next};
+      last_ = {waiting, next,
+               "no-of-waiting-threads=" + std::to_string(waiting)};
     }
   }
 
   [[nodiscard]] const simple_adapt_params& params() const { return p_; }
-  [[nodiscard]] const decision_record& last_decision() const { return last_; }
+  [[nodiscard]] std::string_view policy_name() const override { return "simple-adapt"; }
+  [[nodiscard]] const decision_record& last_decision() const override { return last_; }
 
  private:
   reconfigurable_lock* lk_;

@@ -71,7 +71,8 @@ std::string run_config::to_json() const {
      << ",\"spin_cap\":" << params.adapt.spin_cap
      << ",\"sample_period\":" << params.adapt.sample_period
      << ",\"pure_spin_on_idle\":" << (params.adapt.pure_spin_on_idle ? "true" : "false")
-     << "}}";
+     << '}'
+     << ",\"policy\":" << params.policy.to_json() << '}';
   os << ",\"perturb\":{"
      << "\"reorder_ties\":" << (perturb.reorder_ties ? "true" : "false")
      << ",\"delay_pct\":" << perturb.delay_pct
@@ -126,6 +127,9 @@ run_config run_config::from_json(std::string_view text) {
       read_num(ao, "spin_cap", rc.params.adapt.spin_cap);
       read_num(ao, "sample_period", rc.params.adapt.sample_period);
       read_bool(ao, "pure_spin_on_idle", rc.params.adapt.pure_spin_on_idle);
+    }
+    if (const auto* ps = json_find(po, "policy")) {
+      rc.params.policy = policy::policy_spec::from_json_value(*ps);
     }
   }
   if (const auto* pt = json_find(o, "perturb")) {

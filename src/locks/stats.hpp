@@ -41,6 +41,10 @@ class lock_stats {
     wait_time_.add(waited.us());
     wait_hist_.add(waited.us());
     held_since_ = at;
+    // Release-to-acquire gap: with a release already recorded this is the
+    // handoff latency of the grant (dispatch + wakeup under direct handoff,
+    // re-compete delay under barging). Feeds the `handoff-latency` sensor.
+    if (releases_ > 0) last_handoff_ = at - last_release_at_;
     if (tracing()) {
       tracer_->complete(name_acquire_, "lock", sim::vtime{at.ns - waited.ns},
                         waited, pid_, tid);
@@ -53,6 +57,8 @@ class lock_stats {
     const auto held = at - held_since_;
     held_time_.add(held.us());
     held_hist_.add(held.us());
+    last_held_ = held;
+    last_release_at_ = at;
     if (tracing()) {
       tracer_->complete(name_held_, "lock", held_since_, held, pid_, tid);
     }
@@ -79,12 +85,23 @@ class lock_stats {
   }
 
   /// A reconfiguration decision d_c, annotated with the sensor value v_i
-  /// that caused it — what makes a pattern figure *explainable*.
+  /// that caused it — what makes a pattern figure *explainable*. When the
+  /// deciding policy identifies itself, the trace detail also carries the
+  /// policy name and the full sensor vector it decided on.
   void on_reconfigure(sim::vtime at, std::uint32_t tid, std::int64_t sensor_value,
-                      std::string decision) {
+                      std::string decision, std::string_view policy_name = {},
+                      std::string_view sensors = {}) {
     ++reconfigures_;
     if (observer_) observer_->on_reconfigure(*owner_, at, tid, decision);
     if (tracing()) {
+      if (!policy_name.empty()) {
+        decision += " policy=";
+        decision += policy_name;
+        if (!sensors.empty()) {
+          decision += " sensors=";
+          decision += sensors;
+        }
+      }
       tracer_->instant(name_reconfigure_, "lock", at, pid_, tid,
                        {"v_i", sensor_value}, {}, "d_c", std::move(decision));
     }
@@ -168,6 +185,12 @@ class lock_stats {
   [[nodiscard]] std::uint64_t handoffs() const { return handoffs_; }
   [[nodiscard]] std::uint64_t reconfigures() const { return reconfigures_; }
   [[nodiscard]] std::int64_t peak_waiting() const { return peak_waiting_; }
+  /// Duration of the most recently *completed* hold (the `lock-hold-time`
+  /// sensor's state variable).
+  [[nodiscard]] sim::vdur last_held() const { return last_held_; }
+  /// Most recent release-to-acquire gap (the `handoff-latency` sensor's
+  /// state variable; zero until a release has been followed by an acquire).
+  [[nodiscard]] sim::vdur last_handoff_latency() const { return last_handoff_; }
   [[nodiscard]] const sim::accumulator& wait_time_us() const { return wait_time_; }
   [[nodiscard]] const sim::accumulator& held_time_us() const { return held_time_; }
   [[nodiscard]] const sim::accumulator& waiting_depth() const { return waiting_dist_; }
@@ -192,6 +215,9 @@ class lock_stats {
   std::uint64_t reconfigures_{0};
   std::int64_t peak_waiting_{0};
   sim::vtime held_since_{};
+  sim::vdur last_held_{};
+  sim::vtime last_release_at_{};
+  sim::vdur last_handoff_{};
   sim::accumulator wait_time_;
   sim::accumulator held_time_;
   sim::accumulator waiting_dist_;

@@ -186,6 +186,22 @@ int main(int argc, char** argv) {
 
   if (!comparing) return 0;
 
+  // A --scenarios filter deliberately skips the rest of the suite; gating a
+  // filtered run against the full baseline would report every unselected
+  // scenario as missing. Narrow the baseline to what actually ran and say so.
+  if (!opt.get_str("scenarios").empty()) {
+    std::vector<perf::scenario_summary> kept;
+    for (auto& bs : baseline.scenarios) {
+      if (report.find(bs.name) != nullptr) kept.push_back(std::move(bs));
+    }
+    const auto skipped = baseline.scenarios.size() - kept.size();
+    baseline.scenarios = std::move(kept);
+    if (skipped > 0) {
+      std::cout << "info scenario filter active; " << skipped
+                << " baseline scenario(s) not selected, not compared\n";
+    }
+  }
+
   const auto cmp = perf::compare_reports(report, baseline, tol);
   for (const auto& f : cmp.findings) {
     (f.fatal() ? std::cerr : std::cout) << (f.fatal() ? "FAIL " : "info ") << f.describe()

@@ -18,6 +18,7 @@
 #include "locks/reconfigurable_lock.hpp"
 #include "locks/scheduler.hpp"
 #include "perf/probes.hpp"
+#include "policy/registry.hpp"
 #include "sim/event_queue.hpp"
 #include "tsp/instance.hpp"
 #include "tsp/parallel.hpp"
@@ -430,6 +431,52 @@ scenario_result run_abl_threshold() {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Ablation: adaptation-policy sweep over the Figure 1 grid.
+// ---------------------------------------------------------------------------
+
+scenario_result run_abl_policy() {
+  const double cs_lengths_us[] = {10, 100, 800};
+  // The registered policy family plus one wrapped variant; the empty spec is
+  // the built-in simple-adapt loop (the plain-adaptive reference column).
+  const struct {
+    const char* tag;
+    policy::policy_spec spec;
+  } cols[] = {
+      {"simple_adapt", policy::policy_spec{}},
+      {"break_even", policy::default_spec("break-even")},
+      {"ewma_hold", policy::default_spec("ewma-hold")},
+      {"multi_sensor", policy::default_spec("multi-sensor")},
+      {"simple_adapt_hyst", policy::default_spec("simple-adapt").with_hysteresis(2)},
+      // Same break-even core at a quarter of the sampling rate: probes the
+      // paper's monitoring-overhead tradeoff against the period-2 columns.
+      {"break_even_p8", policy::default_spec("break-even", 8)},
+  };
+  scenario_result r;
+  for (const auto& col : cols) {
+    double col_ms = 0;
+    for (const double cs : cs_lengths_us) {
+      workload::cs_config cfg;
+      cfg.processors = 6;
+      cfg.threads = 12;
+      cfg.iterations = 60;
+      cfg.cs_length = sim::microseconds(cs);
+      cfg.think_time = sim::microseconds(3 * cs + 100);
+      cfg.kind = locks::lock_kind::adaptive;
+      cfg.params.adapt = {2, 25, 50, 2};
+      cfg.params.policy = col.spec;
+      const auto res = run_cs_workload(cfg);
+      col_ms += res.elapsed.ms();
+      r.metrics.push_back({std::string(col.tag) + "_cs" +
+                               std::to_string(static_cast<int>(cs)) + "_virtual_ms",
+                           "ms", kVirtual, res.elapsed.ms()});
+    }
+    r.metrics.push_back({std::string(col.tag) + "_total_virtual_ms", "ms", kVirtual,
+                         col_ms});
+  }
+  return r;
+}
+
 std::vector<scenario> make_registry() {
   std::vector<scenario> out;
   const auto add = [&](std::string name, std::string desc,
@@ -476,6 +523,8 @@ std::vector<scenario> make_registry() {
       run_abl_interconnect);
   add("bench_abl_threshold", "ablation: simple-adapt Waiting-Threshold x n",
       run_abl_threshold);
+  add("bench_abl_policy", "ablation: adaptation-policy family over the Fig. 1 grid",
+      run_abl_policy);
   return out;
 }
 

@@ -1,0 +1,210 @@
+#include "policy/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace adx::policy {
+
+// ---------------------------------------------------------------- aggregator
+
+aggregator::aggregator(const sensor_spec& s)
+    : agg_(s.agg), alpha_(s.ewma_alpha), window_(s.window == 0 ? 1 : s.window) {}
+
+std::int64_t aggregator::feed(std::int64_t raw) {
+  switch (agg_) {
+    case aggregation::last_value:
+      value_ = raw;
+      break;
+    case aggregation::ewma:
+      if (!primed_) {
+        ewma_ = static_cast<double>(raw);
+        primed_ = true;
+      } else {
+        ewma_ = alpha_ * static_cast<double>(raw) + (1.0 - alpha_) * ewma_;
+      }
+      value_ = static_cast<std::int64_t>(std::llround(ewma_));
+      break;
+    case aggregation::max_in_window:
+      recent_.push_back(raw);
+      if (recent_.size() > window_) recent_.pop_front();
+      value_ = *std::max_element(recent_.begin(), recent_.end());
+      break;
+  }
+  return value_;
+}
+
+// ---------------------------------------------------------------- combinators
+
+namespace {
+
+class hysteresis_core final : public decision_core {
+ public:
+  hysteresis_core(std::unique_ptr<decision_core> inner, std::uint64_t confirm)
+      : inner_(std::move(inner)), confirm_(confirm == 0 ? 1 : confirm) {
+    name_ = std::string(inner_->name()) + "+hysteresis";
+  }
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  std::optional<locks::waiting_policy> decide(const core::observation& obs,
+                                              std::int64_t value,
+                                              const locks::waiting_policy& cur) override {
+    auto want = inner_->decide(obs, value, cur);
+    if (!want) {
+      streak_ = 0;
+      return std::nullopt;
+    }
+    if (pending_ && *want == *pending_) {
+      ++streak_;
+    } else {
+      pending_ = *want;
+      streak_ = 1;
+    }
+    if (streak_ < confirm_) return std::nullopt;
+    streak_ = 0;
+    pending_.reset();
+    return want;
+  }
+
+  void notify_applied() override { inner_->notify_applied(); }
+
+ private:
+  std::unique_ptr<decision_core> inner_;
+  std::uint64_t confirm_;
+  std::optional<locks::waiting_policy> pending_;
+  std::uint64_t streak_{0};
+  std::string name_;
+};
+
+/// True when two configurations have the same *shape* (pure spin / pure
+/// blocking / spin-then-block) and differ only in the spin-time magnitude.
+bool same_shape(const locks::waiting_policy& a, const locks::waiting_policy& b) {
+  return (a.spin_time > 0) == (b.spin_time > 0) &&
+         (a.sleep_time > 0) == (b.sleep_time > 0) &&
+         (a.delay_time > 0) == (b.delay_time > 0) && a.timeout_us == b.timeout_us;
+}
+
+class deadband_core final : public decision_core {
+ public:
+  deadband_core(std::unique_ptr<decision_core> inner, std::int64_t band)
+      : inner_(std::move(inner)), band_(band < 0 ? 0 : band) {
+    name_ = std::string(inner_->name()) + "+deadband";
+  }
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  std::optional<locks::waiting_policy> decide(const core::observation& obs,
+                                              std::int64_t value,
+                                              const locks::waiting_policy& cur) override {
+    auto want = inner_->decide(obs, value, cur);
+    if (!want) return std::nullopt;
+    // Shape changes (spin↔block) always pass; small spin-time nudges within
+    // the band are suppressed — they cost a Ψ (1R+1W + configure overhead)
+    // for a negligible behavioral change.
+    if (same_shape(*want, cur) &&
+        std::llabs(want->spin_time - cur.spin_time) < band_) {
+      return std::nullopt;
+    }
+    return want;
+  }
+
+  void notify_applied() override { inner_->notify_applied(); }
+
+ private:
+  std::unique_ptr<decision_core> inner_;
+  std::int64_t band_;
+  std::string name_;
+};
+
+class cooldown_core final : public decision_core {
+ public:
+  cooldown_core(std::unique_ptr<decision_core> inner, std::uint64_t observations)
+      : inner_(std::move(inner)), cooldown_(observations) {
+    name_ = std::string(inner_->name()) + "+cooldown";
+  }
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  std::optional<locks::waiting_policy> decide(const core::observation& obs,
+                                              std::int64_t value,
+                                              const locks::waiting_policy& cur) override {
+    // The inner core still sees every observation (its state advances), but
+    // its decisions are discarded while the cooldown runs.
+    auto want = inner_->decide(obs, value, cur);
+    if (remaining_ > 0) {
+      --remaining_;
+      return std::nullopt;
+    }
+    return want;
+  }
+
+  void notify_applied() override {
+    remaining_ = cooldown_;
+    inner_->notify_applied();
+  }
+
+ private:
+  std::unique_ptr<decision_core> inner_;
+  std::uint64_t cooldown_;
+  std::uint64_t remaining_{0};
+  std::string name_;
+};
+
+}  // namespace
+
+std::unique_ptr<decision_core> wrap_hysteresis(std::unique_ptr<decision_core> inner,
+                                               std::uint64_t confirm) {
+  return std::make_unique<hysteresis_core>(std::move(inner), confirm);
+}
+
+std::unique_ptr<decision_core> wrap_deadband(std::unique_ptr<decision_core> inner,
+                                             std::int64_t band) {
+  return std::make_unique<deadband_core>(std::move(inner), band);
+}
+
+std::unique_ptr<decision_core> wrap_cooldown(std::unique_ptr<decision_core> inner,
+                                             std::uint64_t observations) {
+  return std::make_unique<cooldown_core>(std::move(inner), observations);
+}
+
+// -------------------------------------------------------------------- engine
+
+engine::engine(locks::reconfigurable_lock& lk, std::string spec_name,
+               std::unique_ptr<decision_core> core, std::vector<sensor_spec> sensors)
+    : lk_(&lk), name_(std::move(spec_name)), core_(std::move(core)),
+      specs_(std::move(sensors)) {
+  aggs_.reserve(specs_.size());
+  for (const auto& s : specs_) aggs_.emplace_back(s);
+}
+
+void engine::observe(const core::observation& obs) {
+  std::int64_t value = obs.value;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].name == obs.sensor) {
+      value = aggs_[i].feed(obs.value);
+      break;
+    }
+  }
+  const auto cur = lk_->current_policy();
+  auto want = core_->decide(obs, value, cur);
+  if (!want || *want == cur) return;
+  if (lk_->apply_waiting_policy(*want)) {
+    note_decision();
+    core_->notify_applied();
+    last_ = {value, *want, render_sensor_vector()};
+  }
+}
+
+std::string engine::render_sensor_vector() const {
+  std::string out;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (!out.empty()) out += ' ';
+    out += specs_[i].name;
+    out += '=';
+    out += std::to_string(aggs_[i].value());
+  }
+  return out;
+}
+
+}  // namespace adx::policy

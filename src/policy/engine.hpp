@@ -1,0 +1,111 @@
+// The adaptation-policy engine: turns a declarative `policy_spec` into a
+// running `locks::lock_adapt_policy`.
+//
+// Structure of a built policy:
+//
+//   observation ──> aggregator (per sensor) ──> decision core ──> wrappers
+//                   last-value / ewma /          the policy P      hysteresis /
+//                   max-in-window                (P of §3)         deadband /
+//                                                                  cooldown
+//                                          ──> apply_waiting_policy (Ψ)
+//
+// The engine is the glue: it owns per-sensor aggregators, feeds the folded
+// values to the decision core, filters the core's desired configuration
+// through the wrapper stack, and applies the survivor to the lock — recording
+// the decision (sensor value, applied Ψ, full sensor vector) for the obs
+// reconfigure annotation. The lock's feedback loop itself is unchanged; it
+// just drives this policy object instead of the built-in one.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/sensor.hpp"
+#include "locks/adaptive_lock.hpp"
+#include "locks/reconfigurable_lock.hpp"
+#include "policy/spec.hpp"
+
+namespace adx::policy {
+
+/// Folds a sensor's raw samples into the value the decision core sees.
+/// Integer-valued throughout: ewma keeps a double accumulator but reports a
+/// rounded int64 so decisions stay platform-independent.
+class aggregator {
+ public:
+  explicit aggregator(const sensor_spec& s);
+
+  /// Feeds one raw sample; returns the aggregated value.
+  std::int64_t feed(std::int64_t raw);
+
+  [[nodiscard]] std::int64_t value() const { return value_; }
+
+ private:
+  aggregation agg_;
+  double alpha_;
+  std::uint64_t window_;
+  bool primed_{false};
+  double ewma_{0.0};
+  std::deque<std::int64_t> recent_;
+  std::int64_t value_{0};
+};
+
+/// A policy core: maps (aggregated observation, current configuration) to a
+/// desired configuration, or nothing to leave the lock alone. Cores are pure
+/// decision logic — sensor plumbing, wrapper filtering and Ψ application all
+/// live in the engine.
+class decision_core {
+ public:
+  virtual ~decision_core() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// `value` is the aggregated reading of the sensor named in `obs`.
+  [[nodiscard]] virtual std::optional<locks::waiting_policy> decide(
+      const core::observation& obs, std::int64_t value,
+      const locks::waiting_policy& current) = 0;
+
+  /// Called after a decision of this core was actually applied to the lock
+  /// (post-wrapper). Lets cores that model state (e.g. cooldown-like logic)
+  /// track real Ψ transitions rather than suppressed proposals.
+  virtual void notify_applied() {}
+};
+
+/// Decision-filter combinators. Each wraps an inner core and passes, delays
+/// or suppresses its desired configurations; `notify_applied` is forwarded
+/// inward so nested cores still observe real transitions.
+[[nodiscard]] std::unique_ptr<decision_core> wrap_hysteresis(
+    std::unique_ptr<decision_core> inner, std::uint64_t confirm);
+[[nodiscard]] std::unique_ptr<decision_core> wrap_deadband(
+    std::unique_ptr<decision_core> inner, std::int64_t band);
+[[nodiscard]] std::unique_ptr<decision_core> wrap_cooldown(
+    std::unique_ptr<decision_core> inner, std::uint64_t observations);
+
+/// The runtime policy installed on an adaptive lock: drives the wrapped core
+/// from aggregated sensor values and applies its decisions.
+class engine final : public locks::lock_adapt_policy {
+ public:
+  engine(locks::reconfigurable_lock& lk, std::string spec_name,
+         std::unique_ptr<decision_core> core, std::vector<sensor_spec> sensors);
+
+  void observe(const core::observation& obs) override;
+
+  [[nodiscard]] std::string_view policy_name() const override { return name_; }
+  [[nodiscard]] const decision_record& last_decision() const override { return last_; }
+
+ private:
+  [[nodiscard]] std::string render_sensor_vector() const;
+
+  locks::reconfigurable_lock* lk_;
+  std::string name_;
+  std::unique_ptr<decision_core> core_;
+  std::vector<sensor_spec> specs_;       // parallel to aggs_
+  std::vector<aggregator> aggs_;
+  decision_record last_{};
+};
+
+}  // namespace adx::policy

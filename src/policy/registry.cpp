@@ -1,0 +1,145 @@
+#include "policy/registry.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "policy/engine.hpp"
+#include "policy/policies.hpp"
+#include "policy/sensors.hpp"
+
+namespace adx::policy {
+
+namespace {
+
+using core_factory = std::unique_ptr<decision_core> (*)(
+    const policy_spec&, const locks::simple_adapt_params&,
+    const locks::lock_cost_model&);
+
+struct registry_entry {
+  policy_info info;
+  core_factory make;
+  /// Default sensor names, in delivery order (nullptr-terminated slots).
+  const char* sensors[2];
+  /// Aggregation applied to `lock-hold-time` style sensors by default.
+  aggregation hold_agg;
+};
+
+const registry_entry kRegistry[] = {
+    {{"simple-adapt", "the paper's §4 waiting-count rule (default)"},
+     &make_simple_adapt_core,
+     {"no-of-waiting-threads", nullptr},
+     aggregation::last_value},
+    {{"break-even", "cost-model break-even: spin while queue x hold < block cost"},
+     &make_break_even_core,
+     {"no-of-waiting-threads", "lock-hold-time"},
+     aggregation::ewma},
+    {{"ewma-hold", "size the spin budget to the smoothed hold time"},
+     &make_ewma_hold_core,
+     {"lock-hold-time", nullptr},
+     aggregation::ewma},
+    {{"multi-sensor", "spin only when queue AND hold time are both short"},
+     &make_multi_sensor_core,
+     {"no-of-waiting-threads", "lock-hold-time"},
+     aggregation::ewma},
+};
+
+const registry_entry& find_entry(std::string_view name) {
+  for (const auto& e : kRegistry) {
+    if (e.info.name == name) return e;
+  }
+  std::string msg = "unknown policy: " + std::string(name) + " (valid:";
+  for (const auto& e : kRegistry) {
+    msg += ' ';
+    msg += e.info.name;
+  }
+  msg += ')';
+  throw std::invalid_argument(msg);
+}
+
+std::vector<sensor_spec> default_sensors(const registry_entry& e,
+                                         std::uint64_t sample_period) {
+  std::vector<sensor_spec> out;
+  for (const char* name : e.sensors) {
+    if (name == nullptr) break;
+    sensor_spec s;
+    s.name = name;
+    s.period = sample_period;
+    s.agg = std::string_view(name) == "no-of-waiting-threads" ? aggregation::last_value
+                                                              : e.hold_agg;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::span<const policy_info> all_policies() {
+  static const std::vector<policy_info> infos = [] {
+    std::vector<policy_info> v;
+    for (const auto& e : kRegistry) v.push_back(e.info);
+    return v;
+  }();
+  return infos;
+}
+
+std::vector<std::string_view> all_policy_names() {
+  std::vector<std::string_view> names;
+  for (const auto& e : kRegistry) names.push_back(e.info.name);
+  return names;
+}
+
+std::string_view parse_policy_name(std::string_view name) {
+  return find_entry(name).info.name;
+}
+
+policy_spec default_spec(std::string_view name, std::uint64_t sample_period) {
+  const auto& e = find_entry(name);
+  policy_spec spec;
+  spec.name = std::string(e.info.name);
+  // simple-adapt with empty sensors IS the default spec: the factory then
+  // keeps the lock's built-in policy, which this registry must not disturb.
+  if (spec.name != "simple-adapt") {
+    spec.sensors = default_sensors(e, sample_period);
+  }
+  return spec;
+}
+
+void install(locks::adaptive_lock& lk, const locks::lock_params& params,
+             const locks::lock_cost_model& cost) {
+  const auto& spec = params.policy;
+  const auto& entry = find_entry(spec.name);
+
+  auto sensors = spec.sensors.empty()
+                     ? default_sensors(entry, params.adapt.sample_period)
+                     : spec.sensors;
+
+  // The spec's monitor replaces the lock's built-in one (which carried only
+  // the hard-wired waiting-count sensor).
+  lk.object_monitor().clear_sensors();
+  for (const auto& s : sensors) {
+    lk.object_monitor().add_sensor(make_lock_sensor(s.name, lk, s.period));
+  }
+
+  auto core = entry.make(spec, params.adapt, cost);
+  // Wrappers are listed outermost-first; build inside-out.
+  for (auto it = spec.wrappers.rbegin(); it != spec.wrappers.rend(); ++it) {
+    if (it->kind == "hysteresis") {
+      core = wrap_hysteresis(std::move(core), it->confirm);
+    } else if (it->kind == "deadband") {
+      core = wrap_deadband(std::move(core), it->band);
+    } else if (it->kind == "cooldown") {
+      core = wrap_cooldown(std::move(core), it->observations);
+    } else {
+      throw std::invalid_argument("unknown wrapper kind: " + it->kind +
+                                  " (valid: hysteresis deadband cooldown)");
+    }
+  }
+
+  std::string full_name(core->name());
+  lk.set_policy(std::make_shared<engine>(lk, std::move(full_name), std::move(core),
+                                         std::move(sensors)));
+}
+
+}  // namespace adx::policy

@@ -1,0 +1,48 @@
+// The policy registry: the by-name catalogue of adaptation policies and the
+// single entry point (`install`) that turns a `policy_spec` into a live
+// monitor + policy pair on an adaptive lock.
+//
+// This is the layer the lock factory calls through, and the sweep axis for
+// adx-check (`--policies=all`) and the `bench_abl_policy` scenario.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "locks/adaptive_lock.hpp"
+#include "locks/cost_model.hpp"
+#include "locks/factory.hpp"
+#include "policy/spec.hpp"
+
+namespace adx::policy {
+
+struct policy_info {
+  std::string_view name;
+  std::string_view description;
+};
+
+/// Every registered policy, in registration order.
+[[nodiscard]] std::span<const policy_info> all_policies();
+[[nodiscard]] std::vector<std::string_view> all_policy_names();
+
+/// Validates a policy name; throws std::invalid_argument listing every
+/// registered name on unknown input (same UX as locks::parse_lock_kind).
+[[nodiscard]] std::string_view parse_policy_name(std::string_view name);
+
+/// The canonical spec for a registered policy: its name plus its default
+/// sensor set (periods taken from `sample_period`). For "simple-adapt" the
+/// sensors vector is left empty so the spec stays `is_default()` and the
+/// factory keeps the built-in bit-identical path.
+[[nodiscard]] policy_spec default_spec(std::string_view name,
+                                       std::uint64_t sample_period = 2);
+
+/// Installs the policy described by `params.policy` on `lk`: replaces the
+/// monitor's sensor set with the spec's (falling back to the policy's default
+/// sensors), builds the wrapped decision core, and sets it as the lock's
+/// adaptation policy. Throws std::invalid_argument on unknown policy, sensor
+/// or wrapper names.
+void install(locks::adaptive_lock& lk, const locks::lock_params& params,
+             const locks::lock_cost_model& cost);
+
+}  // namespace adx::policy

@@ -1,0 +1,64 @@
+#include "policy/sensors.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace adx::policy {
+
+namespace {
+
+constexpr std::string_view kSensorNames[] = {
+    "no-of-waiting-threads",
+    "lock-hold-time",
+    "handoff-latency",
+    "acquire-rate",
+};
+
+}  // namespace
+
+std::span<const std::string_view> all_sensor_names() { return kSensorNames; }
+
+core::sensor make_lock_sensor(std::string_view name, locks::reconfigurable_lock& lk,
+                              std::uint64_t period) {
+  if (name == "no-of-waiting-threads") {
+    return core::sensor(std::string(name), [&lk] { return lk.waiting_now(); }, period);
+  }
+  if (name == "lock-hold-time") {
+    return core::sensor(
+        std::string(name),
+        [&lk] { return static_cast<std::int64_t>(std::llround(lk.stats().last_held().us())); },
+        period);
+  }
+  if (name == "handoff-latency") {
+    return core::sensor(
+        std::string(name),
+        [&lk] {
+          return static_cast<std::int64_t>(
+              std::llround(lk.stats().last_handoff_latency().us()));
+        },
+        period);
+  }
+  if (name == "acquire-rate") {
+    // Acquisitions since the previous sample of *this* sensor — a rate in
+    // units of "acquires per sampling period".
+    return core::sensor(
+        std::string(name),
+        [&lk, prev = std::uint64_t{0}]() mutable {
+          const auto now = lk.stats().acquisitions();
+          const auto delta = now - prev;
+          prev = now;
+          return static_cast<std::int64_t>(delta);
+        },
+        period);
+  }
+  std::string msg = "unknown sensor: " + std::string(name) + " (valid:";
+  for (auto n : kSensorNames) {
+    msg += ' ';
+    msg += n;
+  }
+  msg += ')';
+  throw std::invalid_argument(msg);
+}
+
+}  // namespace adx::policy

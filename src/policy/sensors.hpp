@@ -1,0 +1,32 @@
+// Sensor catalogue for lock adaptation policies.
+//
+// Generalizes the adaptive lock's single hard-wired `no-of-waiting-threads`
+// sensor into a named family, each reading a different state variable of the
+// adapted lock (§3's "diversity" factor). All sources are host-side reads of
+// state the lock already maintains — attaching any of them charges no extra
+// virtual time beyond the per-observation sample cost the feedback loop
+// already bills.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "core/sensor.hpp"
+#include "locks/reconfigurable_lock.hpp"
+
+namespace adx::policy {
+
+/// Names of every known lock sensor, the sweep/validation axis.
+[[nodiscard]] std::span<const std::string_view> all_sensor_names();
+
+/// Builds a named sensor reading `lk`'s state:
+///   no-of-waiting-threads  current waiter count (the paper's sensor)
+///   lock-hold-time         duration of the last completed hold, in µs
+///   handoff-latency        last release→acquire gap, in µs
+///   acquire-rate           acquisitions since the previous sample
+/// Throws std::invalid_argument listing the valid names on unknown `name`.
+[[nodiscard]] core::sensor make_lock_sensor(std::string_view name,
+                                            locks::reconfigurable_lock& lk,
+                                            std::uint64_t period);
+
+}  // namespace adx::policy

@@ -4,6 +4,8 @@
 
 #include <stdexcept>
 
+#include "policy/registry.hpp"
+
 namespace adx {
 namespace {
 
@@ -24,6 +26,34 @@ TEST(RunConfig, CustomizedConfigRoundTripsThroughJson) {
   rc.params.combined_spin_limit = 17;
   rc.params.adapt = {12, 20, 400, 2};
   EXPECT_EQ(run_config::from_json(rc.to_json()), rc);
+}
+
+TEST(RunConfig, EveryRegisteredPolicySpecRoundTripsThroughJson) {
+  for (const auto name : policy::all_policy_names()) {
+    auto rc = run_config{}.with_lock(locks::lock_kind::adaptive);
+    rc.params.policy = policy::default_spec(name, 3);
+    EXPECT_EQ(run_config::from_json(rc.to_json()), rc) << name;
+  }
+}
+
+TEST(RunConfig, WrappedPolicySpecRoundTripsThroughJson) {
+  auto rc = run_config{}.with_lock(locks::lock_kind::adaptive);
+  rc.params.policy = policy::default_spec("break-even")
+                         .with_param("break_even_us", 120.25)
+                         .with_hysteresis(3)
+                         .with_deadband(16)
+                         .with_cooldown(6);
+  const auto back = run_config::from_json(rc.to_json());
+  EXPECT_EQ(back, rc);
+  EXPECT_EQ(back.params.policy.params.at("break_even_us"), 120.25);
+  ASSERT_EQ(back.params.policy.wrappers.size(), 3u);
+  EXPECT_EQ(back.params.policy.wrappers[1].kind, "deadband");
+}
+
+TEST(RunConfig, ConfigsWithoutAPolicyKeyStayOnTheDefault) {
+  // Pre-engine configs (and hand-written ones) omit "policy" entirely.
+  const auto rc = run_config::from_json(R"({"lock": "adaptive"})");
+  EXPECT_TRUE(rc.params.policy.is_default());
 }
 
 TEST(RunConfig, EveryPresetProfileRoundTrips) {

@@ -14,6 +14,7 @@
 #include "check/runner.hpp"
 #include "exec/job_executor.hpp"
 #include "perf/scenario.hpp"
+#include "policy/registry.hpp"
 #include "workload/cs_workload.hpp"
 
 namespace adx {
@@ -55,6 +56,44 @@ TEST(ParallelRuns, CsSweepMatchesSequentialBitForBit) {
       EXPECT_EQ(par[i].blocks, seq[i].blocks) << "i=" << i;
       EXPECT_EQ(par[i].peak_waiting, seq[i].peak_waiting) << "i=" << i;
       EXPECT_DOUBLE_EQ(par[i].mean_wait_us, seq[i].mean_wait_us) << "i=" << i;
+    }
+  }
+}
+
+TEST(ParallelRuns, PolicySweepMatchesSequentialBitForBit) {
+  // The bench_abl_policy shape: one adaptive-lock workload per registered
+  // policy (plus a wrapped variant), fanned out across workers.
+  std::vector<workload::cs_config> grid;
+  std::vector<policy::policy_spec> specs;
+  specs.emplace_back();  // built-in simple-adapt
+  for (const auto name : policy::all_policy_names()) {
+    specs.push_back(policy::default_spec(name));
+  }
+  specs.push_back(policy::default_spec("break-even").with_hysteresis(2));
+  for (const auto& spec : specs) {
+    workload::cs_config cfg;
+    cfg.processors = 4;
+    cfg.threads = 8;
+    cfg.iterations = 30;
+    cfg.cs_length = sim::microseconds(120);
+    cfg.think_time = sim::microseconds(300);
+    cfg.kind = locks::lock_kind::adaptive;
+    cfg.params.policy = spec;
+    grid.push_back(cfg);
+  }
+
+  std::vector<workload::cs_result> seq;
+  seq.reserve(grid.size());
+  for (const auto& cfg : grid) seq.push_back(run_cs_workload(cfg));
+
+  for (const unsigned jobs : {1u, 4u}) {
+    exec::job_executor ex(jobs);
+    const auto par = workload::run_cs_sweep(grid, ex);
+    ASSERT_EQ(par.size(), seq.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      EXPECT_EQ(par[i].elapsed.ns, seq[i].elapsed.ns) << "jobs=" << jobs << " i=" << i;
+      EXPECT_EQ(par[i].acquisitions, seq[i].acquisitions) << "i=" << i;
+      EXPECT_EQ(par[i].blocks, seq[i].blocks) << "i=" << i;
     }
   }
 }

@@ -98,6 +98,56 @@ TEST(AdaptiveLock, SamplePeriodHonoured) {
   EXPECT_EQ(lk.costs().monitor_samples, 4u);
 }
 
+TEST(AdaptiveLock, SamplePeriodOneSamplesEveryUnlock) {
+  ct::runtime rt(mc());
+  simple_adapt_params p;
+  p.sample_period = 1;
+  adaptive_lock lk(0, cost(), p);
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    for (int i = 0; i < 16; ++i) {
+      co_await lk.lock(ctx);
+      co_await lk.unlock(ctx);
+    }
+  });
+  rt.run_all();
+  EXPECT_EQ(lk.object_monitor().sensor_at(0).samples_taken(), 16u);
+}
+
+TEST(AdaptiveLock, SamplePeriodLongerThanRunNeverSamples) {
+  // A period far beyond the trigger count must neither divide by zero nor
+  // deliver a single observation — the lock just runs unmonitored.
+  ct::runtime rt(mc());
+  simple_adapt_params p;
+  p.sample_period = 1000;
+  adaptive_lock lk(0, cost(), p);
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    for (int i = 0; i < 16; ++i) {
+      co_await lk.lock(ctx);
+      co_await lk.unlock(ctx);
+    }
+  });
+  rt.run_all();
+  EXPECT_EQ(lk.object_monitor().sensor_at(0).samples_taken(), 0u);
+  EXPECT_EQ(lk.costs().reconfiguration_ops, 0u);
+  EXPECT_EQ(lk.policy()->decisions(), 0u);
+}
+
+TEST(AdaptiveLock, SamplePeriodZeroIsNormalizedToEveryUnlock) {
+  ct::runtime rt(mc());
+  simple_adapt_params p;
+  p.sample_period = 0;  // core::sensor guards 0 -> 1
+  adaptive_lock lk(0, cost(), p);
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    for (int i = 0; i < 8; ++i) {
+      co_await lk.lock(ctx);
+      co_await lk.unlock(ctx);
+    }
+  });
+  rt.run_all();
+  EXPECT_EQ(lk.object_monitor().sensor_at(0).period(), 1u);
+  EXPECT_EQ(lk.object_monitor().sensor_at(0).samples_taken(), 8u);
+}
+
 TEST(AdaptiveLock, MonitoringChargesTime) {
   // Identical workloads; higher sampling rate must cost more virtual time
   // on an uncontended lock (monitoring overhead, §3).

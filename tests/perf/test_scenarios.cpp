@@ -29,6 +29,12 @@ TEST(Scenarios, RequiredGateScenariosExist) {
   }
 }
 
+TEST(Scenarios, PolicyAblationScenarioIsRegistered) {
+  const auto* sc = find_scenario("bench_abl_policy");
+  ASSERT_NE(sc, nullptr);
+  EXPECT_FALSE(sc->description.empty());
+}
+
 TEST(Scenarios, FindRejectsUnknownNames) {
   EXPECT_EQ(find_scenario("bench_nonexistent"), nullptr);
   EXPECT_EQ(find_scenario(""), nullptr);

@@ -1,0 +1,185 @@
+#include "policy/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "policy/registry.hpp"
+#include "workload/cs_workload.hpp"
+
+namespace adx::policy {
+namespace {
+
+using locks::waiting_policy;
+
+locks::lock_cost_model cost() { return locks::lock_cost_model::fast_test(); }
+
+sensor_spec spec_with(aggregation agg, double alpha = 0.25, std::uint64_t window = 8) {
+  sensor_spec s;
+  s.agg = agg;
+  s.ewma_alpha = alpha;
+  s.window = window;
+  return s;
+}
+
+// ------------------------------------------------------------- aggregators
+
+TEST(Aggregator, LastValuePassesThrough) {
+  aggregator a(spec_with(aggregation::last_value));
+  EXPECT_EQ(a.feed(3), 3);
+  EXPECT_EQ(a.feed(7), 7);
+  EXPECT_EQ(a.feed(0), 0);
+}
+
+TEST(Aggregator, EwmaPrimesOnFirstSampleThenSmooths) {
+  aggregator a(spec_with(aggregation::ewma, 0.5));
+  EXPECT_EQ(a.feed(100), 100);  // primed, not pulled toward zero
+  EXPECT_EQ(a.feed(0), 50);     // 0.5*0 + 0.5*100
+  EXPECT_EQ(a.feed(0), 25);
+}
+
+TEST(Aggregator, MaxInWindowTracksAndExpiresSpikes) {
+  aggregator a(spec_with(aggregation::max_in_window, 0.25, 2));
+  EXPECT_EQ(a.feed(9), 9);
+  EXPECT_EQ(a.feed(1), 9);  // spike still inside the 2-sample window
+  EXPECT_EQ(a.feed(1), 1);  // spike aged out
+}
+
+// ------------------------------------------------------------- combinators
+
+/// A core that always wants the configuration it was told to want.
+class fixed_core final : public decision_core {
+ public:
+  explicit fixed_core(std::optional<waiting_policy> want) : want_(want) {}
+  [[nodiscard]] std::string_view name() const override { return "fixed"; }
+  std::optional<waiting_policy> decide(const core::observation&, std::int64_t,
+                                       const waiting_policy&) override {
+    ++calls;
+    return want_;
+  }
+  void notify_applied() override { ++applied; }
+
+  std::optional<waiting_policy> want_;
+  int calls{0};
+  int applied{0};
+};
+
+const core::observation kObs{"no-of-waiting-threads", 1};
+
+TEST(Hysteresis, PassesOnlyAfterKConsecutiveIdenticalDecisions) {
+  auto inner = std::make_unique<fixed_core>(waiting_policy::pure_sleep());
+  auto* raw = inner.get();
+  auto h = wrap_hysteresis(std::move(inner), 3);
+  EXPECT_EQ(h->decide(kObs, 1, {}), std::nullopt);
+  EXPECT_EQ(h->decide(kObs, 1, {}), std::nullopt);
+  EXPECT_EQ(h->decide(kObs, 1, {}), waiting_policy::pure_sleep());
+  // The streak resets after a pass-through.
+  EXPECT_EQ(h->decide(kObs, 1, {}), std::nullopt);
+  // notify_applied reaches the inner core.
+  h->notify_applied();
+  EXPECT_EQ(raw->applied, 1);
+}
+
+TEST(Hysteresis, ChangedDesireRestartsTheStreak) {
+  auto inner = std::make_unique<fixed_core>(waiting_policy::mixed(10));
+  auto* raw = inner.get();
+  auto h = wrap_hysteresis(std::move(inner), 2);
+  EXPECT_EQ(h->decide(kObs, 1, {}), std::nullopt);
+  raw->want_ = waiting_policy::mixed(20);  // inner changes its mind
+  EXPECT_EQ(h->decide(kObs, 1, {}), std::nullopt);
+  EXPECT_EQ(h->decide(kObs, 1, {}), waiting_policy::mixed(20));
+}
+
+TEST(Deadband, SuppressesSmallSameShapeSpinDeltas) {
+  auto d = wrap_deadband(std::make_unique<fixed_core>(waiting_policy::mixed(14)), 8);
+  // Current mixed(10): |14-10| = 4 < 8 — suppressed.
+  EXPECT_EQ(d->decide(kObs, 1, waiting_policy::mixed(10)), std::nullopt);
+  // Current mixed(2): |14-2| = 12 >= 8 — passes.
+  EXPECT_EQ(d->decide(kObs, 1, waiting_policy::mixed(2)), waiting_policy::mixed(14));
+}
+
+TEST(Deadband, ShapeChangesAlwaysPass) {
+  auto d = wrap_deadband(std::make_unique<fixed_core>(waiting_policy::pure_sleep()), 1000);
+  EXPECT_EQ(d->decide(kObs, 1, waiting_policy::mixed(10)),
+            waiting_policy::pure_sleep());
+}
+
+TEST(Cooldown, SuppressesDecisionsAfterAnAppliedPsi) {
+  auto c = wrap_cooldown(std::make_unique<fixed_core>(waiting_policy::pure_sleep()), 2);
+  EXPECT_EQ(c->decide(kObs, 1, {}), waiting_policy::pure_sleep());
+  c->notify_applied();
+  EXPECT_EQ(c->decide(kObs, 1, {}), std::nullopt);
+  EXPECT_EQ(c->decide(kObs, 1, {}), std::nullopt);
+  EXPECT_EQ(c->decide(kObs, 1, {}), waiting_policy::pure_sleep());
+}
+
+// ------------------------------------------------------------------ engine
+
+TEST(Engine, AppliesDecisionsAndRecordsThem) {
+  locks::reconfigurable_lock lk(0, cost(), waiting_policy::mixed(30));
+  sensor_spec waiting;
+  engine eng(lk, "fixed", std::make_unique<fixed_core>(waiting_policy::pure_sleep()),
+             {waiting});
+  eng.observe({"no-of-waiting-threads", 6});
+  EXPECT_TRUE(lk.current_policy().is_pure_sleep());
+  EXPECT_EQ(eng.policy_name(), "fixed");
+  EXPECT_EQ(eng.decisions(), 1u);
+  EXPECT_EQ(eng.last_decision().sensor_value, 6);
+  EXPECT_EQ(eng.last_decision().applied, waiting_policy::pure_sleep());
+  EXPECT_EQ(eng.last_decision().sensors, "no-of-waiting-threads=6");
+}
+
+TEST(Engine, SkipsNoopDecisions) {
+  locks::reconfigurable_lock lk(0, cost(), waiting_policy::pure_sleep());
+  engine eng(lk, "fixed", std::make_unique<fixed_core>(waiting_policy::pure_sleep()),
+             {sensor_spec{}});
+  eng.observe({"no-of-waiting-threads", 2});
+  EXPECT_EQ(eng.decisions(), 0u);  // desired == current: no Ψ, no record
+}
+
+TEST(Engine, AggregatesPerSensorBeforeDeciding) {
+  locks::reconfigurable_lock lk(0, cost(), waiting_policy::mixed(30));
+  auto spec = spec_with(aggregation::max_in_window, 0.25, 4);
+  spec.name = "no-of-waiting-threads";
+  auto core = std::make_unique<fixed_core>(std::nullopt);
+  auto* raw = core.get();
+  engine eng(lk, "fixed", std::move(core), {spec});
+  eng.observe({"no-of-waiting-threads", 9});
+  eng.observe({"no-of-waiting-threads", 1});
+  EXPECT_EQ(raw->calls, 2);
+  // Engine folded the window max; the last sensor vector would report 9.
+  eng.observe({"no-of-waiting-threads", 2});
+  EXPECT_EQ(raw->calls, 3);
+}
+
+// The registry-built simple-adapt must be behaviorally identical to the
+// lock's built-in loop: same decisions, same costs, same elapsed virtual
+// time on an identical workload.
+TEST(Engine, RegistryBuiltSimpleAdaptMatchesBuiltinBitExactly) {
+  const auto run = [](bool via_engine) {
+    workload::cs_config c;
+    c.processors = 4;
+    c.threads = 8;
+    c.iterations = 40;
+    c.cs_length = sim::microseconds(80);
+    c.think_time = sim::microseconds(150);
+    c.kind = locks::lock_kind::adaptive;
+    c.cost = locks::lock_cost_model::fast_test();
+    c.machine = sim::machine_config::test_machine(4);
+    if (via_engine) {
+      // Same policy, same single sensor at the same period — but the spec is
+      // non-default, so the factory routes it through the policy engine.
+      sensor_spec waiting;
+      waiting.period = c.params.adapt.sample_period;
+      c.params.policy = policy_spec{}.with_sensor(waiting);
+    }
+    return run_cs_workload(c);
+  };
+  const auto builtin = run(false);
+  const auto engine_built = run(true);
+  EXPECT_EQ(builtin.elapsed.ns, engine_built.elapsed.ns);
+  EXPECT_EQ(builtin.acquisitions, engine_built.acquisitions);
+  EXPECT_EQ(builtin.contended, engine_built.contended);
+  EXPECT_EQ(builtin.blocks, engine_built.blocks);
+}
+
+}  // namespace
+}  // namespace adx::policy

@@ -1,0 +1,84 @@
+#include "policy/sensors.hpp"
+
+#include <gtest/gtest.h>
+
+#include "locks/reconfigurable_lock.hpp"
+
+namespace adx::policy {
+namespace {
+
+locks::lock_cost_model cost() { return locks::lock_cost_model::fast_test(); }
+
+TEST(LockSensors, CatalogueListsFourSensors) {
+  const auto names = all_sensor_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "no-of-waiting-threads");
+  EXPECT_EQ(names[1], "lock-hold-time");
+  EXPECT_EQ(names[2], "handoff-latency");
+  EXPECT_EQ(names[3], "acquire-rate");
+}
+
+TEST(LockSensors, EveryCatalogueNameConstructs) {
+  locks::reconfigurable_lock lk(0, cost());
+  for (const auto name : all_sensor_names()) {
+    auto s = make_lock_sensor(name, lk, 3);
+    EXPECT_EQ(s.name(), name);
+    EXPECT_EQ(s.period(), 3u);
+  }
+}
+
+TEST(LockSensors, UnknownNameListsTheValidSensors) {
+  locks::reconfigurable_lock lk(0, cost());
+  try {
+    (void)make_lock_sensor("cpu-temperature", lk, 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("cpu-temperature"), std::string::npos);
+    for (const auto name : all_sensor_names()) {
+      EXPECT_NE(msg.find(std::string(name)), std::string::npos) << name;
+    }
+  }
+}
+
+TEST(LockSensors, WaitingThreadsReadsLiveCount) {
+  locks::reconfigurable_lock lk(0, cost());
+  auto s = make_lock_sensor("no-of-waiting-threads", lk, 1);
+  const auto obs = s.trigger();
+  ASSERT_TRUE(obs.has_value());
+  EXPECT_EQ(obs->value, 0);
+}
+
+TEST(LockSensors, HoldTimeReadsLastCompletedHold) {
+  locks::reconfigurable_lock lk(0, cost());
+  lk.stats().on_acquired(sim::vtime{1'000}, sim::vdur{0}, 1);
+  lk.stats().on_release(sim::vtime{251'000}, 1);  // held 250us
+  auto s = make_lock_sensor("lock-hold-time", lk, 1);
+  const auto obs = s.trigger();
+  ASSERT_TRUE(obs.has_value());
+  EXPECT_EQ(obs->value, 250);
+}
+
+TEST(LockSensors, HandoffLatencyReadsReleaseToAcquireGap) {
+  locks::reconfigurable_lock lk(0, cost());
+  auto s = make_lock_sensor("handoff-latency", lk, 1);
+  EXPECT_EQ(s.trigger()->value, 0);  // no handoff observed yet
+  lk.stats().on_acquired(sim::vtime{1'000}, sim::vdur{0}, 1);
+  lk.stats().on_release(sim::vtime{2'000}, 1);
+  lk.stats().on_acquired(sim::vtime{42'000}, sim::vdur{40'000}, 2);  // 40us later
+  EXPECT_EQ(s.trigger()->value, 40);
+}
+
+TEST(LockSensors, AcquireRateIsDeltaBetweenSamples) {
+  locks::reconfigurable_lock lk(0, cost());
+  auto s = make_lock_sensor("acquire-rate", lk, 1);
+  EXPECT_EQ(s.trigger()->value, 0);
+  for (int i = 0; i < 5; ++i) {
+    lk.stats().on_acquired(sim::vtime{}, sim::vdur{}, 1);
+  }
+  EXPECT_EQ(s.trigger()->value, 5);
+  EXPECT_EQ(s.trigger()->value, 0);  // no new acquisitions since last sample
+}
+
+}  // namespace
+}  // namespace adx::policy
