@@ -1,10 +1,12 @@
 #include "apps/kvstore.hpp"
 
+#include <memory>
 #include <stdexcept>
 
 #include "ct/context.hpp"
 #include "ct/runtime.hpp"
 #include "locks/reconfigurable_lock.hpp"
+#include "objects/adaptive_hash_map.hpp"
 
 namespace adx::apps {
 
@@ -17,14 +19,26 @@ kv_result run_kv_workload(const kv_config& cfg) {
   }
 
   ct::runtime rt(cfg.machine);
-  std::vector<std::unique_ptr<locks::lock_object>> locks_;
-  std::vector<std::unique_ptr<ct::svar<std::int64_t>>> cells;
-  locks_.reserve(cfg.buckets);
-  for (unsigned b = 0; b < cfg.buckets; ++b) {
-    const sim::node_id home = b % cfg.machine.nodes;
-    locks_.push_back(locks::make_lock(cfg.kind, home, cfg.cost, cfg.params));
-    cells.push_back(std::make_unique<ct::svar<std::int64_t>>(home, 0));
-  }
+
+  // The store is an adaptive_hash_map with one bucket per stripe and the
+  // stripe count frozen at cfg.buckets: an identity hash then maps key b to
+  // stripe b exactly as the hand-rolled lock array did, each stripe homed
+  // round-robin and guarded by its own factory lock. The map-level stripe Ψ
+  // stays off — this app is about the *per-lock* waiting-policy adaptation
+  // diverging between the hot stripe and the cold ones.
+  objects::map_config mc;
+  mc.min_stripes = cfg.buckets;
+  mc.max_stripes = cfg.buckets;
+  mc.initial_stripes = cfg.buckets;
+  mc.buckets_per_stripe = 1;
+  mc.lock = cfg.kind;
+  mc.lock_params = cfg.params;
+  mc.cost = cfg.cost;
+  mc.nodes = cfg.machine.nodes;
+  mc.adaptive = false;
+  objects::adaptive_hash_map<std::uint64_t, std::int64_t,
+                             objects::identity_hash<std::uint64_t>>
+      map(mc);
 
   // Pre-drawn per-thread operation streams: bucket choices and jitter, so
   // scheduling cannot perturb the random sequence.
@@ -47,11 +61,8 @@ kv_result run_kv_workload(const kv_config& cfg) {
     rt.fork(t % cfg.processors, [&, t](ct::context& ctx) -> ct::task<void> {
       for (std::uint64_t i = 0; i < cfg.ops_per_thread; ++i) {
         const unsigned b = targets[t][i];
-        co_await locks_[b]->lock(ctx);
-        const auto v = co_await ctx.read(*cells[b]);
-        co_await ctx.compute(cfg.op_work);
-        co_await ctx.write(*cells[b], v + 1);
-        co_await locks_[b]->unlock(ctx);
+        co_await map.update(
+            ctx, b, [](std::int64_t& v) { ++v; }, 0, cfg.op_work);
         co_await ctx.sleep_for(sim::nanoseconds(static_cast<std::int64_t>(
             static_cast<double>(cfg.think.ns) * jitter[t][i])));
       }
@@ -62,13 +73,13 @@ kv_result run_kv_workload(const kv_config& cfg) {
 
   kv_result res;
   res.elapsed = run.end_time;
-  for (unsigned b = 0; b < cfg.buckets; ++b) {
-    res.total_ops += static_cast<std::uint64_t>(cells[b]->raw());
+  for (const auto& [key, count] : map.snapshot_raw()) {
+    res.total_ops += static_cast<std::uint64_t>(count);
   }
   const double secs = static_cast<double>(res.elapsed.ns) / 1e9;
   res.throughput = secs > 0 ? static_cast<double>(res.total_ops) / secs : 0.0;
 
-  const auto& hot = locks_[0]->stats();
+  const auto& hot = map.stripe_lock(0).stats();
   res.hot_requests = hot.requests();
   res.hot_contention = hot.contention_ratio();
   res.hot_mean_wait_us = hot.wait_time_us().mean();
@@ -80,7 +91,7 @@ kv_result run_kv_workload(const kv_config& cfg) {
   std::uint64_t cold_wait_n = 0;
   std::uint64_t cold_contended = 0;
   for (unsigned b = 1; b < cfg.buckets; ++b) {
-    const auto& s = locks_[b]->stats();
+    const auto& s = map.stripe_lock(b).stats();
     res.cold_requests += s.requests();
     cold_contended += s.contended();
     res.cold_blocks += s.blocks();
@@ -94,11 +105,11 @@ kv_result run_kv_workload(const kv_config& cfg) {
   res.cold_mean_wait_us =
       cold_wait_n ? cold_wait_sum / static_cast<double>(cold_wait_n) : 0.0;
 
-  if (auto* a0 = dynamic_cast<locks::reconfigurable_lock*>(locks_[0].get())) {
+  if (auto* a0 = dynamic_cast<locks::reconfigurable_lock*>(&map.stripe_lock(0))) {
     res.hot_final_spin = a0->current_policy().spin_time;
   }
   if (cfg.buckets > 1) {
-    if (auto* a1 = dynamic_cast<locks::reconfigurable_lock*>(locks_[1].get())) {
+    if (auto* a1 = dynamic_cast<locks::reconfigurable_lock*>(&map.stripe_lock(1))) {
       res.cold_final_spin = a1->current_policy().spin_time;
     }
   }

@@ -3,8 +3,11 @@
 // because the effect of blocking vs. spinning (useful processing vs. wasted
 // processor cycles) is more pronounced."
 //
-// A shared key-value store: B buckets, each guarded by its own lock, homed
-// round-robin across the machine. Many more threads than processors perform
+// A shared key-value store: an objects::adaptive_hash_map with one bucket
+// per stripe and the stripe count frozen at B, so each bucket is guarded by
+// its own factory lock, homed round-robin across the machine (the map-level
+// stripe Ψ stays off — this app isolates the *per-lock* waiting-policy
+// adaptation). Many more threads than processors perform
 // update operations; a configurable fraction of operations hits bucket 0
 // (the hot spot), the rest spread uniformly. The result is exactly the
 // environment adaptive locks are built for:

@@ -16,9 +16,13 @@
 #include <string>
 #include <vector>
 
+#include "check/objects.hpp"
 #include "check/runner.hpp"
+#include "objects/adaptive_hash_map.hpp"
+#include "objects/adaptive_monitor.hpp"
 #include "cli/options.hpp"
 #include "exec/job_executor.hpp"
+#include "objects/objects.hpp"
 #include "obs/report_sink.hpp"
 #include "policy/registry.hpp"
 
@@ -46,12 +50,29 @@ struct sweep_cell {
   sim::perturb_profile profile;
 };
 
+/// One (object, profile) cell of the adaptive-object sweep.
+struct object_cell {
+  objects::object_kind kind;
+  std::string pname;
+  sim::perturb_profile profile;
+};
+
 struct failure {
+  bool object{false};  ///< object-check failure (oparams) vs lock fixture (params)
   check::check_params params;
+  check::object_check_params oparams;
   check::check_result result;
   check::shrink_result shrunk;
   bool shrink_skipped{false};  ///< duplicate cell failure, shrink deduplicated
 };
+
+/// The stripe/entry locks of an object check come from the object's own
+/// config defaults (adaptive stripes for the map, blocking entry for the
+/// monitor); the sweep reports that kind in the lock column.
+locks::lock_kind object_lock_kind(objects::object_kind k) {
+  return k == objects::object_kind::hashmap ? objects::map_config{}.lock
+                                            : objects::monitor_config{}.lock;
+}
 
 }  // namespace
 
@@ -67,6 +88,9 @@ int main(int argc, char** argv) {
                "adaptation policies for adaptive locks: 'default' (built-in "
                "simple-adapt), 'all' (every registered policy), or a comma "
                "list of policy names")
+          .str("objects", "",
+               "adaptive-object check sweeps: empty (none), 'all', or a comma "
+               "list of object kinds (hashmap monitor)")
           .str("profiles", "preempt,delay",
                "comma list of perturbation profiles (none ties delay preempt "
                "latency chaos)")
@@ -112,8 +136,22 @@ int main(int argc, char** argv) {
         buf << in.rdbuf();
         text = buf.str();
       }
+      const auto config = run_config::from_json(text);
+      // A config with the object axis set replays as an object check.
+      if (!config.object.empty()) {
+        check::object_check_params p;
+        p.config = config;
+        p.iterations = static_cast<unsigned>(opt.get_u64("iterations"));
+        const auto r = check::run_object_check(p);
+        for (const auto& v : r.violations) {
+          std::cout << "violation: " << check::to_string(v) << '\n';
+        }
+        std::cout << (r.failed() ? "FAIL" : "OK") << " object=" << p.config.object
+                  << " seed=" << p.config.seed << '\n';
+        return r.failed() ? 1 : 0;
+      }
       check::check_params p;
-      p.config = run_config::from_json(text);
+      p.config = config;
       p.fix = opt.get_str("fixture").empty()
                   ? check::fixture::mutex
                   : check::parse_fixture(opt.get_str("fixture"));
@@ -158,6 +196,16 @@ int main(int argc, char** argv) {
         policies.emplace_back(policy::parse_policy_name(name));
       }
     }
+    // Object axis, mirroring --policies' UX: validated up front so a typo
+    // fails fast with the full kind list (exit 2), not mid-sweep.
+    std::vector<objects::object_kind> object_kinds;
+    if (opt.get_str("objects") == "all") {
+      for (auto k : objects::all_object_kinds()) object_kinds.push_back(k);
+    } else {
+      for (const auto& name : split_list(opt.get_str("objects"))) {
+        object_kinds.push_back(objects::parse_object_kind(name));
+      }
+    }
     const auto seeds = opt.get_u64("seeds");
     const auto seed_base = opt.get_u64("seed-base");
     const auto nodes = static_cast<unsigned>(opt.get_u64("processors"));
@@ -194,10 +242,34 @@ int main(int argc, char** argv) {
       return p;
     };
 
+    // Object cells ride the same executor fan-out, appended after the lock
+    // cells (cell-major, seed-minor again) so output stays byte-identical
+    // for any --jobs value.
+    std::vector<object_cell> ocells;
+    for (const auto kind : object_kinds) {
+      for (const auto& [pname, profile] : profiles) {
+        ocells.push_back({kind, pname, profile});
+      }
+    }
+    const auto oparams_for = [&](std::size_t cell, std::uint64_t seed_index) {
+      check::object_check_params p;
+      p.config = run_config{}
+                     .with_machine(sim::machine_config::test_machine(nodes))
+                     .with_lock(object_lock_kind(ocells[cell].kind))
+                     .with_perturb(ocells[cell].profile)
+                     .with_seed(seed_base + seed_index)
+                     .with_object(objects::to_string(ocells[cell].kind));
+      p.iterations = iterations;
+      return p;
+    };
+
     exec::job_executor ex(exec::resolve_jobs(opt.get_u64("jobs")));
-    const std::uint64_t total_runs = cells.size() * seeds;
+    const std::uint64_t lock_runs = cells.size() * seeds;
+    const std::uint64_t total_runs = lock_runs + ocells.size() * seeds;
     const auto results = ex.map(total_runs, [&](std::size_t i) {
-      return check::run_check(params_for(i / seeds, i % seeds));
+      if (i < lock_runs) return check::run_check(params_for(i / seeds, i % seeds));
+      const auto j = i - lock_runs;
+      return check::run_object_check(oparams_for(j / seeds, j % seeds));
     });
 
     // Deterministic aggregation, in job-index order.
@@ -232,12 +304,42 @@ int main(int argc, char** argv) {
                  cells[cell].pname, std::to_string(seeds),
                  std::to_string(cell_violations), worst.empty() ? "-" : worst});
     }
+    for (std::size_t cell = 0; cell < ocells.size(); ++cell) {
+      std::uint64_t cell_violations = 0;
+      std::string worst;
+      bool first_in_cell = true;
+      for (std::uint64_t s = 0; s < seeds; ++s) {
+        const auto& r = results[lock_runs + cell * seeds + s];
+        if (!r.failed()) continue;
+        cell_violations += r.violations.size();
+        for (const auto& v : r.violations) {
+          worst = std::string(check::worse_oracle(worst, v.oracle));
+        }
+        failure f;
+        f.object = true;
+        f.oparams = oparams_for(cell, s);
+        f.result = r;
+        f.shrink_skipped = !first_in_cell && !opt.get_flag("shrink-all");
+        first_in_cell = false;
+        failures.push_back(std::move(f));
+      }
+      table.row({std::string("object:") + objects::to_string(ocells[cell].kind),
+                 locks::to_string(object_lock_kind(ocells[cell].kind)), "-",
+                 ocells[cell].pname, std::to_string(seeds),
+                 std::to_string(cell_violations), worst.empty() ? "-" : worst});
+    }
 
     // Shrink phase: each journal's replay probes fan out on the executor.
     for (auto& f : failures) {
       if (opt.get_flag("no-shrink") || f.shrink_skipped) {
         f.shrunk.minimal = f.result.trace;
         f.shrunk.still_fails = true;
+      } else if (f.object) {
+        f.shrunk = check::shrink_journal(
+            [&f](const std::vector<check::perturb_action>& candidate) {
+              return check::replay_object_check(f.oparams, candidate).failed();
+            },
+            f.result.trace, ex);
       } else {
         f.shrunk = check::shrink_trace(f.params, f.result.trace, ex);
       }
@@ -248,13 +350,19 @@ int main(int argc, char** argv) {
     table.emit(*fmt);
 
     for (const auto& f : failures) {
-      std::cout << "\nFAIL fixture=" << to_string(f.params.fix)
-                << " lock=" << locks::to_string(f.params.config.lock);
-      if (!f.params.config.params.policy.is_default()) {
-        std::cout << " policy=" << f.params.config.params.policy.name;
+      const auto& fcfg = f.object ? f.oparams.config : f.params.config;
+      if (f.object) {
+        std::cout << "\nFAIL object=" << fcfg.object
+                  << " lock=" << locks::to_string(fcfg.lock);
+      } else {
+        std::cout << "\nFAIL fixture=" << to_string(f.params.fix)
+                  << " lock=" << locks::to_string(fcfg.lock);
       }
-      std::cout << " profile=" << sim::to_string(f.params.config.perturb)
-                << " seed=" << f.params.config.seed << '\n';
+      if (!fcfg.params.policy.is_default()) {
+        std::cout << " policy=" << fcfg.params.policy.name;
+      }
+      std::cout << " profile=" << sim::to_string(fcfg.perturb)
+                << " seed=" << fcfg.seed << '\n';
       for (const auto& v : f.result.violations) {
         std::cout << "  violation: " << check::to_string(v) << '\n';
       }
@@ -272,11 +380,15 @@ int main(int argc, char** argv) {
         }
       }
       if (opt.get_flag("verbose")) {
-        std::cout << "  config: " << f.params.config.to_json() << '\n';
+        std::cout << "  config: " << fcfg.to_json() << '\n';
+      } else if (f.object) {
+        // The "object" key in the config selects the object replay path.
+        std::cout << "  reproduce: adx-check --config=<file with the JSON below>\n"
+                  << "  " << fcfg.to_json() << '\n';
       } else {
         std::cout << "  reproduce: adx-check --config=<file with the JSON below>"
                      " --fixture=" << to_string(f.params.fix) << '\n'
-                  << "  " << f.params.config.to_json() << '\n';
+                  << "  " << fcfg.to_json() << '\n';
       }
     }
 

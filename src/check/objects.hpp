@@ -1,0 +1,43 @@
+// Object checks: the runner's oracles applied to the src/objects adaptive
+// objects instead of a bare lock.
+//
+// Each object kind gets a fixed oversubscribed fixture workload plus a Ψ
+// driver, and is judged by:
+//   * the standard lock oracles (check/monitor.hpp) watching every stripe /
+//     entry lock the object owns — mutual exclusion, lost wakeups, deadlock;
+//   * a linearizability witness — a host-side shadow model fed from the
+//     object's commit hook must match the final content (hashmap), or a
+//     section counter must show every submitted section executed exactly
+//     once (monitor, covering the delegated path's lost-section risk);
+//   * a Ψ-atomicity witness — no guarded section may observe a mid-flight
+//     stripe rehash (the object's own psi_violations counter);
+//   * the livelock guard — the run must drain within the event budget.
+//
+// Runs are pure functions of (run_config, iterations): the same recording /
+// replay / shrink machinery as the lock fixtures applies, so a failing
+// object run prints a replayable config and a minimal journal.
+#pragma once
+
+#include "check/runner.hpp"
+
+namespace adx::check {
+
+struct object_check_params {
+  /// config.object selects the kind ("hashmap" or "monitor"); config.lock /
+  /// config.params configure the object's stripe or entry locks, and
+  /// config.object_policy (when non-default) overrides the object-level
+  /// adaptation policy.
+  adx::run_config config;
+  unsigned iterations{12};  ///< operations (or sections) per thread
+  oracle_params oracles{};
+  std::uint64_t max_events{20'000'000ULL};
+};
+
+/// One recording run: random perturber from (config.perturb, config.seed).
+[[nodiscard]] check_result run_object_check(const object_check_params& p);
+
+/// One replay run applying only `actions` from the journal.
+[[nodiscard]] check_result replay_object_check(const object_check_params& p,
+                                               const std::vector<perturb_action>& actions);
+
+}  // namespace adx::check

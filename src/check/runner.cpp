@@ -155,6 +155,16 @@ check_result replay_check(const check_params& p,
 shrink_result shrink_trace(const check_params& p,
                            const std::vector<perturb_action>& full,
                            exec::job_executor& ex) {
+  return shrink_journal(
+      [&p](const std::vector<perturb_action>& candidate) {
+        return replay_check(p, candidate).failed();
+      },
+      full, ex);
+}
+
+shrink_result shrink_journal(
+    const std::function<bool(const std::vector<perturb_action>&)>& fails,
+    const std::vector<perturb_action>& full, exec::job_executor& ex) {
   shrink_result out;
   out.minimal = full;
   // Greedy delta debugging over the action journal: try dropping chunks of
@@ -183,7 +193,7 @@ shrink_result shrink_trace(const check_params& p,
         const auto e = std::min(b + chunk, candidate.size());
         candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(b),
                         candidate.begin() + static_cast<std::ptrdiff_t>(e));
-        return replay_check(p, candidate).failed();
+        return fails(candidate);
       });
       if (hit == exec::job_executor::npos) {
         out.replays += static_cast<unsigned>(starts.size());
@@ -205,7 +215,7 @@ shrink_result shrink_trace(const check_params& p,
     chunk = (chunk + 1) / 2;
   }
   ++out.replays;
-  out.still_fails = replay_check(p, out.minimal).failed();
+  out.still_fails = fails(out.minimal);
   return out;
 }
 

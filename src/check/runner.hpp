@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -78,6 +79,14 @@ struct shrink_result {
 [[nodiscard]] shrink_result shrink_trace(const check_params& p,
                                          const std::vector<perturb_action>& full,
                                          exec::job_executor& ex);
+
+/// The generic ddmin engine behind shrink_trace: `fails(candidate)` replays
+/// the run with that journal subset and reports whether it still fails. The
+/// object checks (check/objects.hpp) shrink through this with their own
+/// replay function.
+[[nodiscard]] shrink_result shrink_journal(
+    const std::function<bool(const std::vector<perturb_action>&)>& fails,
+    const std::vector<perturb_action>& full, exec::job_executor& ex);
 
 /// Sequential convenience overload (one inline worker).
 [[nodiscard]] shrink_result shrink_trace(const check_params& p,

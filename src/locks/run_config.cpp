@@ -80,7 +80,14 @@ std::string run_config::to_json() const {
      << ",\"preempt_pct\":" << perturb.preempt_pct
      << ",\"latency_pct\":" << perturb.latency_pct
      << ",\"latency_spike_us\":" << perturb.latency_spike_us << '}';
-  os << ",\"seed\":" << seed << '}';
+  os << ",\"seed\":" << seed;
+  // The object axis is emitted only when set, so pure lock configs keep
+  // their historical shape (and replay journals stay byte-stable).
+  if (!object.empty()) os << ",\"object\":" << json_str(object);
+  if (!object_policy.is_default()) {
+    os << ",\"object_policy\":" << object_policy.to_json();
+  }
+  os << '}';
   return os.str();
 }
 
@@ -143,6 +150,10 @@ run_config run_config::from_json(std::string_view text) {
     read_num(to, "latency_spike_us", rc.perturb.latency_spike_us);
   }
   if (const auto* s = json_find(o, "seed")) rc.seed = s->number<std::uint64_t>();
+  if (const auto* ob = json_find(o, "object")) rc.object = ob->str();
+  if (const auto* op = json_find(o, "object_policy")) {
+    rc.object_policy = policy::policy_spec::from_json_value(*op);
+  }
   return rc;
 }
 

@@ -39,6 +39,13 @@ struct run_config {
   /// build time when nonzero here) and any seeded perturber built from this
   /// config. Zero means "keep machine.seed as-is".
   std::uint64_t seed{0};
+  /// Adaptive-object axis (src/objects): empty means a pure lock run;
+  /// otherwise an objects::object_kind name ("hashmap", "monitor"). Kept as
+  /// a string because run_config sits below the objects library.
+  std::string object;
+  /// Object-level adaptation policy (stripe-adapt / mode-adapt). The default
+  /// spec means "the object's own default policy".
+  policy::policy_spec object_policy{};
 
   friend bool operator==(const run_config&, const run_config&) = default;
 
@@ -74,6 +81,14 @@ struct run_config {
   }
   run_config& with_seed(std::uint64_t s) {
     seed = s;
+    return *this;
+  }
+  run_config& with_object(std::string kind) {
+    object = std::move(kind);
+    return *this;
+  }
+  run_config& with_object_policy(policy::policy_spec spec) {
+    object_policy = std::move(spec);
     return *this;
   }
 

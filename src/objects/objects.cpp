@@ -1,0 +1,40 @@
+#include "objects/objects.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace adx::objects {
+
+namespace {
+
+constexpr object_kind kAllKinds[] = {
+    object_kind::hashmap,
+    object_kind::monitor,
+};
+
+}  // namespace
+
+const char* to_string(object_kind k) {
+  switch (k) {
+    case object_kind::hashmap: return "hashmap";
+    case object_kind::monitor: return "monitor";
+  }
+  return "?";
+}
+
+object_kind parse_object_kind(std::string_view name) {
+  for (const auto k : kAllKinds) {
+    if (name == to_string(k)) return k;
+  }
+  std::string msg = "unknown object kind: " + std::string(name) + " (valid:";
+  for (const auto k : kAllKinds) {
+    msg += ' ';
+    msg += to_string(k);
+  }
+  msg += ')';
+  throw std::invalid_argument(msg);
+}
+
+std::span<const object_kind> all_object_kinds() { return kAllKinds; }
+
+}  // namespace adx::objects

@@ -1,0 +1,37 @@
+// adx::objects — adaptive objects beyond locks (§3, §7 "other objects").
+//
+// The paper's framework (state + attributes CV + reconfiguration Ψ + monitor
+// M + policy P) is demonstrated on locks; this library instantiates it for
+// two further object families on the same core:
+//   * adaptive_hash_map — a striped concurrent hash map whose stripe
+//     granularity is a Ψ-reconfigurable attribute (and whose per-stripe
+//     locks are themselves full reconfigurable locks, adapting
+//     independently);
+//   * adaptive_monitor — a monitor/CV wrapper whose execution mode switches
+//     between classic blocking entry and delegated (combining) execution.
+//
+// This header carries the object-kind sweep axis shared by adx-check and the
+// benches, mirroring locks::lock_kind.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace adx::objects {
+
+enum class object_kind {
+  hashmap,
+  monitor,
+};
+
+[[nodiscard]] const char* to_string(object_kind k);
+
+/// Parses an object-kind name (as printed by to_string); throws
+/// std::invalid_argument naming the valid kinds on unknown names.
+[[nodiscard]] object_kind parse_object_kind(std::string_view name);
+
+/// All object kinds, in declaration order — the sweep axis for adx-check's
+/// `--objects` and the benches.
+[[nodiscard]] std::span<const object_kind> all_object_kinds();
+
+}  // namespace adx::objects

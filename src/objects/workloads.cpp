@@ -1,0 +1,178 @@
+#include "objects/workloads.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "ct/context.hpp"
+#include "ct/runtime.hpp"
+#include "sim/rng.hpp"
+
+namespace adx::objects {
+
+namespace {
+
+/// The deterministic value stored for a key — presence plus this invariant
+/// is the whole content model, so the shadow only needs to track keys.
+std::int64_t value_of(std::uint64_t key) {
+  return static_cast<std::int64_t>(key * 2 + 1);
+}
+
+enum class map_op : std::uint8_t { insert, erase, find, global };
+
+}  // namespace
+
+map_workload_result run_map_workload(const map_workload_config& cfg) {
+  if (cfg.processors == 0 || cfg.processors > cfg.machine.nodes) {
+    throw std::invalid_argument("map workload: processors out of range");
+  }
+  if (cfg.threads == 0 || cfg.key_space == 0) {
+    throw std::invalid_argument("map workload: need threads and keys");
+  }
+
+  ct::runtime rt(cfg.machine);
+  map_config mc = cfg.map;
+  mc.nodes = cfg.machine.nodes;
+  adaptive_hash_map<std::uint64_t, std::int64_t> map(mc);
+
+  // Sequential shadow of the key set, maintained in linearization order by
+  // the commit hook (host code inside the guarded sections).
+  std::set<std::uint64_t> shadow;
+  map.set_commit_hook([&shadow](char op, const std::uint64_t& key, bool effect) {
+    if (op == 'i' && effect) shadow.insert(key);
+    if (op == 'e' && effect) shadow.erase(key);
+  });
+
+  // Pre-drawn per-thread op streams.
+  sim::rng r(cfg.seed);
+  std::vector<std::vector<map_op>> ops(cfg.threads);
+  std::vector<std::vector<std::uint64_t>> keys(cfg.threads);
+  std::vector<std::vector<double>> jitter(cfg.threads);
+  for (unsigned t = 0; t < cfg.threads; ++t) {
+    ops[t].reserve(cfg.ops_per_thread);
+    keys[t].reserve(cfg.ops_per_thread);
+    jitter[t].reserve(cfg.ops_per_thread);
+    for (std::uint64_t i = 0; i < cfg.ops_per_thread; ++i) {
+      const double u = r.uniform01();
+      map_op op = map_op::find;
+      if (u < cfg.insert_fraction) {
+        op = map_op::insert;
+      } else if (u < cfg.insert_fraction + cfg.erase_fraction) {
+        op = map_op::erase;
+      } else if (u < cfg.insert_fraction + cfg.erase_fraction + cfg.global_fraction) {
+        op = map_op::global;
+      }
+      ops[t].push_back(op);
+      keys[t].push_back(r.below(cfg.key_space));
+      jitter[t].push_back(0.5 + r.uniform01());
+    }
+  }
+
+  std::uint64_t done_ops = 0;
+  for (unsigned t = 0; t < cfg.threads; ++t) {
+    rt.fork(t % cfg.processors, [&, t](ct::context& ctx) -> ct::task<void> {
+      for (std::uint64_t i = 0; i < cfg.ops_per_thread; ++i) {
+        const auto key = keys[t][i];
+        switch (ops[t][i]) {
+          case map_op::insert:
+            co_await map.insert(ctx, key, value_of(key));
+            break;
+          case map_op::erase:
+            co_await map.erase(ctx, key);
+            break;
+          case map_op::find:
+            co_await map.find(ctx, key);
+            break;
+          case map_op::global:
+            co_await map.size_slow(ctx);
+            break;
+        }
+        ++done_ops;
+        co_await ctx.sleep_for(sim::nanoseconds(static_cast<std::int64_t>(
+            static_cast<double>(cfg.think.ns) * jitter[t][i])));
+      }
+    });
+  }
+
+  const auto run = rt.run_all(cfg.max_events);
+
+  map_workload_result res;
+  res.elapsed = run.end_time;
+  res.total_ops = done_ops;
+  const double secs = static_cast<double>(res.elapsed.ns) / 1e9;
+  res.throughput = secs > 0 ? static_cast<double>(res.total_ops) / secs : 0.0;
+  res.final_stripes = map.active_stripes();
+  res.resizes = map.resizes();
+  res.psi_violations = map.psi_violations();
+  res.final_size = map.size_fast();
+
+  auto entries = map.snapshot_raw();
+  res.shadow_match = entries.size() == shadow.size();
+  if (res.shadow_match) {
+    std::sort(entries.begin(), entries.end());
+    auto it = shadow.begin();
+    for (const auto& [k, v] : entries) {
+      if (k != *it || v != value_of(k)) {
+        res.shadow_match = false;
+        break;
+      }
+      ++it;
+    }
+  }
+
+  for (unsigned s = 0; s < map.max_stripes(); ++s) {
+    const auto& st = map.stripe_lock(s).stats();
+    res.stripe_contended += st.contended();
+    res.stripe_blocks += st.blocks();
+    res.stripe_spins += st.spin_iterations();
+  }
+  return res;
+}
+
+monitor_workload_result run_monitor_workload(const monitor_workload_config& cfg) {
+  if (cfg.processors == 0 || cfg.processors > cfg.machine.nodes) {
+    throw std::invalid_argument("monitor workload: processors out of range");
+  }
+  if (cfg.threads == 0) {
+    throw std::invalid_argument("monitor workload: need threads");
+  }
+
+  ct::runtime rt(cfg.machine);
+  adaptive_monitor mon(cfg.mon);
+
+  sim::rng r(cfg.seed);
+  std::vector<std::vector<double>> jitter(cfg.threads);
+  for (unsigned t = 0; t < cfg.threads; ++t) {
+    jitter[t].reserve(cfg.ops_per_thread);
+    for (std::uint64_t i = 0; i < cfg.ops_per_thread; ++i) {
+      jitter[t].push_back(0.5 + r.uniform01());
+    }
+  }
+
+  std::uint64_t counter = 0;  // mutated only inside monitor sections
+  for (unsigned t = 0; t < cfg.threads; ++t) {
+    rt.fork(t % cfg.processors, [&, t](ct::context& ctx) -> ct::task<void> {
+      for (std::uint64_t i = 0; i < cfg.ops_per_thread; ++i) {
+        co_await ctx.compute(sim::nanoseconds(static_cast<std::int64_t>(
+            static_cast<double>(cfg.outside.ns) * jitter[t][i])));
+        co_await mon.execute(ctx, cfg.section, [&counter] { ++counter; });
+      }
+    });
+  }
+
+  const auto run = rt.run_all(cfg.max_events);
+
+  monitor_workload_result res;
+  res.elapsed = run.end_time;
+  res.total_ops = static_cast<std::uint64_t>(cfg.threads) * cfg.ops_per_thread;
+  const double secs = static_cast<double>(res.elapsed.ns) / 1e9;
+  res.throughput = secs > 0 ? static_cast<double>(res.total_ops) / secs : 0.0;
+  res.counter = counter;
+  res.final_mode = mon.mode();
+  res.delegated = mon.delegated();
+  res.combines = mon.combines();
+  res.mode_switches = mon.mode_switches();
+  return res;
+}
+
+}  // namespace adx::objects

@@ -17,6 +17,8 @@
 #include "locks/adaptive_lock.hpp"
 #include "locks/reconfigurable_lock.hpp"
 #include "locks/scheduler.hpp"
+#include "objects/adaptive_hash_map.hpp"
+#include "objects/adaptive_monitor.hpp"
 #include "perf/probes.hpp"
 #include "policy/registry.hpp"
 #include "sim/event_queue.hpp"
@@ -477,6 +479,219 @@ scenario_result run_abl_policy() {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// src/objects: striped hash map, fixed vs adaptive stripe granularity. The
+// coarse column wins global sweeps (size_slow touches every stripe lock),
+// the fine column wins point-op contention; the adaptive column must track
+// whichever tradeoff the current shape rewards.
+// ---------------------------------------------------------------------------
+
+enum class map_mix { insert, find, mixed };
+
+struct map_run_out {
+  double virtual_ms = 0;
+  unsigned final_stripes = 0;
+  std::uint64_t resizes = 0;
+};
+
+map_run_out run_map_workload(map_mix mix, unsigned procs, unsigned threads,
+                             unsigned fixed_stripes, bool adaptive,
+                             std::uint64_t seed) {
+  ct::runtime rt(sim::machine_config::test_machine(procs));
+
+  objects::map_config mc;
+  mc.min_stripes = adaptive ? 4 : fixed_stripes;
+  mc.max_stripes = adaptive ? 64 : fixed_stripes;
+  mc.initial_stripes = mc.min_stripes;
+  mc.stripe_factor = 4;  // 4 -> 16 -> 64
+  mc.buckets_per_stripe = 8;
+  mc.nodes = procs;
+  mc.adaptive = adaptive;
+  // The oversubscribed shapes run 3 threads per processor: use the bounded
+  // spin-then-block idle rule for the stripe locks (§4's multiprogramming
+  // caveat — an unbounded idle spin can starve a ready stripe holder).
+  mc.lock_params.adapt.pure_spin_on_idle = false;
+  // Per-object policy tuning (the §4 caveat applies to the map policy too):
+  // the default confirm/cooldown admits transient queue-skew spikes, which
+  // on this workload thrashes grow/shrink cycles — each one a full quiesce.
+  // With 2% global sweeps every extra stripe makes each sweep costlier, so
+  // growth has to clear a high bar: a wide deadband (skew 6, load 400) plus
+  // longer confirmation keeps Ψ for sustained signals and lets the map hold
+  // coarse striping when the sweep tax outweighs point-op relief.
+  mc.spec = objects::default_map_spec()
+                .with_param("skew-grow", 6)
+                .with_param("load-grow", 400)
+                .with_param("load-shrink", 40)
+                .with_param("confirm", 3)
+                .with_param("cooldown", 16);
+  objects::adaptive_hash_map<std::uint64_t, std::int64_t> map(mc);
+
+  // The point-op working set scales with the thread count, as a live cache
+  // would: the oversubscribed shape carries 4x the keys, so coarse striping
+  // pays long chains exactly when contention is also at its worst.
+  const std::uint64_t key_space = 40 * std::max(1u, threads / 6);
+  constexpr std::uint64_t kInsertSpace = 256;  // insert bench key range
+  constexpr unsigned kOps = 220;
+
+  // Pre-drawn per-thread streams: scheduling cannot perturb the draws.
+  sim::rng r(seed);
+  std::vector<std::vector<double>> u(threads), jit(threads);
+  std::vector<std::vector<std::uint64_t>> key(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    for (unsigned i = 0; i < kOps; ++i) {
+      u[t].push_back(r.uniform01());
+      key[t].push_back(r.below(mix == map_mix::insert ? kInsertSpace : key_space));
+      jit[t].push_back(r.uniform01());
+    }
+  }
+
+  if (mix == map_mix::find) {
+    // Preload the working set so every probe traverses a realistic chain.
+    rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+      for (std::uint64_t k = 0; k < key_space; ++k) {
+        co_await map.insert(ctx, k, static_cast<std::int64_t>(k));
+      }
+    });
+    rt.run_all();
+  }
+
+  for (unsigned t = 0; t < threads; ++t) {
+    rt.fork(t % procs, [&, t](ct::context& ctx) -> ct::task<void> {
+      for (unsigned i = 0; i < kOps; ++i) {
+        const auto k = key[t][i];
+        switch (mix) {
+          case map_mix::insert:
+            co_await map.insert(ctx, k, static_cast<std::int64_t>(k));
+            break;
+          case map_mix::find:
+            co_await map.find(ctx, k);
+            break;
+          case map_mix::mixed:
+            if (u[t][i] < 0.40) {
+              co_await map.insert(ctx, k, static_cast<std::int64_t>(k));
+            } else if (u[t][i] < 0.78) {
+              co_await map.find(ctx, k);
+            } else if (u[t][i] < 0.98) {
+              co_await map.erase(ctx, k);
+            } else {
+              co_await map.size_slow(ctx);  // ~2% global ops
+            }
+            break;
+        }
+        co_await ctx.sleep_for(sim::nanoseconds(
+            500 + static_cast<std::int64_t>(1500.0 * jit[t][i])));
+      }
+    });
+  }
+  const auto t0 = rt.now();
+  rt.run_all();
+
+  map_run_out out;
+  out.virtual_ms = (rt.now() - t0).ms();
+  out.final_stripes = map.active_stripes();
+  out.resizes = map.resizes();
+  return out;
+}
+
+scenario_result run_hashmap_bench(map_mix mix) {
+  const struct {
+    const char* tag;
+    unsigned procs, threads;
+  } shapes[] = {{"low", 6, 6}, {"high", 8, 24}};
+  const struct {
+    const char* tag;
+    unsigned stripes;  // 0 = adaptive 4..64
+  } cols[] = {{"fixed4", 4}, {"fixed64", 64}, {"adaptive", 0}};
+
+  scenario_result r;
+  for (const auto& s : shapes) {
+    for (const auto& c : cols) {
+      const auto out = run_map_workload(mix, s.procs, s.threads,
+                                        c.stripes == 0 ? 4 : c.stripes,
+                                        /*adaptive=*/c.stripes == 0, /*seed=*/41);
+      r.metrics.push_back({std::string(s.tag) + "_" + c.tag + "_virtual_ms", "ms",
+                           kVirtual, out.virtual_ms});
+      if (c.stripes == 0) {
+        r.metrics.push_back({std::string(s.tag) + "_adaptive_final_stripes", "count",
+                             kVirtual, static_cast<double>(out.final_stripes)});
+      }
+    }
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// src/objects: monitor execution-mode ablation. Under saturation every
+// section serializes through the monitor either way, so delegated
+// (combining) wins by replacing a handoff+wake per section with batched
+// execution — decisively so at the long shape where classic's wake chain
+// compounds; the mode-adapt column starts classic and must learn to
+// delegate on both shapes.
+// ---------------------------------------------------------------------------
+
+double run_monitor_workload(std::int64_t initial_mode, bool adaptive,
+                            sim::vdur section, std::uint64_t seed) {
+  constexpr unsigned kProcs = 4;
+  constexpr unsigned kThreads = 12;
+  constexpr unsigned kOps = 120;
+  ct::runtime rt(sim::machine_config::test_machine(kProcs));
+
+  objects::monitor_config mc;
+  mc.initial_mode = initial_mode;
+  mc.adaptive = adaptive;
+  // Both shapes keep the monitor saturated (12 threads, 4 procs), where
+  // delegation's batched execution avoids a handoff+wake per section; widen
+  // the delegate band so the 60us shape is inside it rather than in the
+  // default 30..80us hold band, and reserve classic for truly long sections.
+  mc.spec = objects::default_monitor_spec()
+                .with_param("delegate-below-us", 70)
+                .with_param("classic-above-us", 120);
+  objects::adaptive_monitor mon(mc);
+
+  sim::rng r(seed);
+  std::vector<std::vector<double>> jit(kThreads);
+  for (auto& v : jit) {
+    for (unsigned i = 0; i < kOps; ++i) v.push_back(r.uniform01());
+  }
+
+  std::uint64_t counter = 0;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    rt.fork(t % kProcs, [&, t](ct::context& ctx) -> ct::task<void> {
+      for (unsigned i = 0; i < kOps; ++i) {
+        co_await mon.execute(ctx, section, [&counter] { ++counter; });
+        co_await ctx.sleep_for(sim::nanoseconds(
+            1000 + static_cast<std::int64_t>(3000.0 * jit[t][i])));
+      }
+    });
+  }
+  const auto t0 = rt.now();
+  rt.run_all();
+  return (rt.now() - t0).ms();
+}
+
+scenario_result run_monitor_delegation() {
+  const struct {
+    const char* tag;
+    sim::vdur section;
+  } shapes[] = {{"short", sim::microseconds(4)}, {"long", sim::microseconds(60)}};
+  const struct {
+    const char* tag;
+    std::int64_t mode;
+    bool adaptive;
+  } cols[] = {{"classic", objects::adaptive_monitor::kClassic, false},
+              {"delegated", objects::adaptive_monitor::kDelegated, false},
+              {"adaptive", objects::adaptive_monitor::kClassic, true}};
+  scenario_result r;
+  for (const auto& s : shapes) {
+    for (const auto& c : cols) {
+      r.metrics.push_back({std::string(s.tag) + "_" + c.tag + "_virtual_ms", "ms",
+                           kVirtual,
+                           run_monitor_workload(c.mode, c.adaptive, s.section, 43)});
+    }
+  }
+  return r;
+}
+
 std::vector<scenario> make_registry() {
   std::vector<scenario> out;
   const auto add = [&](std::string name, std::string desc,
@@ -525,6 +740,14 @@ std::vector<scenario> make_registry() {
       run_abl_threshold);
   add("bench_abl_policy", "ablation: adaptation-policy family over the Fig. 1 grid",
       run_abl_policy);
+  add("bench_hashmap_insert", "objects: hash-map insert storm, fixed vs adaptive stripes",
+      [] { return run_hashmap_bench(map_mix::insert); });
+  add("bench_hashmap_find", "objects: hash-map read-only probes, fixed vs adaptive stripes",
+      [] { return run_hashmap_bench(map_mix::find); });
+  add("bench_hashmap_mixed", "objects: hash-map mixed ops + 2% global sweeps, fixed vs adaptive",
+      [] { return run_hashmap_bench(map_mix::mixed); });
+  add("bench_monitor_delegation", "objects: monitor classic vs delegated vs mode-adapt",
+      run_monitor_delegation);
   return out;
 }
 

@@ -116,11 +116,12 @@ void install(locks::adaptive_lock& lk, const locks::lock_params& params,
                      : spec.sensors;
 
   // The spec's monitor replaces the lock's built-in one (which carried only
-  // the hard-wired waiting-count sensor).
-  lk.object_monitor().clear_sensors();
-  for (const auto& s : sensors) {
-    lk.object_monitor().add_sensor(make_lock_sensor(s.name, lk, s.period));
-  }
+  // the hard-wired waiting-count sensor), through the object-generic path.
+  // The engine aggregates observations itself, so the monitor registers the
+  // sensors unfolded (fold_in_monitor = false keeps decisions bit-identical
+  // to the pre-sensor_host wiring).
+  lock_sensor_host host(lk);
+  install_sensors(lk, host, sensors, /*fold_in_monitor=*/false);
 
   auto core = entry.make(spec, params.adapt, cost);
   // Wrappers are listed outermost-first; build inside-out.

@@ -1,0 +1,47 @@
+#include "policy/sensor_host.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace adx::policy {
+
+void sensor_host::throw_unknown_sensor(std::string_view name,
+                                       std::span<const std::string_view> valid) {
+  std::string msg = "unknown sensor: " + std::string(name) + " (valid:";
+  for (const auto n : valid) {
+    msg += ' ';
+    msg += n;
+  }
+  msg += ')';
+  throw std::invalid_argument(msg);
+}
+
+core::sensor_aggregation to_core_aggregation(const sensor_spec& s) {
+  switch (s.agg) {
+    case aggregation::last_value: return core::sensor_aggregation::last_value();
+    case aggregation::ewma: return core::sensor_aggregation::ewma(s.ewma_alpha);
+    case aggregation::max_in_window:
+      return core::sensor_aggregation::max_in_window(s.window);
+  }
+  return {};
+}
+
+void install_sensors(core::adaptive_object& obj, sensor_host& host,
+                     std::span<const sensor_spec> specs, bool fold_in_monitor) {
+  // Validate the whole list first so a bad name cannot leave the monitor
+  // half-replaced.
+  const auto valid = host.sensor_names();
+  for (const auto& s : specs) {
+    bool known = false;
+    for (const auto n : valid) known = known || n == s.name;
+    if (!known) sensor_host::throw_unknown_sensor(s.name, valid);
+  }
+  obj.object_monitor().clear_sensors();
+  for (const auto& s : specs) {
+    obj.object_monitor().add_sensor(
+        host.make_sensor(s.name, s.period),
+        fold_in_monitor ? to_core_aggregation(s) : core::sensor_aggregation{});
+  }
+}
+
+}  // namespace adx::policy

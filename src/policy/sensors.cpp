@@ -52,13 +52,7 @@ core::sensor make_lock_sensor(std::string_view name, locks::reconfigurable_lock&
         },
         period);
   }
-  std::string msg = "unknown sensor: " + std::string(name) + " (valid:";
-  for (auto n : kSensorNames) {
-    msg += ' ';
-    msg += n;
-  }
-  msg += ')';
-  throw std::invalid_argument(msg);
+  sensor_host::throw_unknown_sensor(name, kSensorNames);
 }
 
 }  // namespace adx::policy

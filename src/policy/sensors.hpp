@@ -6,6 +6,12 @@
 // state the lock already maintains — attaching any of them charges no extra
 // virtual time beyond the per-observation sample cost the feedback loop
 // already bills.
+//
+// The catalogue is exposed two ways: the historical `make_lock_sensor`
+// free function, and `lock_sensor_host` — the lock's implementation of the
+// object-generic `policy::sensor_host` concept, which routes the same
+// catalogue through the shared `install_sensors` path the adaptive hash map
+// and adaptive monitor use.
 #pragma once
 
 #include <span>
@@ -13,6 +19,7 @@
 
 #include "core/sensor.hpp"
 #include "locks/reconfigurable_lock.hpp"
+#include "policy/sensor_host.hpp"
 
 namespace adx::policy {
 
@@ -28,5 +35,25 @@ namespace adx::policy {
 [[nodiscard]] core::sensor make_lock_sensor(std::string_view name,
                                             locks::reconfigurable_lock& lk,
                                             std::uint64_t period);
+
+/// The reconfigurable lock's `sensor_host` view: the adapter that lets the
+/// lock family share the object-generic sensor-install path. The wrapped
+/// lock must outlive any sensor built here.
+class lock_sensor_host final : public sensor_host {
+ public:
+  explicit lock_sensor_host(locks::reconfigurable_lock& lk) : lk_(&lk) {}
+
+  [[nodiscard]] std::span<const std::string_view> sensor_names() const override {
+    return all_sensor_names();
+  }
+
+  [[nodiscard]] core::sensor make_sensor(std::string_view name,
+                                         std::uint64_t period) override {
+    return make_lock_sensor(name, *lk_, period);
+  }
+
+ private:
+  locks::reconfigurable_lock* lk_;
+};
 
 }  // namespace adx::policy

@@ -1,0 +1,81 @@
+#include "check/objects.hpp"
+
+#include <gtest/gtest.h>
+
+#include "objects/object_policy.hpp"
+
+#include <stdexcept>
+
+namespace adx::check {
+namespace {
+
+object_check_params point(const char* object, std::uint64_t seed,
+                          sim::perturb_profile profile = sim::perturb_profile::preempt()) {
+  object_check_params p;
+  p.config = run_config{}
+                 .with_machine(sim::machine_config::test_machine(4))
+                 .with_lock(object == std::string("hashmap") ? locks::lock_kind::adaptive
+                                                             : locks::lock_kind::blocking)
+                 .with_perturb(profile)
+                 .with_seed(seed)
+                 .with_object(object);
+  p.iterations = 10;
+  return p;
+}
+
+TEST(ObjectCheck, HashmapPassesEveryOracle) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto r = run_object_check(point("hashmap", seed));
+    EXPECT_TRUE(r.completed) << "seed " << seed;
+    for (const auto& v : r.violations) {
+      ADD_FAILURE() << "seed " << seed << ": " << to_string(v);
+    }
+  }
+}
+
+TEST(ObjectCheck, MonitorPassesEveryOracle) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto r = run_object_check(point("monitor", seed));
+    EXPECT_TRUE(r.completed) << "seed " << seed;
+    for (const auto& v : r.violations) {
+      ADD_FAILURE() << "seed " << seed << ": " << to_string(v);
+    }
+  }
+}
+
+TEST(ObjectCheck, RunsAreDeterministic) {
+  for (const char* object : {"hashmap", "monitor"}) {
+    const auto a = run_object_check(point(object, 7, sim::perturb_profile::chaos()));
+    const auto b = run_object_check(point(object, 7, sim::perturb_profile::chaos()));
+    EXPECT_EQ(a.end_time.ns, b.end_time.ns) << object;
+    EXPECT_EQ(a.events, b.events) << object;
+    EXPECT_EQ(a.trace, b.trace) << object;
+  }
+}
+
+TEST(ObjectCheck, ReplayWithFullJournalReproducesTheRun) {
+  const auto p = point("hashmap", 11, sim::perturb_profile::delay());
+  const auto rec = run_object_check(p);
+  const auto rep = replay_object_check(p, rec.trace);
+  EXPECT_EQ(rep.end_time.ns, rec.end_time.ns);
+  EXPECT_EQ(rep.events, rec.events);
+  EXPECT_EQ(rep.violations.size(), rec.violations.size());
+}
+
+TEST(ObjectCheck, UnknownObjectKindThrows) {
+  auto p = point("hashmap", 1);
+  p.config.object = "btree";
+  EXPECT_THROW((void)run_object_check(p), std::invalid_argument);
+}
+
+TEST(ObjectCheck, ObjectPolicyOverrideIsApplied) {
+  // A valid override runs clean; a wrong-family policy name must fail fast.
+  auto p = point("hashmap", 2);
+  p.config.object_policy = objects::default_map_spec().with_param("load-grow", 120);
+  EXPECT_TRUE(run_object_check(p).violations.empty());
+  p.config.object_policy = policy::policy_spec{}.with_name("mode-adapt");
+  EXPECT_THROW((void)run_object_check(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adx::check

@@ -100,5 +100,25 @@ TEST(RunConfig, FluentBuilderSetsEveryField) {
   EXPECT_EQ(rc.seed, 5u);
 }
 
+TEST(RunConfig, ObjectAxisRoundTripsThroughJson) {
+  auto spec = policy::policy_spec{}.with_name("stripe-adapt").with_param("load-grow", 120);
+  const auto rc = run_config{}.with_object("hashmap").with_object_policy(spec).with_seed(3);
+  const auto back = run_config::from_json(rc.to_json());
+  EXPECT_EQ(back, rc);
+  EXPECT_EQ(back.object, "hashmap");
+  EXPECT_EQ(back.object_policy.name, "stripe-adapt");
+  EXPECT_EQ(back.object_policy.params.at("load-grow"), 120.0);
+}
+
+TEST(RunConfig, ObjectAxisIsOmittedFromPureLockConfigs) {
+  const auto rc = run_config{};
+  const auto text = rc.to_json();
+  EXPECT_EQ(text.find("\"object\""), std::string::npos) << text;
+  EXPECT_EQ(text.find("\"object_policy\""), std::string::npos) << text;
+  const auto back = run_config::from_json(text);
+  EXPECT_TRUE(back.object.empty());
+  EXPECT_TRUE(back.object_policy.is_default());
+}
+
 }  // namespace
 }  // namespace adx

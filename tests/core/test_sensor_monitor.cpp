@@ -119,5 +119,68 @@ TEST(Monitor, ModeSwitchable) {
   EXPECT_EQ(m.backlog(), 1u);
 }
 
+TEST(Monitor, AggregationFoldsPerSensor) {
+  monitor m(coupling::closely_coupled);
+  int v = 0;
+  m.add_sensor(sensor("raw", [&] { return v; }, 1));
+  m.add_sensor(sensor("smooth", [&] { return v; }, 1), sensor_aggregation::ewma(0.5));
+  m.add_sensor(sensor("peak", [&] { return v; }, 1), sensor_aggregation::max_in_window(2));
+  v = 8;
+  auto due = m.trigger();
+  ASSERT_EQ(due.size(), 3u);
+  EXPECT_EQ(due[0].value, 8);  // last value
+  EXPECT_EQ(due[1].value, 8);  // ewma primes on the first sample
+  EXPECT_EQ(due[2].value, 8);
+  v = 0;
+  due = m.trigger();
+  EXPECT_EQ(due[0].value, 0);
+  EXPECT_EQ(due[1].value, 4);  // 0.5*0 + 0.5*8
+  EXPECT_EQ(due[2].value, 8);  // window of 2 still holds the peak
+  due = m.trigger();
+  EXPECT_EQ(due[1].value, 2);
+  EXPECT_EQ(due[2].value, 0);  // peak aged out of the window
+}
+
+TEST(Monitor, MaxInWindowZeroWindowActsAsLastValue) {
+  monitor m(coupling::closely_coupled);
+  int v = 9;
+  m.add_sensor(sensor("w", [&] { return v; }, 1), sensor_aggregation::max_in_window(0));
+  EXPECT_EQ(m.trigger()[0].value, 9);
+  v = 3;
+  EXPECT_EQ(m.trigger()[0].value, 3);
+}
+
+TEST(Monitor, ClearSensorsResetsAggregationState) {
+  // Regression: clear_sensors used to keep the per-sensor fold state (and
+  // queued loosely-coupled observations), so a re-installed sensor set
+  // started from aggregates a previous policy had primed.
+  monitor m(coupling::closely_coupled);
+  int v = 100;
+  m.add_sensor(sensor("s", [&] { return v; }, 1), sensor_aggregation::ewma(0.25));
+  m.add_sensor(sensor("p", [&] { return v; }, 1), sensor_aggregation::max_in_window(8));
+  (void)m.trigger();
+  EXPECT_EQ(m.aggregated_value(0), 100);
+  EXPECT_EQ(m.aggregated_value(1), 100);
+
+  m.clear_sensors();
+  EXPECT_EQ(m.sensor_count(), 0u);
+  v = 0;
+  m.add_sensor(sensor("s", [&] { return v; }, 1), sensor_aggregation::ewma(0.25));
+  m.add_sensor(sensor("p", [&] { return v; }, 1), sensor_aggregation::max_in_window(8));
+  const auto due = m.trigger();
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0].value, 0) << "EWMA accumulator survived clear_sensors";
+  EXPECT_EQ(due[1].value, 0) << "max-in-window history survived clear_sensors";
+}
+
+TEST(Monitor, ClearSensorsDropsQueuedObservations) {
+  monitor m(coupling::loosely_coupled);
+  m.add_sensor(sensor("a", [] { return 1; }, 1));
+  (void)m.trigger();
+  EXPECT_EQ(m.backlog(), 1u);
+  m.clear_sensors();
+  EXPECT_EQ(m.backlog(), 0u) << "stale observations outlived their sensors";
+}
+
 }  // namespace
 }  // namespace adx::core

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/objects.hpp"
 #include "check/runner.hpp"
 #include "exec/job_executor.hpp"
 #include "perf/scenario.hpp"
@@ -136,6 +137,45 @@ TEST(ParallelRuns, CheckSweepMatchesSequentialBitForBit) {
     EXPECT_EQ(par[i].events, seq[i].events) << "i=" << i;
     EXPECT_EQ(par[i].violations.size(), seq[i].violations.size()) << "i=" << i;
     EXPECT_EQ(par[i].trace, seq[i].trace) << "i=" << i;
+  }
+}
+
+TEST(ParallelRuns, ObjectCheckSweepMatchesSequentialBitForBit) {
+  // The adx-check --objects axis: object kinds x seeds fanned out exactly as
+  // main.cpp does. Concurrent run_object_check calls build concurrent maps,
+  // monitors, stripe locks and shadow models — each must stay instance-scoped.
+  std::vector<check::object_check_params> points;
+  for (const char* object : {"hashmap", "monitor"}) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      check::object_check_params p;
+      p.config = run_config{}
+                     .with_machine(sim::machine_config::test_machine(4))
+                     .with_lock(object == std::string("hashmap")
+                                    ? locks::lock_kind::adaptive
+                                    : locks::lock_kind::blocking)
+                     .with_perturb(sim::perturb_profile::chaos())
+                     .with_seed(seed)
+                     .with_object(object);
+      p.iterations = 8;
+      points.push_back(std::move(p));
+    }
+  }
+  std::vector<check::check_result> seq;
+  seq.reserve(points.size());
+  for (const auto& p : points) seq.push_back(check::run_object_check(p));
+
+  for (const unsigned jobs : {1u, 4u}) {
+    exec::job_executor ex(jobs);
+    const auto par = ex.map(points.size(), [&](std::size_t i) {
+      return check::run_object_check(points[i]);
+    });
+    ASSERT_EQ(par.size(), seq.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      EXPECT_EQ(par[i].end_time.ns, seq[i].end_time.ns) << "jobs=" << jobs << " i=" << i;
+      EXPECT_EQ(par[i].events, seq[i].events) << "i=" << i;
+      EXPECT_EQ(par[i].violations.size(), seq[i].violations.size()) << "i=" << i;
+      EXPECT_EQ(par[i].trace, seq[i].trace) << "i=" << i;
+    }
   }
 }
 

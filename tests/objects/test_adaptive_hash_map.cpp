@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+
+#include "ct/context.hpp"
+#include "ct/runtime.hpp"
+#include "objects/adaptive_hash_map.hpp"
+#include "objects/workloads.hpp"
+
+namespace adx::objects {
+namespace {
+
+map_config small_map(unsigned stripes = 4, bool adaptive = false) {
+  map_config mc;
+  mc.min_stripes = stripes;
+  mc.max_stripes = stripes;
+  mc.initial_stripes = stripes;
+  mc.buckets_per_stripe = 2;
+  mc.lock = locks::lock_kind::spin;
+  mc.cost = locks::lock_cost_model::fast_test();
+  mc.nodes = 4;
+  mc.adaptive = adaptive;
+  return mc;
+}
+
+TEST(AdaptiveHashMap, PointOperationsBehaveLikeAMap) {
+  ct::runtime rt(sim::machine_config::test_machine(4));
+  adaptive_hash_map<std::uint64_t, std::int64_t> map(small_map());
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    EXPECT_TRUE(co_await map.insert(ctx, 7, 70));
+    EXPECT_FALSE(co_await map.insert(ctx, 7, 71));  // assign, not insert
+    EXPECT_TRUE(co_await map.insert(ctx, 15, 150));
+    const auto v = co_await map.find(ctx, 7);
+    EXPECT_EQ(v.value_or(-1), 71);
+    EXPECT_FALSE((co_await map.find(ctx, 99)).has_value());
+    EXPECT_TRUE(co_await map.erase(ctx, 7));
+    EXPECT_FALSE(co_await map.erase(ctx, 7));
+    EXPECT_FALSE((co_await map.find(ctx, 7)).has_value());
+    co_await map.update(ctx, 15, [](std::int64_t& x) { x += 1; });
+    co_await map.update(ctx, 20, [](std::int64_t& x) { x += 5; }, 100);
+    const auto n = co_await map.size_slow(ctx);
+    EXPECT_EQ(n, 2u);
+  });
+  rt.run_all();
+  EXPECT_EQ(map.size_fast(), 2u);
+  const auto entries = map.snapshot_raw();
+  ASSERT_EQ(entries.size(), 2u);
+}
+
+TEST(AdaptiveHashMap, ExplicitStripeReconfigurationPreservesContent) {
+  map_config mc = small_map();
+  mc.min_stripes = 2;
+  mc.max_stripes = 8;
+  mc.initial_stripes = 2;
+  ct::runtime rt(sim::machine_config::test_machine(4));
+  adaptive_hash_map<std::uint64_t, std::int64_t> map(mc);
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    for (std::uint64_t k = 0; k < 40; ++k) co_await map.insert(ctx, k, std::int64_t(k));
+    const auto gen_before = map.config_generation();
+    co_await map.reconfigure_stripes(ctx, 8);
+    EXPECT_EQ(map.active_stripes(), 8u);
+    EXPECT_GT(map.config_generation(), gen_before);
+    EXPECT_EQ(map.attributes().value("active-stripes"), 8);
+    for (std::uint64_t k = 0; k < 40; ++k) {
+      const auto v = co_await map.find(ctx, k);
+      EXPECT_EQ(v.value_or(-1), std::int64_t(k)) << "key " << k;
+    }
+    co_await map.reconfigure_stripes(ctx, 2);
+    EXPECT_EQ(map.active_stripes(), 2u);
+    EXPECT_EQ(co_await map.size_slow(ctx), 40u);
+  });
+  rt.run_all();
+  EXPECT_EQ(map.resizes(), 2u);
+  EXPECT_EQ(map.psi_violations(), 0u);
+}
+
+TEST(AdaptiveHashMap, ReconfigurationChargesPsiCostAndLedger) {
+  map_config mc = small_map();
+  mc.min_stripes = 2;
+  mc.max_stripes = 4;
+  mc.initial_stripes = 2;
+  ct::runtime rt(sim::machine_config::test_machine(4));
+  adaptive_hash_map<std::uint64_t, std::int64_t> map(mc);
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    for (std::uint64_t k = 0; k < 10; ++k) co_await map.insert(ctx, k, 1);
+    co_await map.reconfigure_stripes(ctx, 4);
+  });
+  rt.run_all();
+  EXPECT_EQ(map.costs().reconfiguration_ops, 1u);
+  // One read + one write per moved entry plus the stripe-table write.
+  EXPECT_EQ(map.costs().reconfigurations.reads, 10u);
+  EXPECT_EQ(map.costs().reconfigurations.writes, 11u);
+}
+
+TEST(AdaptiveHashMap, ConcurrentWorkloadMatchesSequentialShadow) {
+  map_workload_config cfg;
+  cfg.processors = 4;
+  cfg.threads = 12;
+  cfg.ops_per_thread = 120;
+  cfg.key_space = 64;
+  cfg.machine = sim::machine_config::test_machine(4);
+  cfg.map = small_map(4, false);
+  cfg.map.lock = locks::lock_kind::adaptive;
+  const auto res = run_map_workload(cfg);
+  EXPECT_EQ(res.total_ops, 12u * 120u);
+  EXPECT_TRUE(res.shadow_match);
+  EXPECT_EQ(res.psi_violations, 0u);
+  EXPECT_GT(res.stripe_contended, 0u);
+}
+
+TEST(AdaptiveHashMap, AdaptiveWorkloadStaysLinearizableAcrossResizes) {
+  map_workload_config cfg;
+  cfg.processors = 4;
+  cfg.threads = 16;
+  cfg.ops_per_thread = 150;
+  cfg.key_space = 256;
+  cfg.insert_fraction = 0.6;
+  cfg.machine = sim::machine_config::test_machine(4);
+  cfg.map.min_stripes = 2;
+  cfg.map.max_stripes = 32;
+  cfg.map.initial_stripes = 2;
+  cfg.map.buckets_per_stripe = 2;
+  cfg.map.stripe_factor = 4;
+  cfg.map.lock = locks::lock_kind::spin;
+  cfg.map.cost = locks::lock_cost_model::fast_test();
+  cfg.map.adaptive = true;
+  const auto res = run_map_workload(cfg);
+  EXPECT_GT(res.resizes, 0u) << "workload never exercised the stripe Ψ";
+  EXPECT_TRUE(res.shadow_match);
+  EXPECT_EQ(res.psi_violations, 0u);
+}
+
+TEST(AdaptiveHashMap, GrowsUnderContentionShrinksWhenIdle) {
+  // Phase 1: heavy uniform contention on few stripes must grow the count.
+  map_workload_config grow;
+  grow.processors = 4;
+  grow.threads = 16;
+  grow.ops_per_thread = 200;
+  grow.key_space = 128;
+  grow.think = sim::microseconds(1);
+  grow.machine = sim::machine_config::test_machine(4);
+  grow.map.min_stripes = 2;
+  grow.map.max_stripes = 32;
+  grow.map.initial_stripes = 2;
+  grow.map.buckets_per_stripe = 2;
+  grow.map.lock = locks::lock_kind::spin;
+  grow.map.cost = locks::lock_cost_model::fast_test();
+  grow.map.adaptive = true;
+  const auto grown = run_map_workload(grow);
+  EXPECT_GT(grown.final_stripes, 2u);
+
+  // Phase 2: a single quiet thread on a near-empty map must shrink back.
+  ct::runtime rt(sim::machine_config::test_machine(4));
+  map_config mc = grow.map;
+  mc.initial_stripes = 32;
+  adaptive_hash_map<std::uint64_t, std::int64_t> map(mc);
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    for (std::uint64_t i = 0; i < 300; ++i) {
+      co_await map.find(ctx, i % 8);
+    }
+  });
+  rt.run_all();
+  EXPECT_LT(map.active_stripes(), 32u);
+}
+
+TEST(AdaptiveHashMap, WorkloadIsDeterministic) {
+  map_workload_config cfg;
+  cfg.processors = 4;
+  cfg.threads = 10;
+  cfg.ops_per_thread = 80;
+  cfg.key_space = 64;
+  cfg.machine = sim::machine_config::test_machine(4);
+  cfg.map.min_stripes = 2;
+  cfg.map.max_stripes = 16;
+  cfg.map.initial_stripes = 2;
+  cfg.map.lock = locks::lock_kind::adaptive;
+  cfg.map.cost = locks::lock_cost_model::fast_test();
+  const auto a = run_map_workload(cfg);
+  const auto b = run_map_workload(cfg);
+  EXPECT_EQ(a.elapsed.ns, b.elapsed.ns);
+  EXPECT_EQ(a.final_stripes, b.final_stripes);
+  EXPECT_EQ(a.resizes, b.resizes);
+  EXPECT_EQ(a.final_size, b.final_size);
+  EXPECT_EQ(a.stripe_blocks, b.stripe_blocks);
+
+  map_workload_config other = cfg;
+  other.seed = cfg.seed + 1;
+  const auto c = run_map_workload(other);
+  EXPECT_NE(a.elapsed.ns, c.elapsed.ns) << "seed should perturb the schedule";
+}
+
+TEST(AdaptiveHashMap, ValidatesConfiguration) {
+  map_config mc = small_map();
+  mc.min_stripes = 0;
+  EXPECT_THROW((adaptive_hash_map<std::uint64_t, std::int64_t>(mc)),
+               std::invalid_argument);
+  mc = small_map();
+  mc.initial_stripes = 99;
+  EXPECT_THROW((adaptive_hash_map<std::uint64_t, std::int64_t>(mc)),
+               std::invalid_argument);
+  mc = small_map();
+  mc.buckets_per_stripe = 0;
+  EXPECT_THROW((adaptive_hash_map<std::uint64_t, std::int64_t>(mc)),
+               std::invalid_argument);
+  mc = small_map();
+  mc.stripe_factor = 1;
+  EXPECT_THROW((adaptive_hash_map<std::uint64_t, std::int64_t>(mc)),
+               std::invalid_argument);
+}
+
+TEST(AdaptiveHashMap, IdentityHashPinsKeysToStripes) {
+  map_config mc = small_map(4);
+  mc.buckets_per_stripe = 1;
+  adaptive_hash_map<std::uint64_t, std::int64_t, identity_hash<std::uint64_t>> map(mc);
+  EXPECT_EQ(map.stripe_of(0), 0u);
+  EXPECT_EQ(map.stripe_of(1), 1u);
+  EXPECT_EQ(map.stripe_of(5), 1u);  // 5 % 4 buckets
+}
+
+}  // namespace
+}  // namespace adx::objects

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "ct/context.hpp"
+#include "ct/runtime.hpp"
+#include "objects/adaptive_monitor.hpp"
+#include "objects/workloads.hpp"
+
+namespace adx::objects {
+namespace {
+
+monitor_config fast_monitor(std::int64_t mode, bool adaptive) {
+  monitor_config mc;
+  mc.lock = locks::lock_kind::blocking;
+  mc.cost = locks::lock_cost_model::fast_test();
+  mc.initial_mode = mode;
+  mc.adaptive = adaptive;
+  return mc;
+}
+
+monitor_workload_config workload(monitor_config mc) {
+  monitor_workload_config cfg;
+  cfg.processors = 4;
+  cfg.threads = 12;
+  cfg.ops_per_thread = 60;
+  cfg.machine = sim::machine_config::test_machine(4);
+  cfg.mon = mc;
+  return cfg;
+}
+
+TEST(AdaptiveMonitor, ClassicModeExecutesEverySectionExactlyOnce) {
+  auto cfg = workload(fast_monitor(adaptive_monitor::kClassic, false));
+  const auto res = run_monitor_workload(cfg);
+  EXPECT_EQ(res.counter, res.total_ops);
+  EXPECT_EQ(res.final_mode, adaptive_monitor::kClassic);
+  EXPECT_EQ(res.delegated, 0u);
+}
+
+TEST(AdaptiveMonitor, DelegatedModeCombinesWithoutLosingSections) {
+  auto cfg = workload(fast_monitor(adaptive_monitor::kDelegated, false));
+  cfg.section = sim::microseconds(8);
+  cfg.outside = sim::microseconds(4);  // heavy contention: combiners form
+  const auto res = run_monitor_workload(cfg);
+  EXPECT_EQ(res.counter, res.total_ops) << "delegated section lost or duplicated";
+  EXPECT_GT(res.delegated, 0u) << "no section was ever delegated";
+  EXPECT_GT(res.combines, 0u);
+}
+
+TEST(AdaptiveMonitor, AdaptsToDelegationOnShortContendedSections) {
+  auto cfg = workload(fast_monitor(adaptive_monitor::kClassic, true));
+  cfg.section = sim::microseconds(5);
+  cfg.outside = sim::microseconds(5);
+  cfg.threads = 16;
+  cfg.ops_per_thread = 120;
+  const auto res = run_monitor_workload(cfg);
+  EXPECT_EQ(res.counter, res.total_ops);
+  EXPECT_GT(res.mode_switches, 0u) << "policy never reconfigured the mode";
+  EXPECT_EQ(res.final_mode, adaptive_monitor::kDelegated);
+  EXPECT_GT(res.delegated, 0u);
+}
+
+TEST(AdaptiveMonitor, StaysClassicOnLongSections) {
+  auto cfg = workload(fast_monitor(adaptive_monitor::kClassic, true));
+  cfg.section = sim::microseconds(200);
+  cfg.outside = sim::microseconds(50);
+  const auto res = run_monitor_workload(cfg);
+  EXPECT_EQ(res.counter, res.total_ops);
+  EXPECT_EQ(res.final_mode, adaptive_monitor::kClassic);
+  EXPECT_EQ(res.delegated, 0u);
+}
+
+TEST(AdaptiveMonitor, ModeSwitchIsARecordedPsiOperation) {
+  ct::runtime rt(sim::machine_config::test_machine(4));
+  adaptive_monitor mon(fast_monitor(adaptive_monitor::kClassic, false));
+  EXPECT_EQ(mon.method_impl(), "classic");
+  mon.request_mode(adaptive_monitor::kDelegated);
+  EXPECT_EQ(mon.mode(), adaptive_monitor::kDelegated);
+  EXPECT_EQ(mon.method_impl(), "delegated");
+  EXPECT_EQ(mon.mode_switches(), 1u);
+  EXPECT_GT(mon.costs().reconfiguration_ops, 0u);
+  const auto gen = mon.config_generation();
+  mon.request_mode(adaptive_monitor::kDelegated);  // no-op: already there
+  EXPECT_EQ(mon.config_generation(), gen);
+}
+
+TEST(AdaptiveMonitor, ConditionVariableSupportsProducerConsumer) {
+  ct::runtime rt(sim::machine_config::test_machine(4));
+  adaptive_monitor mon(fast_monitor(adaptive_monitor::kClassic, false));
+  int available = 0;
+  int consumed = 0;
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {  // consumer
+    for (int i = 0; i < 5; ++i) {
+      co_await mon.enter(ctx);
+      while (available == 0) co_await mon.wait(ctx);
+      --available;
+      ++consumed;
+      co_await mon.exit(ctx);
+    }
+  });
+  rt.fork(1, [&](ct::context& ctx) -> ct::task<void> {  // producer
+    for (int i = 0; i < 5; ++i) {
+      co_await ctx.compute(sim::microseconds(20));
+      co_await mon.enter(ctx);
+      ++available;
+      co_await mon.signal(ctx);
+      co_await mon.exit(ctx);
+    }
+  });
+  const auto r = rt.run_all();
+  EXPECT_EQ(consumed, 5);
+  EXPECT_EQ(available, 0);
+  EXPECT_GT(r.end_time.ns, 0);
+}
+
+TEST(AdaptiveMonitor, WorkloadIsDeterministic) {
+  auto cfg = workload(fast_monitor(adaptive_monitor::kClassic, true));
+  const auto a = run_monitor_workload(cfg);
+  const auto b = run_monitor_workload(cfg);
+  EXPECT_EQ(a.elapsed.ns, b.elapsed.ns);
+  EXPECT_EQ(a.final_mode, b.final_mode);
+  EXPECT_EQ(a.mode_switches, b.mode_switches);
+  EXPECT_EQ(a.delegated, b.delegated);
+}
+
+}  // namespace
+}  // namespace adx::objects

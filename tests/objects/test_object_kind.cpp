@@ -1,0 +1,36 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "objects/objects.hpp"
+
+namespace adx::objects {
+namespace {
+
+TEST(ObjectKind, RoundTripsEveryKind) {
+  for (const auto k : all_object_kinds()) {
+    EXPECT_EQ(parse_object_kind(to_string(k)), k);
+  }
+}
+
+TEST(ObjectKind, DeclarationOrderIsTheSweepAxis) {
+  const auto kinds = all_object_kinds();
+  ASSERT_EQ(kinds.size(), 2u);
+  EXPECT_EQ(kinds[0], object_kind::hashmap);
+  EXPECT_EQ(kinds[1], object_kind::monitor);
+}
+
+TEST(ObjectKind, UnknownNameListsValidKinds) {
+  try {
+    (void)parse_object_kind("btree");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown object kind: btree"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("hashmap"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("monitor"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace
+}  // namespace adx::objects

@@ -1,0 +1,129 @@
+// Object-generic sensor wiring: the policy::sensor_host path shared by the
+// lock family, the hash map and the monitor object — sampling-period edge
+// cases, aggregation folds, and the common unknown-sensor error UX.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ct/runtime.hpp"
+#include "objects/adaptive_hash_map.hpp"
+#include "objects/adaptive_monitor.hpp"
+#include "policy/sensor_host.hpp"
+
+namespace adx::objects {
+namespace {
+
+using map_t = adaptive_hash_map<std::uint64_t, std::int64_t>;
+
+map_config plain_map() {
+  map_config mc;
+  mc.min_stripes = 2;
+  mc.max_stripes = 4;
+  mc.initial_stripes = 2;
+  mc.buckets_per_stripe = 2;
+  mc.lock = locks::lock_kind::spin;
+  mc.cost = locks::lock_cost_model::fast_test();
+  mc.nodes = 2;
+  mc.adaptive = false;  // tests wire sensors explicitly
+  return mc;
+}
+
+policy::sensor_spec spec_of(std::string name, std::uint64_t period,
+                            policy::aggregation agg = policy::aggregation::last_value) {
+  policy::sensor_spec s;
+  s.name = std::move(name);
+  s.period = period;
+  s.agg = agg;
+  return s;
+}
+
+TEST(ObjectSensors, PeriodZeroIsNormalizedToEveryTrigger) {
+  map_t map(plain_map());
+  const policy::sensor_spec specs[] = {spec_of("load-factor", 0)};
+  policy::install_sensors(map, map, specs);
+  auto& mon = map.object_monitor();
+  ASSERT_EQ(mon.sensor_count(), 1u);
+  EXPECT_EQ(mon.sensor_at(0).period(), 1u);
+  EXPECT_EQ(map.feedback_point(), 1u);  // every trigger samples
+  EXPECT_EQ(map.feedback_point(), 1u);
+}
+
+TEST(ObjectSensors, PeriodOneSamplesEveryFeedbackPoint) {
+  adaptive_monitor mon_obj([] {
+    monitor_config mc;
+    mc.cost = locks::lock_cost_model::fast_test();
+    mc.adaptive = false;
+    return mc;
+  }());
+  const policy::sensor_spec specs[] = {spec_of("monitor-waiters", 1)};
+  policy::install_sensors(mon_obj, mon_obj, specs);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(mon_obj.feedback_point(), 1u);
+  EXPECT_EQ(mon_obj.object_monitor().total_samples(), 5u);
+}
+
+TEST(ObjectSensors, LargePeriodSamplesOnlyOnTheThousandthTrigger) {
+  map_t map(plain_map());
+  const policy::sensor_spec specs[] = {spec_of("probe-length", 1000)};
+  policy::install_sensors(map, map, specs);
+  for (int i = 0; i < 999; ++i) {
+    EXPECT_EQ(map.feedback_point(), 0u) << "sampled early at trigger " << i;
+  }
+  EXPECT_EQ(map.feedback_point(), 1u);
+  EXPECT_EQ(map.object_monitor().total_samples(), 1u);
+}
+
+TEST(ObjectSensors, UnknownNamesShareTheLockFamilyErrorUX) {
+  map_t map(plain_map());
+  const policy::sensor_spec bad[] = {spec_of("lock-hold-time", 2)};  // a *lock* sensor
+  try {
+    policy::install_sensors(map, map, bad);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown sensor: lock-hold-time"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("load-factor"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("stripe-contention-skew"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("probe-length"), std::string::npos) << msg;
+  }
+  // Validation happens before installation: the monitor is untouched.
+  EXPECT_EQ(map.object_monitor().sensor_count(), 0u);
+}
+
+TEST(ObjectSensors, MonitorLevelAggregationFoldsForObjectPolicies) {
+  // The map's load-factor sensor with a max-in-window fold: the aggregated
+  // value must hold the peak even after the raw value falls back.
+  map_t map(plain_map());
+  const policy::sensor_spec specs[] = {
+      spec_of("load-factor", 1, policy::aggregation::max_in_window)};
+  policy::install_sensors(map, map, specs);
+  ct::runtime rt(sim::machine_config::test_machine(2));
+  rt.fork(0, [&](ct::context& ctx) -> ct::task<void> {
+    for (std::uint64_t k = 0; k < 8; ++k) co_await map.insert(ctx, k, 1);
+    for (std::uint64_t k = 0; k < 8; ++k) co_await map.erase(ctx, k);
+  });
+  rt.run_all();
+  // The raw load factor is back to 0 after the erases, but the 8-sample
+  // window still holds the first erase-phase reading (7 entries / 4 buckets).
+  EXPECT_EQ(map.object_monitor().aggregated_value(0), 175);
+}
+
+TEST(ObjectSensors, EveryAdvertisedSensorIsConstructible) {
+  map_t map(plain_map());
+  for (const auto name : map.sensor_names()) {
+    const auto s = map.make_sensor(name, 2);
+    EXPECT_EQ(s.name(), name);
+  }
+  adaptive_monitor mon([] {
+    monitor_config mc;
+    mc.cost = locks::lock_cost_model::fast_test();
+    mc.adaptive = false;
+    return mc;
+  }());
+  for (const auto name : mon.sensor_names()) {
+    const auto s = mon.make_sensor(name, 2);
+    EXPECT_EQ(s.name(), name);
+  }
+}
+
+}  // namespace
+}  // namespace adx::objects

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <string>
 
@@ -56,6 +57,55 @@ TEST(Scenarios, MicrobenchVirtualMetricsAreDeterministic) {
       EXPECT_EQ(m.stats.iqr, 0.0) << name << ":" << m.name;
     }
     EXPECT_TRUE(any_virtual) << name;
+  }
+}
+
+// The headline property of the src/objects benches (mirrors the paper's
+// claim for adaptive locks): the adaptive column must track the better
+// fixed configuration on every workload shape, never losing to both. The
+// metrics are virtual-clock and therefore exact, so this is a hard
+// relation, not a tolerance band.
+TEST(Scenarios, AdaptiveHashMapTracksTheBetterFixedStriping) {
+  const auto* sc = find_scenario("bench_hashmap_mixed");
+  ASSERT_NE(sc, nullptr);
+  const auto sum = run_scenario(*sc, 1, 0);
+  const auto value = [&](const std::string& name) -> double {
+    for (const auto& m : sum.metrics) {
+      if (m.name == name) return m.stats.median;
+    }
+    ADD_FAILURE() << "metric not found: " << name;
+    return 0.0;
+  };
+  for (const char* shape : {"low", "high"}) {
+    const std::string s(shape);
+    const double fixed4 = value(s + "_fixed4_virtual_ms");
+    const double fixed64 = value(s + "_fixed64_virtual_ms");
+    const double adaptive = value(s + "_adaptive_virtual_ms");
+    EXPECT_LT(adaptive, std::max(fixed4, fixed64))
+        << s << ": adaptive " << adaptive << " lost to both fixed configs ("
+        << fixed4 << ", " << fixed64 << ")";
+  }
+}
+
+TEST(Scenarios, AdaptiveMonitorTracksTheBetterFixedMode) {
+  const auto* sc = find_scenario("bench_monitor_delegation");
+  ASSERT_NE(sc, nullptr);
+  const auto sum = run_scenario(*sc, 1, 0);
+  const auto value = [&](const std::string& name) -> double {
+    for (const auto& m : sum.metrics) {
+      if (m.name == name) return m.stats.median;
+    }
+    ADD_FAILURE() << "metric not found: " << name;
+    return 0.0;
+  };
+  for (const char* shape : {"short", "long"}) {
+    const std::string s(shape);
+    const double classic = value(s + "_classic_virtual_ms");
+    const double delegated = value(s + "_delegated_virtual_ms");
+    const double adaptive = value(s + "_adaptive_virtual_ms");
+    EXPECT_LT(adaptive, std::max(classic, delegated))
+        << s << ": adaptive " << adaptive << " lost to both fixed modes ("
+        << classic << ", " << delegated << ")";
   }
 }
 
