@@ -45,6 +45,8 @@ adx_bench(bench_abl_interconnect)
 adx_bench(bench_abl_sampling)
 adx_bench(bench_abl_threshold)
 adx_bench(bench_abl_coupling)
+adx_bench(bench_abl_async_policy)
+target_link_libraries(bench_abl_async_policy PRIVATE adx_policy)
 
 # Native real-thread backend (google-benchmark).
 adx_bench(bench_native_mutex)

@@ -91,6 +91,9 @@ int main(int argc, char** argv) {
           .str("objects", "",
                "adaptive-object check sweeps: empty (none), 'all', or a comma "
                "list of object kinds (hashmap monitor)")
+          .str("mode", "sync",
+               "policy execution mode for adaptive cells: sync (inline at "
+               "instrumentation points) or async (periodic policy runtime)")
           .str("profiles", "preempt,delay",
                "comma list of perturbation profiles (none ties delay preempt "
                "latency chaos)")
@@ -167,6 +170,7 @@ int main(int argc, char** argv) {
     }
 
     // ------- sweep mode -------
+    const auto mode = policy::parse_exec_mode(opt.get_str("mode"));
     std::vector<check::fixture> fixtures;
     for (const auto& f : split_list(opt.get_str("fixtures"))) {
       fixtures.push_back(check::parse_fixture(f));
@@ -237,6 +241,12 @@ int main(int argc, char** argv) {
       if (!cells[cell].policy.empty()) {
         p.config.params.policy = policy::default_spec(cells[cell].policy);
       }
+      // --mode=async routes every adaptive cell's policy (including the
+      // built-in default) through the periodic runtime.
+      if (mode == policy::exec_mode::async &&
+          cells[cell].kind == locks::lock_kind::adaptive) {
+        p.config.params.policy.with_async();
+      }
       p.fix = cells[cell].fix;
       p.iterations = iterations;
       return p;
@@ -259,6 +269,12 @@ int main(int argc, char** argv) {
                      .with_perturb(ocells[cell].profile)
                      .with_seed(seed_base + seed_index)
                      .with_object(objects::to_string(ocells[cell].kind));
+      if (mode == policy::exec_mode::async) {
+        auto spec = ocells[cell].kind == objects::object_kind::hashmap
+                        ? objects::default_map_spec()
+                        : objects::default_monitor_spec();
+        p.config.with_object_policy(spec.with_async());
+      }
       p.iterations = iterations;
       return p;
     };

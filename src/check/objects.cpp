@@ -9,6 +9,7 @@
 #include "objects/adaptive_hash_map.hpp"
 #include "objects/adaptive_monitor.hpp"
 #include "objects/objects.hpp"
+#include "policy/runtime.hpp"
 
 namespace adx::check {
 namespace {
@@ -127,6 +128,14 @@ check_result run_map_check(const object_check_params& p, sim::perturber& pert) {
       co_await map.reconfigure_stripes(ctx, round % 2 == 0 ? 8 : 2);
     }
   });
+  // Async-mode object specs are pumped by the periodic runtime (no-op for
+  // sync specs); the daemon shares the last processor.
+  policy::async_runtime art(policy::runtime_config{
+      .period = sim::microseconds(static_cast<double>(mc.spec.period_us)),
+      .proc = static_cast<ct::proc_id>(rt.processors() - 1),
+  });
+  art.adopt_map(map, map, mc.spec, mc.cost);
+  art.start(rt);
 
   const auto r = rt.run(p.max_events);
   mon.finish(r);
@@ -227,6 +236,14 @@ check_result run_monitor_check(const object_check_params& p, sim::perturber& per
                                           : objects::adaptive_monitor::kClassic);
     }
   });
+  // Async-mode object specs are pumped by the periodic runtime (no-op for
+  // sync specs); the daemon shares the last processor.
+  policy::async_runtime art(policy::runtime_config{
+      .period = sim::microseconds(static_cast<double>(mc.spec.period_us)),
+      .proc = static_cast<ct::proc_id>(rt.processors() - 1),
+  });
+  art.adopt_object(mon_obj, mc.spec, mc.cost);
+  art.start(rt);
 
   const auto r = rt.run(p.max_events);
   mon.finish(r);

@@ -6,6 +6,7 @@
 
 #include "check/broken_lock.hpp"
 #include "locks/scheduler.hpp"
+#include "policy/runtime.hpp"
 
 namespace adx::check {
 
@@ -111,6 +112,16 @@ check_result run_with(const check_params& p, sim::perturber& pert) {
       });
     }
   }
+  // Async-mode specs hand the policy loop to the periodic runtime (a no-op
+  // for sync specs and non-adaptive locks); the daemon shares the last
+  // processor and exits once only it remains live.
+  policy::async_runtime art(policy::runtime_config{
+      .period = sim::microseconds(
+          static_cast<double>(p.config.params.policy.period_us)),
+      .proc = static_cast<ct::proc_id>(rt.processors() - 1),
+  });
+  art.adopt_lock(*lk, p.config.params, cost);
+  art.start(rt);
 
   const auto r = rt.run(p.max_events);
   mon.finish(r);

@@ -1,0 +1,51 @@
+// adx::cli — shared parse-error UX for enumerated axes.
+//
+// Every axis a CLI flag or JSON field can select from — lock kind, policy
+// name, object kind, exec mode, sensor name, aggregation — fails the same
+// way: `unknown <what>: <got> (valid: a b c)`. The main()s catch
+// std::invalid_argument and exit 2, so a typo on any axis produces the same
+// shape of message listing every valid value. This header is the single
+// place that shape is built; parsers must not hand-roll it.
+#pragma once
+
+#include <functional>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace adx::cli {
+
+/// Builds the repo-standard parse failure for an enumerated axis:
+/// `unknown <what>: <got> (valid: v1 v2 ...)`. `valid` is any range; `proj`
+/// maps an element to its display name (defaults to the element itself, so
+/// ranges of strings work directly; pass `[](auto k) { return to_string(k); }`
+/// for enum ranges).
+template <typename Range, typename Proj = std::identity>
+[[nodiscard]] std::invalid_argument unknown_value(std::string_view what,
+                                                  std::string_view got,
+                                                  const Range& valid,
+                                                  Proj proj = {}) {
+  std::string msg = "unknown ";
+  msg += what;
+  msg += ": ";
+  msg += got;
+  msg += " (valid:";
+  for (const auto& v : valid) {
+    msg += ' ';
+    msg += proj(v);
+  }
+  msg += ')';
+  return std::invalid_argument(msg);
+}
+
+/// Initializer-list convenience: `throw unknown_value("mode", s, {"sync",
+/// "async"});`
+[[nodiscard]] inline std::invalid_argument unknown_value(
+    std::string_view what, std::string_view got,
+    std::initializer_list<std::string_view> valid) {
+  return unknown_value<std::initializer_list<std::string_view>>(what, got,
+                                                                valid);
+}
+
+}  // namespace adx::cli

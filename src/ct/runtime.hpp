@@ -133,6 +133,10 @@ class runtime {
   run_result run_all(std::uint64_t max_events = 500'000'000ULL);
 
   [[nodiscard]] std::size_t thread_count() const { return threads_.size(); }
+  /// Threads forked and not yet done. Daemon-style tasks (the async policy
+  /// runtime) use this to stop once only they remain live, so run() still
+  /// drains naturally.
+  [[nodiscard]] std::size_t live_threads() const { return live_threads_; }
   [[nodiscard]] thread_state state_of(thread_id t) const { return thread_ref(t).state; }
   [[nodiscard]] std::exception_ptr error_of(thread_id t) const { return thread_ref(t).error; }
   [[nodiscard]] thread_id current_on(proc_id p) const;

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "cli/parse_error.hpp"
+
 #include "locks/advisory_lock.hpp"
 #include "locks/backoff_lock.hpp"
 #include "locks/blocking_lock.hpp"
@@ -45,13 +47,8 @@ lock_kind parse_lock_kind(std::string_view name) {
   for (auto k : all_lock_kinds()) {
     if (name == to_string(k)) return k;
   }
-  std::string msg = "unknown lock kind: " + std::string(name) + " (valid:";
-  for (auto k : all_lock_kinds()) {
-    msg += ' ';
-    msg += to_string(k);
-  }
-  msg += ')';
-  throw std::invalid_argument(msg);
+  throw cli::unknown_value("lock kind", name, all_lock_kinds(),
+                           [](auto k) { return to_string(k); });
 }
 
 std::unique_ptr<lock_object> make_lock(lock_kind kind, sim::node_id home,
@@ -87,7 +84,7 @@ std::unique_ptr<lock_object> make_lock(lock_kind kind, sim::node_id home,
       // constructor already installed it); anything else goes through the
       // policy registry, which replaces the sensor set and the policy.
       if (!params.policy.is_default()) {
-        policy::install(*lk, params, cost);
+        policy::policy_registry::install(*lk, params, cost);
       }
       return lk;
     }

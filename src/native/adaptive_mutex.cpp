@@ -29,6 +29,15 @@ void adaptive_mutex::lock() {
 }
 
 void adaptive_mutex::unlock() {
+  if (async_) {
+    // Loosely-coupled monitor: publish the sample to the SPSC ring *before*
+    // releasing, so mutual exclusion serializes the producer side. The
+    // policy itself runs later, on the daemon, via pump().
+    const auto u = unlocks_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (params_.sample_period != 0 && u % params_.sample_period == 0) {
+      ring_.push({waiters_.load(std::memory_order_relaxed)});
+    }
+  }
   held_.store(0, std::memory_order_release);
   const auto w = waiters_.load(std::memory_order_relaxed);
   if (w > 0) {
@@ -37,6 +46,7 @@ void adaptive_mutex::unlock() {
     std::lock_guard<std::mutex> lk(m_);
     cv_.notify_one();
   }
+  if (async_) return;
   // The closely-coupled monitor: sample the waiting count every k-th unlock
   // and run the simple-adapt policy inline.
   const auto u = unlocks_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -44,6 +54,17 @@ void adaptive_mutex::unlock() {
     samples_.fetch_add(1, std::memory_order_relaxed);
     adapt(w);
   }
+}
+
+std::size_t adaptive_mutex::pump(std::size_t max) {
+  std::size_t delivered = 0;
+  sensor_snapshot s;
+  while (delivered < max && ring_.pop(s)) {
+    samples_.fetch_add(1, std::memory_order_relaxed);
+    adapt(s.waiting);
+    ++delivered;
+  }
+  return delivered;
 }
 
 void adaptive_mutex::adapt(std::int64_t waiting) {

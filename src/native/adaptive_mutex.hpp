@@ -10,12 +10,22 @@
 //   waiting == 0            -> pure spin (budget = spin_cap)
 //   waiting <= threshold    -> budget += n
 //   otherwise               -> budget -= 2n;  budget <= 0 -> pure blocking
+//
+// Execution modes, matching policy_spec::exec_mode in the simulator:
+//   sync (default)  — the sample runs the policy inline at the unlock.
+//   async           — the sample is published to a lock-free SPSC ring
+//                     (snapshot_ring) while still holding the lock (mutual
+//                     exclusion serializes producers); native::policy_daemon
+//                     drains it via pump() and runs the policy out-of-band.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
+
+#include "native/snapshot_ring.hpp"
 
 namespace adx::native {
 
@@ -40,8 +50,9 @@ struct adapt_params {
 class adaptive_mutex {
  public:
   adaptive_mutex() : adaptive_mutex(adapt_params{}) {}
-  explicit adaptive_mutex(adapt_params p, std::int64_t initial_spin = 256)
-      : params_(p), spin_budget_(initial_spin) {}
+  explicit adaptive_mutex(adapt_params p, std::int64_t initial_spin = 256,
+                          bool async = false)
+      : params_(p), spin_budget_(initial_spin), async_(async) {}
 
   adaptive_mutex(const adaptive_mutex&) = delete;
   adaptive_mutex& operator=(const adaptive_mutex&) = delete;
@@ -66,6 +77,29 @@ class adaptive_mutex {
     return samples_.load(std::memory_order_relaxed);
   }
 
+  [[nodiscard]] std::uint64_t unlocks() const {
+    return unlocks_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const adapt_params& params() const { return params_; }
+
+  // ------- async mode (the policy daemon's interface) -------
+
+  [[nodiscard]] bool async_mode() const { return async_; }
+  /// Runs one policy step on an externally supplied waiting count. The
+  /// daemon's coordinator feeds waiting=0 to demote an idle lock to pure
+  /// spin at the cap.
+  void apply_sample(std::int64_t waiting) {
+    samples_.fetch_add(1, std::memory_order_relaxed);
+    adapt(waiting);
+  }
+  /// Drains up to `max` queued snapshots through the simple-adapt policy.
+  /// Consumer side of the ring: call from ONE thread at a time (the daemon).
+  /// Returns the number of snapshots delivered.
+  std::size_t pump(std::size_t max = ~std::size_t{0});
+  /// Snapshots lost to a full ring (bounded backlog, as in the simulator).
+  [[nodiscard]] std::uint64_t dropped_snapshots() const { return ring_.dropped(); }
+  [[nodiscard]] std::size_t snapshot_backlog() const { return ring_.backlog(); }
+
  private:
   void adapt(std::int64_t waiting);
 
@@ -76,6 +110,8 @@ class adaptive_mutex {
   std::atomic<std::uint64_t> unlocks_{0};
   std::atomic<std::uint64_t> reconfigs_{0};
   std::atomic<std::uint64_t> samples_{0};
+  bool async_{false};
+  snapshot_ring ring_{256};
   std::mutex m_;
   std::condition_variable cv_;
 };

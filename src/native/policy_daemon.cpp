@@ -1,0 +1,62 @@
+#include "native/policy_daemon.hpp"
+
+namespace adx::native {
+
+void policy_daemon::watch(adaptive_mutex& m) {
+  if (thread_.joinable() || !m.async_mode()) return;
+  regs_.push_back({&m, m.unlocks(), 0});
+}
+
+void policy_daemon::start() {
+  if (thread_.joinable() || regs_.empty()) return;
+  stop_ = false;
+  thread_ = std::thread([this] { run(); });
+}
+
+void policy_daemon::stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  // Final drain: snapshots published between the last tick and the join
+  // still reach the policy.
+  drain_all();
+}
+
+void policy_daemon::drain_all() {
+  for (auto& r : regs_) {
+    pumped_.fetch_add(r.mu->pump(), std::memory_order_relaxed);
+  }
+}
+
+void policy_daemon::run() {
+  std::unique_lock<std::mutex> lk(m_);
+  for (;;) {
+    cv_.wait_for(lk, cfg_.period, [this] { return stop_; });
+    if (stop_) return;
+    lk.unlock();
+    ticks_.fetch_add(1, std::memory_order_relaxed);
+    drain_all();
+    // Coordinator rule: a watched mutex whose unlock count stayed flat for
+    // `idle_ticks` consecutive ticks is demoted to pure spin (one synthetic
+    // waiting=0 sample pins the budget to the cap). Activity re-arms it.
+    if (cfg_.idle_ticks > 0) {
+      for (auto& r : regs_) {
+        const auto u = r.mu->unlocks();
+        r.idle_streak = u == r.last_unlocks ? r.idle_streak + 1 : 0;
+        r.last_unlocks = u;
+        if (r.idle_streak >= cfg_.idle_ticks &&
+            r.mu->spin_budget() != r.mu->params().spin_cap) {
+          r.mu->apply_sample(0);
+          demotions_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    lk.lock();
+  }
+}
+
+}  // namespace adx::native

@@ -1,0 +1,87 @@
+// Real-thread periodic policy daemon — the native twin of the simulator's
+// policy::async_runtime. Watches a set of async-mode adaptive mutexes,
+// wakes every `period`, drains each mutex's snapshot ring through pump()
+// (running the simple-adapt policy out-of-band), and applies the same
+// cross-object coordination rule the simulated coordinator uses: a watched
+// mutex whose acquisition count stays flat for `idle_ticks` consecutive
+// ticks is demoted to pure spinning (its budget pinned to the spin cap), so
+// a stray waiter never pays parking cost on a lock that fell idle.
+//
+// The daemon is the ring's only consumer; watch() must complete before
+// start(). stop() (and the destructor) joins the thread and performs one
+// final drain so no published snapshot is lost at shutdown.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "native/adaptive_mutex.hpp"
+
+namespace adx::native {
+
+struct daemon_config {
+  /// Wall-clock tick period.
+  std::chrono::microseconds period{500};
+  /// Consecutive flat-acquisition ticks before an idle demotion; 0 disables.
+  std::uint64_t idle_ticks = 0;
+};
+
+class policy_daemon {
+ public:
+  explicit policy_daemon(daemon_config cfg = {}) : cfg_(cfg) {}
+  ~policy_daemon() { stop(); }
+  policy_daemon(const policy_daemon&) = delete;
+  policy_daemon& operator=(const policy_daemon&) = delete;
+
+  /// Registers an async-mode mutex. Must be called before start(); sync-mode
+  /// mutexes are ignored (they adapt inline and have nothing to drain).
+  void watch(adaptive_mutex& m);
+
+  void start();
+  /// Idempotent: signals the thread, joins it, and drains every ring once
+  /// more so snapshots published during shutdown still reach the policy.
+  void stop();
+
+  [[nodiscard]] bool running() const { return thread_.joinable(); }
+  [[nodiscard]] std::size_t watched() const { return regs_.size(); }
+
+  /// Daemon wakeups completed.
+  [[nodiscard]] std::uint64_t ticks() const {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+  /// Snapshots delivered to policies across all watched mutexes.
+  [[nodiscard]] std::uint64_t pumped() const {
+    return pumped_.load(std::memory_order_relaxed);
+  }
+  /// Idle demotions applied by the coordinator rule.
+  [[nodiscard]] std::uint64_t demotions() const {
+    return demotions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct registration {
+    adaptive_mutex* mu;
+    std::uint64_t last_unlocks = 0;
+    std::uint64_t idle_streak = 0;
+  };
+
+  void run();
+  void drain_all();
+
+  daemon_config cfg_;
+  std::vector<registration> regs_;
+  std::thread thread_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool stop_{false};
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<std::uint64_t> pumped_{0};
+  std::atomic<std::uint64_t> demotions_{0};
+};
+
+}  // namespace adx::native

@@ -1,0 +1,84 @@
+// Lock-free single-producer/single-consumer snapshot ring — the native
+// analog of the simulator's loosely-coupled monitor queue. The adapted
+// object's release path publishes sensor snapshots here (a couple of relaxed
+// atomic ops, no policy work), and the policy daemon drains them
+// out-of-band, so the operating threads' fast path carries no monitoring or
+// policy cost beyond the publish itself.
+//
+// SPSC discipline: adaptive_mutex publishes *inside* its critical section,
+// so mutual exclusion itself serializes producers; the daemon is the only
+// consumer. When the ring is full the newest snapshot is dropped and
+// counted — matching the simulator queue's bounded-loss behavior (sensor
+// snapshots are idempotent summaries, losing one under backlog is safe).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace adx::native {
+
+/// One published sensor sample. The native mutex's only sensor is the
+/// paper's waiting count; the daemon replays it through the same
+/// simple-adapt rule the sync mode runs inline.
+struct sensor_snapshot {
+  std::int64_t waiting{0};
+};
+
+class snapshot_ring {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit snapshot_ring(std::size_t capacity = 256) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  snapshot_ring(const snapshot_ring&) = delete;
+  snapshot_ring& operator=(const snapshot_ring&) = delete;
+
+  /// Producer side. Returns false (and counts a drop) when full.
+  bool push(sensor_snapshot s) {
+    const auto t = tail_.load(std::memory_order_relaxed);
+    const auto h = head_.load(std::memory_order_acquire);
+    if (t - h == slots_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[t & mask_] = s;
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool pop(sensor_snapshot& out) {
+    const auto h = head_.load(std::memory_order_relaxed);
+    const auto t = tail_.load(std::memory_order_acquire);
+    if (h == t) return false;
+    out = slots_[h & mask_];
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Snapshots queued and not yet drained (approximate under concurrency).
+  [[nodiscard]] std::size_t backlog() const {
+    const auto h = head_.load(std::memory_order_acquire);
+    const auto t = tail_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(t - h);
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<sensor_snapshot> slots_;
+  std::size_t mask_{1};
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer cursor
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer cursor
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace adx::native

@@ -47,6 +47,10 @@ struct map_config {
   /// Stripe-count step per Ψ operation (16 ↔ 64 ↔ 256 with the defaults).
   unsigned stripe_factor = 4;
   unsigned buckets_per_stripe = 8;
+  /// Cap for probe-length-driven bucket-array growth (Ψ doubles the
+  /// per-stripe bucket count up to this; equal to buckets_per_stripe
+  /// freezes the bucket arrays).
+  unsigned max_buckets_per_stripe = 64;
   /// Stripe locks come from the ordinary lock factory — adaptive by default,
   /// so each stripe's waiting policy tunes itself independently.
   locks::lock_kind lock = locks::lock_kind::adaptive;
@@ -91,12 +95,14 @@ class adaptive_hash_map final : public core::adaptive_object,
       : core::adaptive_object("striped-chaining"), cfg_(validated(std::move(cfg))) {
     active_ = cfg_.initial_stripes;
     desired_ = active_;
+    bps_ = cfg_.buckets_per_stripe;
+    desired_bps_ = bps_;
     locks_.reserve(cfg_.max_stripes);
     for (unsigned s = 0; s < cfg_.max_stripes; ++s) {
       locks_.push_back(locks::make_lock(cfg_.lock, s % cfg_.nodes, cfg_.cost,
                                         cfg_.lock_params));
     }
-    buckets_.resize(static_cast<std::size_t>(active_) * cfg_.buckets_per_stripe);
+    buckets_.resize(static_cast<std::size_t>(active_) * bps_);
     attributes().declare("active-stripes", static_cast<std::int64_t>(active_));
     if (cfg_.adaptive) install_map_policy(*this, *this, *this, cfg_.spec);
   }
@@ -287,7 +293,7 @@ class adaptive_hash_map final : public core::adaptive_object,
       in_reconfig_ = true;
       const std::uint64_t moved = size_;
       std::vector<std::vector<std::pair<K, V>>> next(
-          static_cast<std::size_t>(target) * cfg_.buckets_per_stripe);
+          static_cast<std::size_t>(target) * bps_);
       for (auto& chain : buckets_) {
         for (auto& e : chain) {
           next[hash_(e.first) % next.size()].push_back(std::move(e));
@@ -308,6 +314,43 @@ class adaptive_hash_map final : public core::adaptive_object,
     }
   }
 
+  /// Second Ψ axis: rehash onto `per_stripe` buckets per stripe (same
+  /// quiesced epoch as reconfigure_stripes, stripe count unchanged).
+  /// Reached cooperatively when the probe-length rule requests growth.
+  ct::task<void> reconfigure_buckets(ct::context& ctx, unsigned per_stripe) {
+    per_stripe = clamp_buckets(per_stripe);
+    for (;;) {
+      const auto gen = config_generation();
+      if (per_stripe == bps_) co_return;
+      co_await locks_[0]->lock(ctx);
+      if (gen != config_generation()) {
+        co_await locks_[0]->unlock(ctx);
+        continue;
+      }
+      const unsigned stripes = active_;  // frozen while we hold stripe 0
+      for (unsigned s = 1; s < stripes; ++s) co_await locks_[s]->lock(ctx);
+      in_reconfig_ = true;
+      const std::uint64_t moved = size_;
+      std::vector<std::vector<std::pair<K, V>>> next(
+          static_cast<std::size_t>(stripes) * per_stripe);
+      for (auto& chain : buckets_) {
+        for (auto& e : chain) {
+          next[hash_(e.first) % next.size()].push_back(std::move(e));
+        }
+      }
+      buckets_ = std::move(next);
+      bps_ = per_stripe;
+      desired_bps_ = per_stripe;
+      note_reconfiguration(core::op_cost{moved, moved + 1});
+      ++bucket_growths_;
+      in_reconfig_ = false;
+      co_await ctx.touch(locks_[0]->home(), sim::access_kind::read, moved);
+      co_await ctx.touch(locks_[0]->home(), sim::access_kind::write, moved + 1);
+      for (unsigned s = stripes; s-- > 0;) co_await locks_[s]->unlock(ctx);
+      break;
+    }
+  }
+
   // --------------------------------------------------- stripe_controller Ψ
 
   [[nodiscard]] unsigned active_stripes() const override { return active_; }
@@ -315,6 +358,13 @@ class adaptive_hash_map final : public core::adaptive_object,
   [[nodiscard]] unsigned max_stripes() const override { return cfg_.max_stripes; }
   [[nodiscard]] unsigned stripe_factor() const override { return cfg_.stripe_factor; }
   void request_stripes(unsigned target) override { desired_ = clamp_stripes(target); }
+  [[nodiscard]] unsigned buckets_per_stripe() const override { return bps_; }
+  [[nodiscard]] unsigned max_buckets_per_stripe() const override {
+    return cfg_.max_buckets_per_stripe;
+  }
+  void request_buckets(unsigned per_stripe) override {
+    desired_bps_ = clamp_buckets(per_stripe);
+  }
 
   // ------------------------------------------------------------ sensor_host
 
@@ -350,6 +400,7 @@ class adaptive_hash_map final : public core::adaptive_object,
   /// Unsimulated host-side views, for tests / oracles / result reporting.
   [[nodiscard]] std::size_t size_fast() const { return size_; }
   [[nodiscard]] std::uint64_t resizes() const { return resizes_; }
+  [[nodiscard]] std::uint64_t bucket_growths() const { return bucket_growths_; }
   [[nodiscard]] bool reconfig_in_progress() const { return in_reconfig_; }
   /// Guarded sections entered while a reconfiguration was mid-flight — the
   /// Ψ-atomicity witness; any run where this is non-zero is a violation.
@@ -363,7 +414,7 @@ class adaptive_hash_map final : public core::adaptive_object,
 
   /// Stripe index `key` currently maps to (host-side, for tests).
   [[nodiscard]] unsigned stripe_of(const K& key) const {
-    return static_cast<unsigned>(bucket_of(key) / cfg_.buckets_per_stripe);
+    return static_cast<unsigned>(bucket_of(key) / bps_);
   }
 
   /// Unsimulated snapshot of the whole table, for shadow-model comparison.
@@ -387,6 +438,9 @@ class adaptive_hash_map final : public core::adaptive_object,
     if (cfg.buckets_per_stripe == 0) {
       throw std::invalid_argument("adaptive_hash_map: need buckets_per_stripe >= 1");
     }
+    if (cfg.max_buckets_per_stripe < cfg.buckets_per_stripe) {
+      cfg.max_buckets_per_stripe = cfg.buckets_per_stripe;
+    }
     if (cfg.nodes == 0) {
       throw std::invalid_argument("adaptive_hash_map: need nodes >= 1");
     }
@@ -401,11 +455,17 @@ class adaptive_hash_map final : public core::adaptive_object,
                                 : (t > cfg_.max_stripes ? cfg_.max_stripes : t);
   }
 
+  [[nodiscard]] unsigned clamp_buckets(unsigned t) const {
+    return t < cfg_.buckets_per_stripe
+               ? cfg_.buckets_per_stripe
+               : (t > cfg_.max_buckets_per_stripe ? cfg_.max_buckets_per_stripe : t);
+  }
+
   [[nodiscard]] std::size_t bucket_of(const K& key) const {
     return hash_(key) % buckets_.size();
   }
   [[nodiscard]] locks::lock_object& stripe_lock_of(std::size_t bucket) {
-    return *locks_[bucket / cfg_.buckets_per_stripe];
+    return *locks_[bucket / bps_];
   }
 
   static std::pair<K, V>* chain_find(std::vector<std::pair<K, V>>& chain, const K& key) {
@@ -448,6 +508,9 @@ class adaptive_hash_map final : public core::adaptive_object,
     if (cfg_.adaptive && desired_ != active_) {
       co_await reconfigure_stripes(ctx, desired_);
     }
+    if (cfg_.adaptive && desired_bps_ != bps_) {
+      co_await reconfigure_buckets(ctx, desired_bps_);
+    }
   }
 
   map_config cfg_;
@@ -456,8 +519,11 @@ class adaptive_hash_map final : public core::adaptive_object,
   std::vector<std::vector<std::pair<K, V>>> buckets_;
   unsigned active_{1};
   unsigned desired_{1};
+  unsigned bps_{1};          ///< live buckets per stripe (second Ψ axis)
+  unsigned desired_bps_{1};  ///< requested by the probe-length rule
   std::uint64_t size_{0};
   std::uint64_t resizes_{0};
+  std::uint64_t bucket_growths_{0};
   bool in_reconfig_{false};
   std::uint64_t psi_violations_{0};
   double probe_ewma_{0.0};

@@ -1,10 +1,5 @@
 #include "objects/object_policy.hpp"
 
-#include <algorithm>
-#include <memory>
-#include <stdexcept>
-#include <string>
-
 namespace adx::objects {
 
 namespace {
@@ -21,206 +16,27 @@ constexpr std::string_view kMonitorSensorNames[] = {
     "entry-rate",
 };
 
-double param_or(const policy::policy_spec& spec, std::string_view key, double fallback) {
-  const auto it = spec.params.find(key);
-  return it == spec.params.end() ? fallback : it->second;
-}
-
-/// §4's tuning caveat applies to objects too: both policies run their raw
-/// rule through confirm/cooldown filtering so a mis-tuned threshold thrashes
-/// Ψ instead of oscillating the object. `vote` is -1 shrink/classic,
-/// 0 hold, +1 grow/delegate.
-struct decision_filter {
-  std::uint64_t confirm;
-  std::uint64_t cooldown;
-  int last_vote = 0;
-  std::uint64_t streak = 0;
-  std::uint64_t muted = 0;
-
-  /// Returns true when the vote survives confirmation and cooldown.
-  bool admit(int vote) {
-    if (muted > 0) {
-      --muted;
-      return false;
-    }
-    if (vote == 0) {
-      last_vote = 0;
-      streak = 0;
-      return false;
-    }
-    streak = vote == last_vote ? streak + 1 : 1;
-    last_vote = vote;
-    if (streak < confirm) return false;
-    streak = 0;
-    muted = cooldown;
-    return true;
-  }
-};
-
-class stripe_adapt_policy final : public core::adaptation_policy {
- public:
-  stripe_adapt_policy(stripe_controller& ctl, stripe_adapt_params p)
-      : ctl_(&ctl), p_(p), filter_{p.confirm, p.cooldown} {}
-
-  void observe(const core::observation& obs) override {
-    if (obs.sensor == "load-factor") {
-      load_ = obs.value;
-    } else if (obs.sensor == "stripe-contention-skew") {
-      skew_ = obs.value;
-    } else if (obs.sensor == "probe-length") {
-      probe_ = obs.value;
-    }
-    int vote = 0;
-    if (skew_ >= p_.skew_grow || load_ >= p_.load_grow) {
-      vote = +1;
-    } else if (skew_ <= 0 && load_ <= p_.load_shrink) {
-      vote = -1;
-    }
-    if (!filter_.admit(vote)) return;
-    const unsigned active = ctl_->active_stripes();
-    const unsigned f = std::max(2u, ctl_->stripe_factor());
-    const unsigned target =
-        vote > 0 ? std::min(ctl_->max_stripes(), active * f)
-                 : std::max(ctl_->min_stripes(), active / f);
-    if (target == active) return;
-    note_decision();
-    ctl_->request_stripes(target);
-  }
-
- private:
-  stripe_controller* ctl_;
-  stripe_adapt_params p_;
-  decision_filter filter_;
-  std::int64_t load_{0};
-  std::int64_t skew_{0};
-  std::int64_t probe_{0};
-};
-
-class mode_adapt_policy final : public core::adaptation_policy {
- public:
-  mode_adapt_policy(mode_controller& ctl, mode_adapt_params p)
-      : ctl_(&ctl), p_(p), filter_{p.confirm, p.cooldown} {}
-
-  void observe(const core::observation& obs) override {
-    if (obs.sensor == "section-time") {
-      section_us_ = obs.value;
-    } else if (obs.sensor == "monitor-waiters") {
-      waiters_ = obs.value;
-    }
-    int vote = 0;
-    if (section_us_ >= p_.classic_above_us) {
-      vote = -1;  // long sections: delegation just serializes them on one thread
-    } else if (section_us_ <= p_.delegate_below_us && waiters_ >= p_.min_waiters) {
-      vote = +1;  // short contended sections: handoff cost dominates — combine
-    }
-    if (!filter_.admit(vote)) return;
-    const std::int64_t want = vote > 0 ? 1 : 0;
-    if (want == ctl_->current_mode()) return;
-    note_decision();
-    ctl_->request_mode(want);
-  }
-
- private:
-  mode_controller* ctl_;
-  mode_adapt_params p_;
-  decision_filter filter_;
-  std::int64_t section_us_{0};
-  std::int64_t waiters_{0};
-};
-
-std::vector<policy::sensor_spec> map_default_sensors() {
-  std::vector<policy::sensor_spec> out;
-  policy::sensor_spec skew;
-  skew.name = "stripe-contention-skew";
-  skew.period = 2;
-  skew.agg = policy::aggregation::max_in_window;
-  skew.window = 4;
-  out.push_back(skew);
-  policy::sensor_spec load;
-  load.name = "load-factor";
-  load.period = 4;
-  load.agg = policy::aggregation::last_value;
-  out.push_back(load);
-  policy::sensor_spec probe;
-  probe.name = "probe-length";
-  probe.period = 8;
-  probe.agg = policy::aggregation::ewma;
-  out.push_back(probe);
-  return out;
-}
-
-std::vector<policy::sensor_spec> monitor_default_sensors() {
-  std::vector<policy::sensor_spec> out;
-  policy::sensor_spec section;
-  section.name = "section-time";
-  section.period = 2;
-  section.agg = policy::aggregation::ewma;
-  out.push_back(section);
-  policy::sensor_spec waiters;
-  waiters.name = "monitor-waiters";
-  waiters.period = 2;
-  waiters.agg = policy::aggregation::max_in_window;
-  waiters.window = 4;
-  out.push_back(waiters);
-  policy::sensor_spec rate;
-  rate.name = "entry-rate";
-  rate.period = 8;
-  rate.agg = policy::aggregation::last_value;
-  out.push_back(rate);
-  return out;
-}
-
 }  // namespace
 
 std::span<const std::string_view> map_sensor_names() { return kMapSensorNames; }
 std::span<const std::string_view> monitor_sensor_names() { return kMonitorSensorNames; }
 
 policy::policy_spec default_map_spec() {
-  policy::policy_spec spec;
-  spec.name = "stripe-adapt";
-  spec.sensors = map_default_sensors();
-  return spec;
+  return policy::policy_registry::default_spec("stripe-adapt");
 }
 
 policy::policy_spec default_monitor_spec() {
-  policy::policy_spec spec;
-  spec.name = "mode-adapt";
-  spec.sensors = monitor_default_sensors();
-  return spec;
+  return policy::policy_registry::default_spec("mode-adapt");
 }
 
 void install_map_policy(core::adaptive_object& obj, policy::sensor_host& host,
                         stripe_controller& ctl, const policy::policy_spec& spec) {
-  if (spec.name != "stripe-adapt") {
-    throw std::invalid_argument("unknown object policy: " + spec.name +
-                                " (valid: stripe-adapt)");
-  }
-  const auto sensors = spec.sensors.empty() ? map_default_sensors() : spec.sensors;
-  install_sensors(obj, host, sensors);
-  stripe_adapt_params p;
-  p.skew_grow = static_cast<std::int64_t>(param_or(spec, "skew-grow", 2));
-  p.load_grow = static_cast<std::int64_t>(param_or(spec, "load-grow", 150));
-  p.load_shrink = static_cast<std::int64_t>(param_or(spec, "load-shrink", 50));
-  p.confirm = static_cast<std::uint64_t>(param_or(spec, "confirm", 2));
-  p.cooldown = static_cast<std::uint64_t>(param_or(spec, "cooldown", 8));
-  obj.set_policy(std::make_shared<stripe_adapt_policy>(ctl, p));
+  policy::policy_registry::install(obj, host, ctl, spec);
 }
 
 void install_monitor_policy(core::adaptive_object& obj, policy::sensor_host& host,
                             mode_controller& ctl, const policy::policy_spec& spec) {
-  if (spec.name != "mode-adapt") {
-    throw std::invalid_argument("unknown object policy: " + spec.name +
-                                " (valid: mode-adapt)");
-  }
-  const auto sensors = spec.sensors.empty() ? monitor_default_sensors() : spec.sensors;
-  install_sensors(obj, host, sensors);
-  mode_adapt_params p;
-  p.delegate_below_us = static_cast<std::int64_t>(param_or(spec, "delegate-below-us", 30));
-  p.classic_above_us = static_cast<std::int64_t>(param_or(spec, "classic-above-us", 80));
-  p.min_waiters = static_cast<std::int64_t>(param_or(spec, "min-waiters", 1));
-  p.confirm = static_cast<std::uint64_t>(param_or(spec, "confirm", 2));
-  p.cooldown = static_cast<std::uint64_t>(param_or(spec, "cooldown", 4));
-  obj.set_policy(std::make_shared<mode_adapt_policy>(ctl, p));
+  policy::policy_registry::install(obj, host, ctl, spec);
 }
 
 }  // namespace adx::objects

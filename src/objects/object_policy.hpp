@@ -1,27 +1,29 @@
-// Adaptation policies for the object library (the P half of the feedback
-// loop, object-generic edition).
+// Object-policy compatibility surface.
 //
-// Each adaptive object exposes a small controller interface the policy
-// drives; the policies themselves are core::adaptation_policy
-// implementations fed by the object's own monitor through the shared
-// policy::sensor_host install path. Decisions are *requests*: the policy
-// runs host-side inside feedback_point(), and the object applies the
-// requested reconfiguration cooperatively at its next quiescent opportunity
-// (the map resizes before the next operation; the monitor flips its
-// execution-mode attribute immediately, which is safe because both modes
-// serialize through the same entry lock).
+// The object controllers (stripe_controller, mode_controller) and the
+// stripe-adapt / mode-adapt policy implementations moved down into
+// src/policy so the unified `policy::policy_registry` owns every install
+// path — locks and objects — behind one `policy_spec` schema. This header
+// keeps the objects-namespace names alive: the aliases below and the
+// install_* wrappers are the pre-unification API, deprecated in favour of
+// `policy::policy_registry` (see DESIGN.md's migration note).
 #pragma once
 
-#include <cstdint>
 #include <span>
 #include <string_view>
 
 #include "core/adaptive.hpp"
-#include "core/policy.hpp"
+#include "policy/controllers.hpp"
+#include "policy/registry.hpp"
 #include "policy/sensor_host.hpp"
 #include "policy/spec.hpp"
 
 namespace adx::objects {
+
+using stripe_controller = policy::stripe_controller;
+using mode_controller = policy::mode_controller;
+using stripe_adapt_params = policy::stripe_adapt_params;
+using mode_adapt_params = policy::mode_adapt_params;
 
 // ---------------------------------------------------------------- hash map
 
@@ -33,37 +35,11 @@ namespace adx::objects {
 ///   probe-length           100 x EWMA of chain nodes traversed per op
 [[nodiscard]] std::span<const std::string_view> map_sensor_names();
 
-/// The map-side interface the stripe policy drives.
-class stripe_controller {
- public:
-  virtual ~stripe_controller() = default;
-  [[nodiscard]] virtual unsigned active_stripes() const = 0;
-  [[nodiscard]] virtual unsigned min_stripes() const = 0;
-  [[nodiscard]] virtual unsigned max_stripes() const = 0;
-  [[nodiscard]] virtual unsigned stripe_factor() const = 0;
-  /// Requests a stripe-count reconfiguration (clamped by the map; applied
-  /// cooperatively before a subsequent operation).
-  virtual void request_stripes(unsigned target) = 0;
-};
-
-/// Knobs of the stripe-adapt policy; every key can be overridden through
-/// `policy_spec::params` (kebab-case keys match the field comments).
-struct stripe_adapt_params {
-  std::int64_t skew_grow = 2;     ///< "skew-grow": grow when skew >= this
-  std::int64_t load_grow = 150;   ///< "load-grow": grow when load% >= this
-  std::int64_t load_shrink = 50;  ///< "load-shrink": shrink only when load% <= this
-  std::uint64_t confirm = 2;      ///< "confirm": consecutive same-direction votes
-  std::uint64_t cooldown = 8;     ///< "cooldown": observations muted after a request
-};
-
 /// Default declarative spec for the map: name "stripe-adapt" plus the three
 /// map sensors with their canonical periods and aggregations.
 [[nodiscard]] policy::policy_spec default_map_spec();
 
-/// Wires `spec` onto a map: installs the spec's sensors (or the defaults)
-/// through the object-generic sensor_host path and sets a stripe-adapt
-/// policy driving `ctl`. Throws std::invalid_argument on unknown policy
-/// names or sensor names (same UX as policy::install for locks).
+/// Deprecated wrapper over policy_registry::install (map family).
 void install_map_policy(core::adaptive_object& obj, policy::sensor_host& host,
                         stripe_controller& ctl, const policy::policy_spec& spec);
 
@@ -75,30 +51,11 @@ void install_map_policy(core::adaptive_object& obj, policy::sensor_host& host,
 ///   entry-rate       monitor entries since the previous sample
 [[nodiscard]] std::span<const std::string_view> monitor_sensor_names();
 
-/// The monitor-side interface the mode policy drives.
-class mode_controller {
- public:
-  virtual ~mode_controller() = default;
-  /// 0 = classic blocking entry, 1 = delegated (combining) execution.
-  [[nodiscard]] virtual std::int64_t current_mode() const = 0;
-  virtual void request_mode(std::int64_t mode) = 0;
-};
-
-/// Knobs of the mode-adapt policy ("delegate short sections"): overridable
-/// through `policy_spec::params`.
-struct mode_adapt_params {
-  std::int64_t delegate_below_us = 30;  ///< "delegate-below-us"
-  std::int64_t classic_above_us = 80;   ///< "classic-above-us"
-  std::int64_t min_waiters = 1;         ///< "min-waiters": delegation needs queueing
-  std::uint64_t confirm = 2;            ///< "confirm"
-  std::uint64_t cooldown = 4;           ///< "cooldown"
-};
-
 /// Default declarative spec for the monitor: name "mode-adapt" plus the
 /// three monitor sensors.
 [[nodiscard]] policy::policy_spec default_monitor_spec();
 
-/// Wires `spec` onto a monitor object, mirroring install_map_policy.
+/// Deprecated wrapper over policy_registry::install (monitor family).
 void install_monitor_policy(core::adaptive_object& obj, policy::sensor_host& host,
                             mode_controller& ctl, const policy::policy_spec& spec);
 

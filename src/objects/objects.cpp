@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "cli/parse_error.hpp"
+
 namespace adx::objects {
 
 namespace {
@@ -26,13 +28,8 @@ object_kind parse_object_kind(std::string_view name) {
   for (const auto k : kAllKinds) {
     if (name == to_string(k)) return k;
   }
-  std::string msg = "unknown object kind: " + std::string(name) + " (valid:";
-  for (const auto k : kAllKinds) {
-    msg += ' ';
-    msg += to_string(k);
-  }
-  msg += ')';
-  throw std::invalid_argument(msg);
+  throw cli::unknown_value("object kind", name, kAllKinds,
+                           [](auto k) { return to_string(k); });
 }
 
 std::span<const object_kind> all_object_kinds() { return kAllKinds; }

@@ -480,6 +480,52 @@ scenario_result run_abl_policy() {
 }
 
 // ---------------------------------------------------------------------------
+// Ablation: sync vs async policy execution (src/policy/runtime). The async
+// rows queue observations at the feedback point (zero inline policy cost)
+// and a daemon on a spare processor drains them periodically; all metrics
+// are virtual-clock and therefore gated exactly.
+// ---------------------------------------------------------------------------
+
+scenario_result run_abl_async_policy() {
+  const double cs_lengths_us[] = {10, 100, 800};
+  const struct {
+    const char* tag;
+    bool async;
+  } cols[] = {{"sync", false}, {"async", true}};
+  scenario_result r;
+  for (const auto& col : cols) {
+    double col_ms = 0;
+    std::uint64_t ticks = 0;
+    std::uint64_t pumped = 0;
+    for (const double cs : cs_lengths_us) {
+      workload::cs_config cfg;
+      cfg.processors = 6;
+      cfg.threads = 12;
+      cfg.iterations = 60;
+      cfg.cs_length = sim::microseconds(cs);
+      cfg.think_time = sim::microseconds(3 * cs + 100);
+      cfg.kind = locks::lock_kind::adaptive;
+      cfg.params.adapt = {2, 25, 50, 2};
+      cfg.params.policy = policy::default_spec("break-even");
+      if (col.async) cfg.params.policy.with_async();
+      const auto res = run_cs_workload(cfg);
+      col_ms += res.elapsed.ms();
+      ticks += res.policy_ticks;
+      pumped += res.policy_pumped;
+    }
+    r.metrics.push_back({std::string(col.tag) + "_total_virtual_ms", "ms", kVirtual,
+                         col_ms});
+    if (col.async) {
+      r.metrics.push_back({"async_daemon_ticks", "count", kVirtual,
+                           static_cast<double>(ticks)});
+      r.metrics.push_back({"async_pumped", "count", kVirtual,
+                           static_cast<double>(pumped)});
+    }
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
 // src/objects: striped hash map, fixed vs adaptive stripe granularity. The
 // coarse column wins global sweeps (size_slow touches every stripe lock),
 // the fine column wins point-op contention; the adaptive column must track
@@ -740,6 +786,9 @@ std::vector<scenario> make_registry() {
       run_abl_threshold);
   add("bench_abl_policy", "ablation: adaptation-policy family over the Fig. 1 grid",
       run_abl_policy);
+  add("bench_abl_async_policy",
+      "ablation: sync vs async policy execution over the Fig. 1 grid",
+      run_abl_async_policy);
   add("bench_hashmap_insert", "objects: hash-map insert storm, fixed vs adaptive stripes",
       [] { return run_hashmap_bench(map_mix::insert); });
   add("bench_hashmap_find", "objects: hash-map read-only probes, fixed vs adaptive stripes",

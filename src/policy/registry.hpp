@@ -1,47 +1,118 @@
 // The policy registry: the by-name catalogue of adaptation policies and the
-// single entry point (`install`) that turns a `policy_spec` into a live
-// monitor + policy pair on an adaptive lock.
+// single registration surface (`policy_registry`) that turns a
+// `policy_spec` into a live monitor + policy pair on any adaptive object.
 //
-// This is the layer the lock factory calls through, and the sweep axis for
-// adx-check (`--policies=all`) and the `bench_abl_policy` scenario.
+// One class owns every install path:
+//   - lock family   (simple-adapt, break-even, ewma-hold, multi-sensor):
+//     installed on a `locks::adaptive_lock` — the layer `locks::factory`
+//     calls through and the sweep axis for adx-check (`--policies=all`).
+//   - map family    (stripe-adapt): installed on anything exposing a
+//     `stripe_controller` (the adaptive hash map).
+//   - monitor family (mode-adapt): installed on anything exposing a
+//     `mode_controller` (the adaptive monitor).
+//
+// Every install consumes the same `policy_spec` schema — name, params,
+// sensors, wrappers, and the execution mode (`sync` runs the policy inline
+// at feedback points; `async` switches the object's monitor to loose
+// coupling so observations queue for the periodic policy runtime,
+// `policy::async_runtime`, and the fast path carries zero policy cost).
+//
+// The free functions at the bottom (`install`, `all_policies`, ...) are the
+// pre-unification surface kept as thin wrappers; new code should call
+// `policy_registry` directly.
 #pragma once
 
 #include <span>
 #include <string_view>
 #include <vector>
 
+#include "core/adaptive.hpp"
 #include "locks/adaptive_lock.hpp"
 #include "locks/cost_model.hpp"
 #include "locks/factory.hpp"
+#include "policy/controllers.hpp"
+#include "policy/sensor_host.hpp"
 #include "policy/spec.hpp"
 
 namespace adx::policy {
 
+/// Which kind of adaptive object a registered policy drives.
+enum class policy_family : std::uint8_t { lock, map, monitor };
+
+[[nodiscard]] constexpr const char* to_string(policy_family f) {
+  switch (f) {
+    case policy_family::lock: return "lock";
+    case policy_family::map: return "map";
+    case policy_family::monitor: return "monitor";
+  }
+  return "?";
+}
+
 struct policy_info {
   std::string_view name;
   std::string_view description;
+  policy_family family = policy_family::lock;
 };
 
-/// Every registered policy, in registration order.
+/// The unified registration API. All members are static — the catalogue is
+/// compiled in; there is no mutable global state.
+class policy_registry {
+ public:
+  /// Every registered policy across all families, in registration order.
+  [[nodiscard]] static std::span<const policy_info> catalogue();
+
+  /// Names within one family (the `--policies` sweep axis is the lock
+  /// family).
+  [[nodiscard]] static std::vector<std::string_view> names(policy_family f);
+
+  /// Validates a name within a family; throws std::invalid_argument listing
+  /// that family's valid names (shared cli::unknown_value UX).
+  [[nodiscard]] static std::string_view parse(std::string_view name,
+                                              policy_family f);
+
+  /// The canonical spec for a registered policy of any family: its name
+  /// plus its default sensor set. For the lock family, sensor periods come
+  /// from `sample_period`; for "simple-adapt" the sensors vector is left
+  /// empty so the spec stays `is_default()` and the lock factory keeps the
+  /// built-in bit-identical path.
+  [[nodiscard]] static policy_spec default_spec(std::string_view name,
+                                                std::uint64_t sample_period = 2);
+
+  /// Installs the lock-family policy described by `params.policy` on `lk`:
+  /// replaces the monitor's sensor set with the spec's (falling back to the
+  /// policy's default sensors), builds the wrapped decision core, and sets
+  /// it as the lock's adaptation policy. Throws std::invalid_argument on
+  /// unknown policy, sensor or wrapper names.
+  static void install(locks::adaptive_lock& lk, const locks::lock_params& params,
+                      const locks::lock_cost_model& cost);
+
+  /// Installs a map-family policy ("stripe-adapt") driving `ctl`, with
+  /// sensors installed on `obj`'s monitor through `host`.
+  static void install(core::adaptive_object& obj, sensor_host& host,
+                      stripe_controller& ctl, const policy_spec& spec);
+
+  /// Installs a monitor-family policy ("mode-adapt") driving `ctl`.
+  static void install(core::adaptive_object& obj, sensor_host& host,
+                      mode_controller& ctl, const policy_spec& spec);
+};
+
+// ------------------------------------------------------- legacy wrappers
+// The pre-unification lock-family surface. Deprecated: call
+// `policy_registry` directly (see DESIGN.md's migration note).
+
+/// Every lock-family policy, in registration order.
 [[nodiscard]] std::span<const policy_info> all_policies();
 [[nodiscard]] std::vector<std::string_view> all_policy_names();
 
-/// Validates a policy name; throws std::invalid_argument listing every
-/// registered name on unknown input (same UX as locks::parse_lock_kind).
+/// Validates a lock-family policy name; throws std::invalid_argument
+/// listing every registered name on unknown input.
 [[nodiscard]] std::string_view parse_policy_name(std::string_view name);
 
-/// The canonical spec for a registered policy: its name plus its default
-/// sensor set (periods taken from `sample_period`). For "simple-adapt" the
-/// sensors vector is left empty so the spec stays `is_default()` and the
-/// factory keeps the built-in bit-identical path.
+/// policy_registry::default_spec restricted to the lock family.
 [[nodiscard]] policy_spec default_spec(std::string_view name,
                                        std::uint64_t sample_period = 2);
 
-/// Installs the policy described by `params.policy` on `lk`: replaces the
-/// monitor's sensor set with the spec's (falling back to the policy's default
-/// sensors), builds the wrapped decision core, and sets it as the lock's
-/// adaptation policy. Throws std::invalid_argument on unknown policy, sensor
-/// or wrapper names.
+/// policy_registry::install for locks (the factory's historical entry).
 void install(locks::adaptive_lock& lk, const locks::lock_params& params,
              const locks::lock_cost_model& cost);
 

@@ -1,0 +1,143 @@
+// The periodic policy runtime: asynchronous, cross-object adaptation.
+//
+// All policies used to run synchronously inside lock/object operations —
+// exactly the monitoring-cost tradeoff §3 of the paper warns about: every
+// k-th instrumentation point charged monitor sampling and policy execution
+// to the operating thread. `async_runtime` decouples them, in the style of
+// APEX's apex_register_periodic_policy:
+//
+//   - A spec with `mode: async` makes the registry install the object's
+//     monitor loosely coupled, so instrumentation points only queue
+//     observations (the queue is the in-sim stand-in for the native side's
+//     lock-free snapshot ring) and the acquire/release fast path carries
+//     ZERO policy cost in virtual time.
+//   - A low-priority daemon — a ct task here, a real thread in src/native
+//     (native::policy_daemon) — wakes at fixed virtual-time ticks, drains
+//     every registered object's queue through `adaptive_object::pump()`,
+//     runs the installed policy core out-of-band, and charges the monitor /
+//     policy / Ψ costs to *itself* on its own processor.
+//   - On top, a cross-object coordinator observes every registration
+//     globally and rebalances: locks idle for `idle_ticks` consecutive
+//     ticks are demoted to cheap spinning (their waiters, if any ever
+//     arrive, stop paying blocking-handoff cost), and the aggregate stripe
+//     count across coordinated maps is capped under `stripe_budget`
+//     (memory pressure), shrinking the widest map first.
+//
+// Determinism contract: daemon wakeups are ordinary simulator events at
+// start + k*period, so runs remain bit-reproducible (FIFO tie-break) and
+// adx-check oracles / ddmin replay apply unchanged. The daemon exits when
+// it is the last live thread, so `run()`/`run_all()` still drain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "ct/context.hpp"
+#include "ct/runtime.hpp"
+#include "ct/task.hpp"
+#include "locks/adaptive_lock.hpp"
+#include "locks/cost_model.hpp"
+#include "locks/factory.hpp"
+#include "policy/controllers.hpp"
+#include "policy/spec.hpp"
+
+namespace adx::policy {
+
+/// Cross-object rebalancing knobs.
+struct coordinator_config {
+  /// Consecutive ticks with zero new acquisitions after which a coordinated
+  /// lock is demoted. 0 disables idle demotion.
+  std::uint64_t idle_ticks = 4;
+  /// The cheap waiting policy idle locks are demoted to.
+  locks::waiting_policy idle_policy = locks::waiting_policy::pure_spin(16);
+  /// Aggregate active-stripe budget across coordinated maps; exceeding it
+  /// shrinks the widest map by its stripe factor. 0 disables the cap.
+  unsigned stripe_budget = 0;
+};
+
+struct runtime_config {
+  /// Virtual-time tick period of the daemon.
+  sim::vdur period = sim::microseconds(
+      static_cast<double>(policy_spec::kDefaultPeriodUs));
+  /// Processor the daemon is pinned to.
+  ct::proc_id proc = 0;
+  /// Fork priority; negative keeps the daemon behind application threads.
+  int priority = -1;
+  /// Safety stop after this many ticks; 0 = run until the workload drains.
+  std::uint64_t max_ticks = 0;
+  coordinator_config coord;
+};
+
+/// The periodic policy runtime. Register async-mode objects, `start()` it
+/// on the ct runtime, run the workload; it stops by itself.
+class async_runtime {
+ public:
+  explicit async_runtime(runtime_config cfg = {}) : cfg_(cfg) {}
+
+  /// Adopts a factory-made lock whose `params.policy` ran `mode: async`
+  /// through the registry. Returns false (and registers nothing) when the
+  /// lock is not adaptive or the spec is synchronous — callers can pass
+  /// every lock of a run unconditionally. `spec.coordinate` opts the lock
+  /// into the coordinator's idle-demotion scan.
+  bool adopt_lock(locks::lock_object& lk, const locks::lock_params& params,
+                  const locks::lock_cost_model& cost);
+
+  /// Adopts a generic adaptive object (the monitor): pumped every tick, no
+  /// coordinator hooks.
+  bool adopt_object(core::adaptive_object& obj, const policy_spec& spec,
+                    const locks::lock_cost_model& cost);
+
+  /// Adopts an adaptive map: pumped every tick; when `spec.coordinate` is
+  /// set, its stripe controller joins the aggregate stripe-budget scan.
+  bool adopt_map(core::adaptive_object& obj, stripe_controller& ctl,
+                 const policy_spec& spec, const locks::lock_cost_model& cost);
+
+  /// Forks the daemon task (no-op without registrations). Call after the
+  /// objects exist and before `rt.run()`.
+  void start(ct::runtime& rt);
+
+  [[nodiscard]] const runtime_config& config() const { return cfg_; }
+  [[nodiscard]] std::size_t registrations() const { return regs_.size(); }
+
+  // ------- introspection (host-side, for tests and benches) -------
+
+  /// Daemon wakeups completed.
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+  /// Observations delivered to policy cores across all registrations.
+  [[nodiscard]] std::uint64_t pumped() const { return pumped_; }
+  /// Coordinator idle-lock demotions applied.
+  [[nodiscard]] std::uint64_t demotions() const { return demotions_; }
+  /// Coordinator stripe-budget shrink requests issued.
+  [[nodiscard]] std::uint64_t stripe_caps() const { return stripe_caps_; }
+
+ private:
+  struct registration {
+    core::adaptive_object* obj;
+    locks::adaptive_lock* lock = nullptr;     ///< set for lock adoptions
+    stripe_controller* stripes = nullptr;     ///< set for coordinated maps
+    locks::lock_cost_model cost;
+    bool coordinate = false;
+    // Coordinator state (locks): acquisition count at the last tick and how
+    // many consecutive ticks it stayed flat.
+    std::uint64_t last_acquisitions = 0;
+    std::uint64_t idle_streak = 0;
+    bool demoted = false;
+  };
+
+  ct::task<void> daemon(ct::context& ctx);
+  ct::task<void> charge(ct::context& ctx, const registration& r,
+                        std::uint64_t delivered, std::uint64_t reconfigs);
+  ct::task<void> coordinate(ct::context& ctx);
+
+  runtime_config cfg_;
+  std::vector<registration> regs_;
+  bool started_ = false;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t pumped_ = 0;
+  std::uint64_t demotions_ = 0;
+  std::uint64_t stripe_caps_ = 0;
+};
+
+}  // namespace adx::policy

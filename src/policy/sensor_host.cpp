@@ -3,17 +3,13 @@
 #include <stdexcept>
 #include <string>
 
+#include "cli/parse_error.hpp"
+
 namespace adx::policy {
 
 void sensor_host::throw_unknown_sensor(std::string_view name,
                                        std::span<const std::string_view> valid) {
-  std::string msg = "unknown sensor: " + std::string(name) + " (valid:";
-  for (const auto n : valid) {
-    msg += ' ';
-    msg += n;
-  }
-  msg += ')';
-  throw std::invalid_argument(msg);
+  throw cli::unknown_value("sensor", name, valid);
 }
 
 core::sensor_aggregation to_core_aggregation(const sensor_spec& s) {

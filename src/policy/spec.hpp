@@ -24,10 +24,38 @@
 #include <utility>
 #include <vector>
 
+#include "cli/parse_error.hpp"
 #include "obs/json.hpp"
 #include "obs/json_reader.hpp"
 
 namespace adx::policy {
+
+/// Where the policy core executes relative to the adapted object's
+/// operations. `sync` is the paper's closely-coupled loop: every k-th
+/// instrumentation point runs M and P inline and charges their cost to the
+/// operating thread. `async` decouples them: instrumentation points only
+/// queue observations (the object's monitor runs loosely coupled, so the
+/// fast path carries zero policy cost) and the periodic policy runtime
+/// (`policy::async_runtime`) drains and evaluates them out-of-band at fixed
+/// virtual-time ticks.
+enum class exec_mode : std::uint8_t {
+  sync,
+  async,
+};
+
+[[nodiscard]] constexpr const char* to_string(exec_mode m) {
+  switch (m) {
+    case exec_mode::sync: return "sync";
+    case exec_mode::async: return "async";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline exec_mode parse_exec_mode(std::string_view s) {
+  if (s == "sync") return exec_mode::sync;
+  if (s == "async") return exec_mode::async;
+  throw cli::unknown_value("mode", s, {"sync", "async"});
+}
 
 /// How a sensor's raw samples are folded into the value the policy sees.
 enum class aggregation : std::uint8_t {
@@ -98,14 +126,26 @@ struct policy_spec {
   std::vector<sensor_spec> sensors;
   /// Decision filters, outermost first.
   std::vector<wrapper_spec> wrappers;
+  /// sync: policy runs inline at instrumentation points (the default).
+  /// async: observations queue and the periodic runtime evaluates them.
+  exec_mode mode = exec_mode::sync;
+  /// Async runtime tick period in virtual microseconds (async mode only).
+  std::uint64_t period_us = kDefaultPeriodUs;
+  /// Opt this object into the cross-object coordinator's global
+  /// rebalancing (async mode only).
+  bool coordinate = false;
+
+  static constexpr std::uint64_t kDefaultPeriodUs = 50;
 
   friend bool operator==(const policy_spec&, const policy_spec&) = default;
 
   /// True for the spec value that means "the built-in simple-adapt loop with
   /// the lock's own parameters" — the factory's bit-identical fast path.
+  /// Any async spec is non-default: even async simple-adapt must go through
+  /// the engine so the runtime can drain its queued observations.
   [[nodiscard]] bool is_default() const {
     return name == "simple-adapt" && params.empty() && sensors.empty() &&
-           wrappers.empty();
+           wrappers.empty() && mode == exec_mode::sync && !coordinate;
   }
 
   // ------- fluent builder -------
@@ -141,6 +181,20 @@ struct policy_spec {
     w.kind = "cooldown";
     w.observations = observations;
     wrappers.push_back(w);
+    return *this;
+  }
+  policy_spec& with_mode(exec_mode m) {
+    mode = m;
+    return *this;
+  }
+  /// Switch to async execution, optionally with a runtime tick period.
+  policy_spec& with_async(std::uint64_t period = kDefaultPeriodUs) {
+    mode = exec_mode::async;
+    period_us = period;
+    return *this;
+  }
+  policy_spec& with_coordinate(bool on = true) {
+    coordinate = on;
     return *this;
   }
 
@@ -192,7 +246,14 @@ inline std::string policy_spec::to_json() const {
     os << "{\"kind\":" << obs::json_str(w.kind) << ",\"confirm\":" << w.confirm
        << ",\"band\":" << w.band << ",\"observations\":" << w.observations << '}';
   }
-  os << "]}";
+  os << "]";
+  // The execution-mode keys are emitted only when they deviate from the
+  // defaults so every pre-existing spec (and the replay journals that embed
+  // them) keeps a byte-identical JSON form.
+  if (mode != exec_mode::sync) os << ",\"mode\":" << obs::json_str(to_string(mode));
+  if (period_us != kDefaultPeriodUs) os << ",\"period_us\":" << period_us;
+  if (coordinate) os << ",\"coordinate\":true";
+  os << '}';
   return os.str();
 }
 
@@ -235,6 +296,11 @@ inline policy_spec policy_spec::from_json_value(const obs::jvalue& v) {
       spec.wrappers.push_back(std::move(w));
     }
   }
+  if (const auto* m = obs::json_find(o, "mode")) spec.mode = parse_exec_mode(m->str());
+  if (const auto* p = obs::json_find(o, "period_us")) {
+    spec.period_us = p->number<std::uint64_t>();
+  }
+  if (const auto* c = obs::json_find(o, "coordinate")) spec.coordinate = c->boolean();
   return spec;
 }
 

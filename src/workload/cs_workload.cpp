@@ -4,6 +4,7 @@
 
 #include "ct/context.hpp"
 #include "ct/runtime.hpp"
+#include "policy/runtime.hpp"
 
 namespace adx::workload {
 
@@ -16,6 +17,17 @@ cs_result run_cs_workload(const cs_config& cfg) {
   ct::runtime rt(cfg.machine);
   auto lk = locks::make_lock(cfg.kind, cfg.lock_home, cfg.cost, cfg.params);
   sim::rng jitter_rng(cfg.seed);
+
+  // Async-mode specs hand the policy to the periodic runtime: the daemon
+  // runs on a spare node when the machine has one, else shares the last
+  // workload processor. adopt_lock() is a no-op for sync specs.
+  const ct::proc_id daemon_proc =
+      cfg.processors < cfg.machine.nodes ? cfg.processors : cfg.processors - 1;
+  policy::async_runtime art(policy::runtime_config{
+      .period = sim::microseconds(static_cast<double>(cfg.params.policy.period_us)),
+      .proc = daemon_proc,
+  });
+  art.adopt_lock(*lk, cfg.params, cfg.cost);
 
   // Pre-draw deterministic jitter factors (one stream per thread) so thread
   // scheduling order cannot perturb the draw sequence.
@@ -48,9 +60,16 @@ cs_result run_cs_workload(const cs_config& cfg) {
     });
   }
 
+  // Fork the daemon last so workload threads exist before its first tick
+  // (it exits when it is the last live thread).
+  art.start(rt);
+
   const auto run = rt.run_all(cfg.max_events);
 
   cs_result res;
+  res.policy_ticks = art.ticks();
+  res.policy_pumped = art.pumped();
+  res.demotions = art.demotions();
   res.elapsed = run.end_time;
   const auto& s = lk->stats();
   res.acquisitions = s.acquisitions();

@@ -36,6 +36,27 @@ TEST(Scenarios, PolicyAblationScenarioIsRegistered) {
   EXPECT_FALSE(sc->description.empty());
 }
 
+// The async execution-mode ablation: the scenario must exist for the perf
+// gate, and one run must show the daemon actually engaged — wakeups
+// happened and the queued observations reached the policy (the async rows
+// are meaningless if the runtime silently stayed sync).
+TEST(Scenarios, AsyncPolicyScenarioRunsTheDaemon) {
+  const auto* sc = find_scenario("bench_abl_async_policy");
+  ASSERT_NE(sc, nullptr);
+  const auto sum = run_scenario(*sc, 1, 0);
+  const auto value = [&](const std::string& name) -> double {
+    for (const auto& m : sum.metrics) {
+      if (m.name == name) return m.stats.median;
+    }
+    ADD_FAILURE() << "metric not found: " << name;
+    return 0.0;
+  };
+  EXPECT_GT(value("sync_total_virtual_ms"), 0.0);
+  EXPECT_GT(value("async_total_virtual_ms"), 0.0);
+  EXPECT_GT(value("async_daemon_ticks"), 0.0);
+  EXPECT_GT(value("async_pumped"), 0.0);
+}
+
 TEST(Scenarios, FindRejectsUnknownNames) {
   EXPECT_EQ(find_scenario("bench_nonexistent"), nullptr);
   EXPECT_EQ(find_scenario(""), nullptr);
