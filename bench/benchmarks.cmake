@@ -48,6 +48,9 @@ adx_bench(bench_abl_coupling)
 adx_bench(bench_abl_async_policy)
 target_link_libraries(bench_abl_async_policy PRIVATE adx_policy)
 
+# Open-loop serving on the sharded DES (tail latency per lock kind).
+adx_bench(bench_serve_openloop)
+
 # Native real-thread backend (google-benchmark).
 adx_bench(bench_native_mutex)
 target_link_libraries(bench_native_mutex PRIVATE benchmark::benchmark)

@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
                    "schedule-exploration & fault-injection checker for the "
                    "thread package's locks")
           .str("fixtures", "mutex,oversub,reconfig",
-               "comma list of fixtures (mutex oversub reconfig broken_lock)")
+               "comma list of fixtures (mutex oversub reconfig broken_lock serve)")
           .str("locks", "all", "comma list of lock kinds, or 'all'")
           .str("policies", "default",
                "adaptation policies for adaptive locks: 'default' (built-in "

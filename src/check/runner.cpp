@@ -7,6 +7,7 @@
 #include "check/broken_lock.hpp"
 #include "locks/scheduler.hpp"
 #include "policy/runtime.hpp"
+#include "sim/rng.hpp"
 
 namespace adx::check {
 
@@ -16,6 +17,7 @@ const char* to_string(fixture f) {
     case fixture::oversub: return "oversub";
     case fixture::reconfig: return "reconfig";
     case fixture::broken_lock: return "broken_lock";
+    case fixture::serve: return "serve";
   }
   return "?";
 }
@@ -35,7 +37,8 @@ fixture parse_fixture(std::string_view name) {
 
 std::span<const fixture> all_fixtures() {
   static constexpr fixture all[] = {fixture::mutex, fixture::oversub,
-                                    fixture::reconfig, fixture::broken_lock};
+                                    fixture::reconfig, fixture::broken_lock,
+                                    fixture::serve};
   return all;
 }
 
@@ -53,6 +56,29 @@ ct::task<void> worker(ct::context& ctx, locks::lock_object& lk, std::uint64_t& c
     counter = v + 1;
     co_await lk.unlock(ctx);
     co_await ctx.compute(sim::microseconds(3));
+  }
+}
+
+/// Serve-fixture worker: open-loop client. Arrival times are pre-determined
+/// exponential draws (seeded per worker), NOT a function of lock progress —
+/// so a slow lock faces a growing backlog instead of a politely throttled
+/// load, and the oracles (starvation, lost wakeup, Ψ-atomicity) see the
+/// tail-latency regime the adaptive argument targets. The witness-counter
+/// read-compute-write shape matches `worker`.
+ct::task<void> serve_worker(ct::context& ctx, locks::lock_object& lk,
+                            std::uint64_t& counter, unsigned iters,
+                            std::uint64_t seed) {
+  sim::rng gen(seed);
+  sim::vtime next{};
+  for (unsigned i = 0; i < iters; ++i) {
+    const double dt_us = gen.exponential(/*mean=*/220.0);
+    next = next + sim::microseconds(dt_us > 1.0 ? dt_us : 1.0);
+    if (ctx.now() < next) co_await ctx.sleep_for(next - ctx.now());
+    co_await lk.lock(ctx);
+    const auto v = counter;
+    co_await ctx.compute(sim::microseconds(2));
+    counter = v + 1;
+    co_await lk.unlock(ctx);
   }
 }
 
@@ -99,9 +125,18 @@ check_result run_with(const check_params& p, sim::perturber& pert) {
   std::uint64_t expected = 0;
   for (ct::proc_id proc = 0; proc < rt.processors(); ++proc) {
     for (unsigned k = 0; k < per_proc; ++k) {
-      rt.fork(proc, [&lk, &counter, &p](ct::context& ctx) -> ct::task<void> {
-        return worker(ctx, *lk, counter, p.iterations);
-      });
+      if (p.fix == fixture::serve) {
+        const std::uint64_t wseed =
+            (p.config.seed != 0 ? p.config.seed : 0x5eedULL) ^
+            (0x9e3779b97f4a7c15ULL * (proc + 1));
+        rt.fork(proc, [&lk, &counter, &p, wseed](ct::context& ctx) -> ct::task<void> {
+          return serve_worker(ctx, *lk, counter, p.iterations, wseed);
+        });
+      } else {
+        rt.fork(proc, [&lk, &counter, &p](ct::context& ctx) -> ct::task<void> {
+          return worker(ctx, *lk, counter, p.iterations);
+        });
+      }
       expected += p.iterations;
     }
   }

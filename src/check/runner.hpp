@@ -28,6 +28,7 @@ enum class fixture {
   oversub,      ///< multiprogrammed: several threads per processor
   reconfig,     ///< lock traffic + concurrent Ψ reconfiguration
   broken_lock,  ///< the mutex workload on the planted-bug lock
+  serve,        ///< open-loop Poisson arrivals hitting the lock (tail regime)
 };
 
 [[nodiscard]] const char* to_string(fixture f);

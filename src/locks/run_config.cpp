@@ -29,14 +29,23 @@ void read_bool(const jobject& o, std::string_view key, bool& out) {
 }
 
 const char* to_string(sim::interconnect_model m) {
-  return m == sim::interconnect_model::butterfly ? "butterfly" : "constant_wire";
+  switch (m) {
+    case sim::interconnect_model::butterfly:
+      return "butterfly";
+    case sim::interconnect_model::hierarchical:
+      return "hierarchical";
+    case sim::interconnect_model::constant_wire:
+      break;
+  }
+  return "constant_wire";
 }
 
 sim::interconnect_model parse_wire_model(std::string_view s) {
   if (s == "constant_wire") return sim::interconnect_model::constant_wire;
   if (s == "butterfly") return sim::interconnect_model::butterfly;
+  if (s == "hierarchical") return sim::interconnect_model::hierarchical;
   throw std::invalid_argument("run_config: unknown wire_model: " + std::string(s) +
-                              " (valid: constant_wire butterfly)");
+                              " (valid: constant_wire butterfly hierarchical)");
 }
 
 }  // namespace
@@ -54,8 +63,14 @@ std::string run_config::to_json() const {
      << ",\"mem_service_ns\":" << machine.mem_service.ns
      << ",\"atomic_service_ns\":" << machine.atomic_service.ns
      << ",\"context_switch_ns\":" << machine.context_switch.ns
-     << ",\"dispatch_latency_ns\":" << machine.dispatch_latency.ns
-     << ",\"seed\":" << machine.seed << '}';
+     << ",\"dispatch_latency_ns\":" << machine.dispatch_latency.ns;
+  // Group keys exist only under the hierarchical model, keeping every
+  // pre-hierarchical config (and replay journal) byte-stable.
+  if (machine.wire_model == sim::interconnect_model::hierarchical) {
+    os << ",\"group_size\":" << machine.group_size
+       << ",\"group_wire_ns\":" << machine.group_wire.ns;
+  }
+  os << ",\"seed\":" << machine.seed << '}';
   os << ",\"lock\":" << json_str(locks::to_string(lock));
   os << ",\"params\":{"
      << "\"combined_spin_limit\":" << params.combined_spin_limit
@@ -83,6 +98,7 @@ std::string run_config::to_json() const {
   os << ",\"seed\":" << seed;
   // The object axis is emitted only when set, so pure lock configs keep
   // their historical shape (and replay journals stay byte-stable).
+  if (shards != 1) os << ",\"shards\":" << shards;
   if (!object.empty()) os << ",\"object\":" << json_str(object);
   if (!object_policy.is_default()) {
     os << ",\"object_policy\":" << object_policy.to_json();
@@ -112,6 +128,8 @@ run_config run_config::from_json(std::string_view text) {
     read_ns(mo, "atomic_service_ns", rc.machine.atomic_service);
     read_ns(mo, "context_switch_ns", rc.machine.context_switch);
     read_ns(mo, "dispatch_latency_ns", rc.machine.dispatch_latency);
+    read_num(mo, "group_size", rc.machine.group_size);
+    read_ns(mo, "group_wire_ns", rc.machine.group_wire);
     read_num(mo, "seed", rc.machine.seed);
   }
   if (const auto* lk = json_find(o, "lock")) rc.lock = locks::parse_lock_kind(lk->str());
@@ -150,6 +168,7 @@ run_config run_config::from_json(std::string_view text) {
     read_num(to, "latency_spike_us", rc.perturb.latency_spike_us);
   }
   if (const auto* s = json_find(o, "seed")) rc.seed = s->number<std::uint64_t>();
+  if (const auto* sh = json_find(o, "shards")) rc.shards = sh->number<unsigned>();
   if (const auto* ob = json_find(o, "object")) rc.object = ob->str();
   if (const auto* op = json_find(o, "object_policy")) {
     rc.object_policy = policy::policy_spec::from_json_value(*op);

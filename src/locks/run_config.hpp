@@ -46,6 +46,10 @@ struct run_config {
   /// Object-level adaptation policy (stripe-adapt / mode-adapt). The default
   /// spec means "the object's own default policy".
   policy::policy_spec object_policy{};
+  /// DES shards for workloads running on sim::sharded_event_queue (open-loop
+  /// serving). 1 = the sequential queue; results are bit-identical at every
+  /// value, so this is purely a wall-clock knob.
+  unsigned shards = 1;
 
   friend bool operator==(const run_config&, const run_config&) = default;
 
@@ -89,6 +93,10 @@ struct run_config {
   }
   run_config& with_object_policy(policy::policy_spec spec) {
     object_policy = std::move(spec);
+    return *this;
+  }
+  run_config& with_shards(unsigned s) {
+    shards = s;
     return *this;
   }
 

@@ -22,9 +22,11 @@
 #include "perf/probes.hpp"
 #include "policy/registry.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/sharded_event_queue.hpp"
 #include "tsp/instance.hpp"
 #include "tsp/parallel.hpp"
 #include "workload/cs_workload.hpp"
+#include "workload/open_loop.hpp"
 
 namespace adx::perf {
 namespace {
@@ -82,6 +84,213 @@ scenario_result run_event_queue_churn() {
   r.metrics.push_back({"end_virtual_us", "us", kVirtual, q.now().us()});
   r.metrics.push_back({"events_per_sec", "events/s", kWall,
                        static_cast<double>(q.processed()) / wall_s,
+                       /*higher_better=*/true});
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded event-queue churn: 8 shards of dense self-rescheduling chains under
+// a wide lookahead (big windows, few barriers) plus cross-shard sends landing
+// exactly at the horizon. The sequential run supplies the virtual metrics and
+// the sequential wall rate; a second, identical run fans the windows across 4
+// workers — its wall rate over the sequential one is the sharding speedup the
+// ROADMAP's scale item asks for.
+// ---------------------------------------------------------------------------
+
+struct sharded_churn_state {
+  sim::sharded_event_queue* q{nullptr};
+  std::vector<std::uint64_t> origin_counters;   // one per shard
+  std::vector<std::uint64_t> deliveries;        // one per shard (local writes)
+};
+
+struct sharded_chain {
+  sharded_churn_state* s{nullptr};
+  unsigned shard{0};
+  std::uint64_t remaining{0};
+  std::uint64_t x{0};
+};
+
+void sharded_churn_step(sharded_chain& c) {
+  if (c.remaining-- == 0) return;
+  c.x = c.x * 6364136223846793005ULL + 1442695040888963407ULL;
+  auto& q = *c.s->q;
+  const auto delta = sim::nanoseconds(static_cast<std::int64_t>(c.x % 997) + 1);
+  q.schedule_at(c.shard, q.now(c.shard) + delta, [&c] { sharded_churn_step(c); });
+  if (c.x % 64 == 0 && q.shards() > 1) {
+    // Cross-shard send at exactly now + lookahead: the legal horizon boundary.
+    const unsigned to =
+        static_cast<unsigned>((c.shard + 1 + c.x % (q.shards() - 1)) % q.shards());
+    const std::uint64_t origin = (static_cast<std::uint64_t>(c.shard) << 32) |
+                                 c.s->origin_counters[c.shard]++;
+    auto* hits = &c.s->deliveries[to];
+    q.send(c.shard, to, q.now(c.shard) + q.lookahead(), origin, [hits] { ++*hits; });
+  }
+}
+
+struct sharded_churn_out {
+  std::uint64_t processed{0};
+  std::uint64_t windows{0};
+  std::uint64_t cross_sends{0};
+  double end_us{0};
+  double wall_s{0};
+};
+
+sharded_churn_out run_sharded_churn_once(unsigned jobs) {
+  constexpr unsigned kShards = 8;
+  constexpr unsigned kChainsPerShard = 8;
+  constexpr std::uint64_t kEventsPerChain = 2500;
+  sim::sharded_event_queue q(kShards, sim::microseconds(1000));
+  sharded_churn_state s{&q, std::vector<std::uint64_t>(kShards),
+                        std::vector<std::uint64_t>(kShards)};
+  std::vector<sharded_chain> chains(kShards * kChainsPerShard);
+  for (unsigned sh = 0; sh < kShards; ++sh) {
+    for (unsigned k = 0; k < kChainsPerShard; ++k) {
+      auto& c = chains[sh * kChainsPerShard + k];
+      c = {&s, sh, kEventsPerChain, 0x9e3779b97f4a7c15ULL + sh * 131 + k};
+      q.schedule_at(sh, sim::vtime{k}, [&c] { sharded_churn_step(c); });
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  if (jobs > 1) {
+    exec::job_executor ex(jobs);
+    q.run(ex);
+  } else {
+    q.run();
+  }
+  sharded_churn_out out;
+  out.wall_s = wall_seconds_since(t0);
+  out.processed = q.processed();
+  out.windows = q.windows();
+  out.cross_sends = q.cross_sends();
+  out.end_us = q.now().us();
+  return out;
+}
+
+scenario_result run_sharded_queue_churn() {
+  const auto seq = run_sharded_churn_once(1);
+  const auto par = run_sharded_churn_once(4);
+
+  scenario_result r;
+  r.metrics.push_back({"events_processed", "count", kVirtual,
+                       static_cast<double>(seq.processed)});
+  r.metrics.push_back({"windows", "count", kVirtual, static_cast<double>(seq.windows)});
+  r.metrics.push_back({"cross_sends", "count", kVirtual,
+                       static_cast<double>(seq.cross_sends)});
+  r.metrics.push_back({"end_virtual_us", "us", kVirtual, seq.end_us});
+  r.metrics.push_back({"events_per_sec_seq", "events/s", kWall,
+                       static_cast<double>(seq.processed) / seq.wall_s,
+                       /*higher_better=*/true});
+  r.metrics.push_back({"events_per_sec_jobs4", "events/s", kWall,
+                       static_cast<double>(par.processed) / par.wall_s,
+                       /*higher_better=*/true});
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop serving: tail latency per lock kind under light and bursty load
+// (src/workload/open_loop). Light load rewards the spin handoff; the bursty
+// phase drives queue depths where the spin hot-spot tax compounds and only
+// blocking handoffs drain — adaptive must track the winner on both. All
+// latency quantiles are virtual-clock and gated exactly.
+// ---------------------------------------------------------------------------
+
+workload::open_loop_config serve_base() {
+  workload::open_loop_config c;
+  c.machine = sim::machine_config::hierarchical_numa(8, 8);
+  c.shards = 4;
+  c.locks_per_group = 1;
+  c.requests_per_group = 1500;
+  c.mean_interarrival_us = 600;
+  c.mean_service_us = 40;
+  c.remote_ratio = 0.10;
+  c.params.adapt.waiting_threshold = 16;
+  return c;
+}
+
+scenario_result run_serve_openloop() {
+  const struct {
+    const char* tag;
+    bool bursty;
+  } loads[] = {{"light", false}, {"bursty", true}};
+  const struct {
+    const char* tag;
+    locks::lock_kind kind;
+  } kinds[] = {{"spin", locks::lock_kind::spin},
+               {"blocking", locks::lock_kind::blocking},
+               {"adaptive", locks::lock_kind::adaptive}};
+  scenario_result r;
+  double total_requests = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& load : loads) {
+    for (const auto& k : kinds) {
+      auto cfg = serve_base();
+      cfg.kind = k.kind;
+      cfg.bursty = load.bursty;
+      cfg.burst_mult = 8;
+      cfg.burst_period_us = 30'000;
+      const auto res = run_open_loop(cfg);
+      total_requests += static_cast<double>(res.completed);
+      const std::string p = std::string(load.tag) + '_' + k.tag;
+      r.metrics.push_back({p + "_p50_us", "us", kVirtual,
+                           static_cast<double>(res.p50_ns) / 1e3});
+      r.metrics.push_back({p + "_p99_us", "us", kVirtual,
+                           static_cast<double>(res.p99_ns) / 1e3});
+      r.metrics.push_back({p + "_p999_us", "us", kVirtual,
+                           static_cast<double>(res.p999_ns) / 1e3});
+    }
+  }
+  const double wall_s = wall_seconds_since(t0);
+  r.metrics.push_back({"requests_per_sec", "req/s", kWall, total_requests / wall_s,
+                       /*higher_better=*/true});
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// The 1000+-node end-to-end: the hierarchical_numa() preset (1024 nodes, 32
+// groups) serving bursty open-loop traffic on 8 DES shards, all three
+// handoff disciplines. Virtual quantiles gate exactly; the wall rate rides
+// the IQR band.
+// ---------------------------------------------------------------------------
+
+scenario_result run_serve_tail_1024() {
+  const struct {
+    const char* tag;
+    locks::lock_kind kind;
+  } kinds[] = {{"spin", locks::lock_kind::spin},
+               {"blocking", locks::lock_kind::blocking},
+               {"adaptive", locks::lock_kind::adaptive}};
+  scenario_result r;
+  double total_requests = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& k : kinds) {
+    auto cfg = serve_base();
+    cfg.machine = sim::machine_config::hierarchical_numa();  // 32x32 = 1024 nodes
+    cfg.shards = 8;
+    cfg.requests_per_group = 400;
+    cfg.kind = k.kind;
+    cfg.bursty = true;
+    cfg.burst_mult = 8;
+    cfg.burst_period_us = 30'000;
+    const auto res = run_open_loop(cfg);
+    total_requests += static_cast<double>(res.completed);
+    const std::string p = std::string("n1024_") + k.tag;
+    r.metrics.push_back({p + "_p50_us", "us", kVirtual,
+                         static_cast<double>(res.p50_ns) / 1e3});
+    r.metrics.push_back({p + "_p99_us", "us", kVirtual,
+                         static_cast<double>(res.p99_ns) / 1e3});
+    r.metrics.push_back({p + "_p999_us", "us", kVirtual,
+                         static_cast<double>(res.p999_ns) / 1e3});
+    if (k.kind == locks::lock_kind::adaptive) {
+      r.metrics.push_back({"n1024_completed", "count", kVirtual,
+                           static_cast<double>(res.completed)});
+      r.metrics.push_back({"n1024_windows", "count", kVirtual,
+                           static_cast<double>(res.windows)});
+      r.metrics.push_back({"n1024_cross_sends", "count", kVirtual,
+                           static_cast<double>(res.cross_sends)});
+    }
+  }
+  const double wall_s = wall_seconds_since(t0);
+  r.metrics.push_back({"requests_per_sec", "req/s", kWall, total_requests / wall_s,
                        /*higher_better=*/true});
   return r;
 }
@@ -748,6 +957,15 @@ std::vector<scenario> make_registry() {
   add("sim_event_queue_churn",
       "pure event-queue stress: 64 self-rescheduling chains + tie bursts",
       run_event_queue_churn);
+  add("sim_sharded_queue_churn",
+      "sharded event-queue stress: 8 shards, windowed lookahead, horizon sends",
+      run_sharded_queue_churn);
+  add("bench_serve_openloop",
+      "open-loop serving: tail latency per lock kind, light + bursty load",
+      run_serve_openloop);
+  add("bench_serve_tail_1024",
+      "open-loop serving on the 1024-node hierarchical preset, 8 DES shards",
+      run_serve_tail_1024);
   add("bench_table1_tsp_central", "Table 1: centralized TSP, blocking vs adaptive",
       [] { return run_tsp_scenario(tsp::variant::centralized); });
   add("bench_table2_tsp_dist", "Table 2: distributed TSP, blocking vs adaptive",

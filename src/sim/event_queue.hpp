@@ -68,6 +68,10 @@ class event_queue {
 
   [[nodiscard]] vtime now() const { return now_; }
   [[nodiscard]] bool empty() const { return heap_.empty(); }
+  /// Timestamp of the earliest pending event (requires !empty()). The top of
+  /// the 4-ary heap is heap_[0], so this is a single load — the sharded
+  /// queue's window computation peeks every shard each round.
+  [[nodiscard]] vtime next_at() const { return heap_.front().at; }
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t processed() const { return processed_; }
 

@@ -42,7 +42,12 @@ vtime machine::access(node_id from, node_id home, access_kind kind) {
     const vtime done_at_module = modules_[home].service(arrival, service);
     return network_->traverse(home, from, done_at_module);
   }
-  const vdur wire = local ? cfg_.local_wire : cfg_.remote_wire;
+  // Hierarchical model: intra-group remote accesses ride the cheap group
+  // wire; only cross-group traffic pays the backbone. Other models price
+  // every remote access at remote_wire, exactly as before.
+  const bool near = cfg_.wire_model == interconnect_model::hierarchical &&
+                    cfg_.group_of(from) == cfg_.group_of(home);
+  const vdur wire = local ? cfg_.local_wire : near ? cfg_.group_wire : cfg_.remote_wire;
   const vtime arrival = now() + wire + spike;
   const vtime done_at_module = modules_[home].service(arrival, service);
   return done_at_module + wire;

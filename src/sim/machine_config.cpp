@@ -2,6 +2,23 @@
 
 namespace adx::sim {
 
+vdur machine_config::min_cross_group_latency() const {
+  switch (wire_model) {
+    case interconnect_model::butterfly: {
+      // Uncontended one-way staged latency: stages x (hop + service), the
+      // same formula butterfly_network charges when its switches are idle.
+      unsigned stages = 1;
+      for (unsigned span = 4; span < nodes; span *= 4) ++stages;
+      return vdur{(switch_stage_latency + switch_service).ns *
+                  static_cast<std::int64_t>(stages)};
+    }
+    case interconnect_model::constant_wire:
+    case interconnect_model::hierarchical:
+      return remote_wire;
+  }
+  return remote_wire;
+}
+
 machine_config machine_config::butterfly_gp1000() {
   machine_config c;
   c.nodes = 32;
@@ -11,6 +28,36 @@ machine_config machine_config::butterfly_gp1000() {
   c.atomic_service = microseconds(1.2);
   c.context_switch = microseconds(400);
   c.dispatch_latency = microseconds(12);
+  return c;
+}
+
+machine_config machine_config::hierarchical_numa(unsigned groups, unsigned per_group) {
+  machine_config c;
+  c.nodes = groups * per_group;
+  c.wire_model = interconnect_model::hierarchical;
+  c.group_size = per_group;
+  c.local_wire = microseconds(0.2);
+  c.group_wire = microseconds(0.7);
+  c.remote_wire = microseconds(2.6);
+  c.mem_service = microseconds(0.6);
+  c.atomic_service = microseconds(1.2);
+  c.context_switch = microseconds(85);
+  c.dispatch_latency = microseconds(12);
+  return c;
+}
+
+machine_config machine_config::fat_tree_hpc4096() {
+  machine_config c;
+  c.nodes = 4096;
+  c.wire_model = interconnect_model::hierarchical;
+  c.group_size = 64;
+  c.local_wire = microseconds(0.15);
+  c.group_wire = microseconds(0.5);
+  c.remote_wire = microseconds(2.0);
+  c.mem_service = microseconds(0.4);
+  c.atomic_service = microseconds(0.9);
+  c.context_switch = microseconds(40);
+  c.dispatch_latency = microseconds(5);
   return c;
 }
 

@@ -21,6 +21,7 @@ using node_id = std::uint32_t;
 enum class interconnect_model : std::uint8_t {
   constant_wire,  ///< fixed one-way remote latency (default, calibrated)
   butterfly,      ///< staged 4x4 switch network with per-switch queueing
+  hierarchical,   ///< two-level NUMA: cheap intra-group wire, dear cross-group
 };
 
 struct machine_config {
@@ -44,6 +45,15 @@ struct machine_config {
   vdur switch_stage_latency = microseconds(0.3);
   vdur switch_service = microseconds(0.13);
 
+  /// Nodes per NUMA group (hierarchical model). Grouping also defines the
+  /// sharding unit for the parallel DES: one shard owns one group's nodes,
+  /// and `min_cross_group_latency()` is its conservative lookahead.
+  unsigned group_size = 8;
+
+  /// One-way wire latency between two nodes in the same group (hierarchical
+  /// model). Cross-group accesses pay `remote_wire`.
+  vdur group_wire = microseconds(0.7);
+
   /// Module occupancy per plain read or write; a module services one access
   /// at a time, so concurrent accesses to one module queue behind each other.
   vdur mem_service = microseconds(0.6);
@@ -63,11 +73,38 @@ struct machine_config {
 
   friend bool operator==(const machine_config&, const machine_config&) = default;
 
+  /// NUMA group of a node (node_id / group_size, every model).
+  [[nodiscard]] unsigned group_of(node_id n) const { return n / group_size; }
+
+  /// Number of NUMA groups (ceiling division; the last group may be short).
+  [[nodiscard]] unsigned groups() const {
+    return (nodes + group_size - 1) / group_size;
+  }
+
+  /// Lower bound on the virtual time for any influence to cross a group
+  /// boundary — the conservative lookahead for the sharded DES. Every
+  /// cross-group access pays at least one outbound wire traversal before it
+  /// can touch remote state, so the one-way uncontended latency is safe.
+  [[nodiscard]] vdur min_cross_group_latency() const;
+
   /// The paper's platform: 32-node BBN Butterfly GP1000.
   [[nodiscard]] static machine_config butterfly_gp1000();
 
   /// A small fast machine for unit tests.
   [[nodiscard]] static machine_config test_machine(unsigned nodes = 4);
+
+  /// Two-level NUMA machine past the Butterfly's scale: `groups` groups of
+  /// `per_group` nodes (default 32x32 = 1024). Intra-group traffic rides the
+  /// cheap group wire; cross-group traffic pays a backbone hop several times
+  /// dearer, so lock homes and policy placement matter more than on the flat
+  /// GP1000 wire.
+  [[nodiscard]] static machine_config hierarchical_numa(unsigned groups = 32,
+                                                        unsigned per_group = 32);
+
+  /// Fat-tree-style HPC machine: 4096 nodes in 64-node groups with fast
+  /// local silicon and a relatively long backbone — the stress preset for
+  /// the open-loop serving scenarios.
+  [[nodiscard]] static machine_config fat_tree_hpc4096();
 };
 
 }  // namespace adx::sim

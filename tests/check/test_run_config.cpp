@@ -120,5 +120,35 @@ TEST(RunConfig, ObjectAxisIsOmittedFromPureLockConfigs) {
   EXPECT_TRUE(back.object_policy.is_default());
 }
 
+TEST(RunConfig, ShardsRoundTripAndDefaultOmission) {
+  // shards == 1 (the default) must not appear: pre-sharding configs and
+  // replay journals stay byte-stable.
+  const auto plain = run_config{}.to_json();
+  EXPECT_EQ(plain.find("\"shards\""), std::string::npos) << plain;
+
+  const auto rc = run_config{}.with_shards(8);
+  const auto text = rc.to_json();
+  EXPECT_NE(text.find("\"shards\":8"), std::string::npos) << text;
+  const auto back = run_config::from_json(text);
+  EXPECT_EQ(back, rc);
+  EXPECT_EQ(back.shards, 8u);
+}
+
+TEST(RunConfig, HierarchicalMachineRoundTripsThroughJson) {
+  // Group keys are emitted only under the hierarchical wire model.
+  const auto plain = run_config{}.to_json();
+  EXPECT_EQ(plain.find("\"group_size\""), std::string::npos) << plain;
+  EXPECT_EQ(plain.find("\"group_wire_ns\""), std::string::npos) << plain;
+
+  auto rc = run_config{}.with_machine(sim::machine_config::hierarchical_numa(4, 4));
+  rc.machine.group_wire = sim::microseconds(0.9);
+  const auto text = rc.to_json();
+  EXPECT_NE(text.find("\"group_size\":4"), std::string::npos) << text;
+  const auto back = run_config::from_json(text);
+  EXPECT_EQ(back, rc);
+  EXPECT_EQ(back.machine.group_size, 4u);
+  EXPECT_EQ(back.machine.group_wire.ns, sim::microseconds(0.9).ns);
+}
+
 }  // namespace
 }  // namespace adx

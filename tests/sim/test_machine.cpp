@@ -120,6 +120,70 @@ TEST(Machine, ButterflyPresetShape) {
   EXPECT_GT(c.context_switch, microseconds(100));
 }
 
+machine_config hier_config() {
+  auto c = flat_config();  // nodes = 4
+  c.wire_model = interconnect_model::hierarchical;
+  c.group_size = 2;  // groups {0,1} and {2,3}
+  c.group_wire = microseconds(0.5);
+  return c;
+}
+
+TEST(Machine, HierarchicalSameGroupUsesGroupWire) {
+  machine m(hier_config());
+  // wire out + service + wire back = 0.5 + 0.5 + 0.5
+  EXPECT_EQ(m.access(0, 1, access_kind::read).ns,
+            static_cast<std::uint64_t>(microseconds(1.5).ns));
+}
+
+TEST(Machine, HierarchicalCrossGroupUsesRemoteWire) {
+  machine m(hier_config());
+  EXPECT_EQ(m.access(0, 2, access_kind::read).ns,
+            static_cast<std::uint64_t>(microseconds(2.5).ns));
+}
+
+TEST(Machine, HierarchicalLocalAccessUnchanged) {
+  machine m(hier_config());
+  EXPECT_EQ(m.access(0, 0, access_kind::read).ns,
+            static_cast<std::uint64_t>(microseconds(0.7).ns));
+}
+
+TEST(Machine, GroupArithmetic) {
+  auto c = hier_config();
+  c.nodes = 10;
+  c.group_size = 4;
+  EXPECT_EQ(c.group_of(0), 0u);
+  EXPECT_EQ(c.group_of(3), 0u);
+  EXPECT_EQ(c.group_of(4), 1u);
+  EXPECT_EQ(c.group_of(9), 2u);
+  EXPECT_EQ(c.groups(), 3u);  // rounds up
+}
+
+TEST(Machine, MinCrossGroupLatencyPerModel) {
+  auto c = flat_config();
+  EXPECT_EQ(c.min_cross_group_latency(), c.remote_wire);
+  c.wire_model = interconnect_model::hierarchical;
+  EXPECT_EQ(c.min_cross_group_latency(), c.remote_wire);
+  c.wire_model = interconnect_model::butterfly;
+  c.nodes = 16;  // two 4-ary stages
+  c.switch_stage_latency = microseconds(0.2);
+  c.switch_service = microseconds(0.3);
+  EXPECT_EQ(c.min_cross_group_latency().ns, microseconds(1.0).ns);
+}
+
+TEST(Machine, HierarchicalPresetShapes) {
+  const auto n = machine_config::hierarchical_numa();
+  EXPECT_EQ(n.nodes, 1024u);
+  EXPECT_EQ(n.groups(), 32u);
+  EXPECT_EQ(n.wire_model, interconnect_model::hierarchical);
+  EXPECT_GT(n.group_wire, n.local_wire);
+  EXPECT_GT(n.remote_wire, n.group_wire);
+
+  const auto f = machine_config::fat_tree_hpc4096();
+  EXPECT_EQ(f.nodes, 4096u);
+  EXPECT_EQ(f.group_size, 64u);
+  EXPECT_EQ(f.min_cross_group_latency(), f.remote_wire);
+}
+
 TEST(Machine, RandomStreamSeededFromConfig) {
   auto cfg = flat_config();
   cfg.seed = 2024;

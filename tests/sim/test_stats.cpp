@@ -92,5 +92,74 @@ TEST(Histogram, NonZeroOrigin) {
   EXPECT_EQ(h.bucket(3), 1u);
 }
 
+TEST(LogHistogram, EmptyQuantileIsZero) {
+  log_histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LogHistogram, ExactBelowSubBucketRange) {
+  // With sub_bits = 5, values below 2^5 get one bucket each: quantiles in
+  // that range are exact, not approximations.
+  log_histogram h(5);
+  for (std::uint64_t v = 0; v < 32; ++v) {
+    EXPECT_EQ(h.index_of(v), v);
+    EXPECT_EQ(h.bucket_hi(v), v);
+    h.add(v);
+  }
+  EXPECT_EQ(h.quantile(0.5), 15u);
+  EXPECT_EQ(h.quantile(1.0), 31u);
+  EXPECT_EQ(h.max(), 31u);
+}
+
+TEST(LogHistogram, IndexAndBucketHiRoundTrip) {
+  log_histogram h(5);
+  for (const std::uint64_t v : {32ULL, 33ULL, 63ULL, 64ULL, 1000ULL, 65'535ULL,
+                                1ULL << 30, (1ULL << 40) + 12345ULL}) {
+    const auto i = h.index_of(v);
+    // v lands in bucket i: above the previous bucket's ceiling, at or below
+    // its own.
+    EXPECT_GE(h.bucket_hi(i), v) << v;
+    EXPECT_LT(h.bucket_hi(i - 1), v) << v;
+    // Log-linear error bound: the sub-bucket width is at most v / 2^sub_bits.
+    EXPECT_LE(h.bucket_hi(i) - v, v / 32) << v;
+  }
+}
+
+TEST(LogHistogram, QuantileClampsToObservedMax) {
+  log_histogram h;
+  h.add(1000);  // bucket ceiling is above 1000, but 1000 is the real max
+  EXPECT_EQ(h.quantile(0.5), 1000u);
+  EXPECT_EQ(h.quantile(1.0), 1000u);
+}
+
+TEST(LogHistogram, MergeMatchesSequentialAdds) {
+  log_histogram all, odd, even;
+  std::uint64_t x = 99;
+  for (int i = 0; i < 2000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto v = (x >> 33) % 1'000'000;
+    all.add(v);
+    (i % 2 ? odd : even).add(v);
+  }
+  even.merge(odd);
+  EXPECT_EQ(even.count(), all.count());
+  EXPECT_EQ(even.max(), all.max());
+  EXPECT_DOUBLE_EQ(even.mean(), all.mean());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(even.quantile(q), all.quantile(q)) << q;
+  }
+}
+
+TEST(LogHistogram, WeightedAddCountsEverySample) {
+  log_histogram h;
+  h.add(10, 7);
+  h.add(1'000'000, 3);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.quantile(0.5), 10u);
+  EXPECT_GT(h.quantile(0.95), 900'000u);
+}
+
 }  // namespace
 }  // namespace adx::sim
