@@ -129,6 +129,9 @@ run_config run_config::from_json(std::string_view text) {
     read_ns(mo, "context_switch_ns", rc.machine.context_switch);
     read_ns(mo, "dispatch_latency_ns", rc.machine.dispatch_latency);
     read_num(mo, "group_size", rc.machine.group_size);
+    if (rc.machine.group_size == 0) {
+      throw std::invalid_argument("run_config: group_size must be >= 1");
+    }
     read_ns(mo, "group_wire_ns", rc.machine.group_wire);
     read_num(mo, "seed", rc.machine.seed);
   }

@@ -108,7 +108,9 @@ class log_histogram {
     buckets_[i] += count;
     total_ += count;
     max_ = std::max(max_, v);
-    sum_ += v * count;
+    // 128-bit accumulation: v * count alone can exceed 2^64 for wide counts,
+    // and long runs of ns-scale values would silently wrap a 64-bit sum.
+    sum_ += static_cast<unsigned __int128>(v) * count;
   }
 
   /// Bucket-wise sum; commutative and associative, so any merge tree over
@@ -171,7 +173,7 @@ class log_histogram {
   std::vector<std::uint64_t> buckets_;
   std::uint64_t total_{0};
   std::uint64_t max_{0};
-  std::uint64_t sum_{0};
+  unsigned __int128 sum_{0};
 };
 
 }  // namespace adx::sim

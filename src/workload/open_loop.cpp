@@ -47,6 +47,7 @@ struct client_state {
   sim::rng gen{0};
   std::uint64_t remaining = 0;
   std::uint64_t origin_counter = 0;
+  std::uint64_t remote_requests = 0;
 };
 
 class engine {
@@ -91,13 +92,13 @@ class engine {
       r.grants_spin += g.grants_spin;
       r.grants_block += g.grants_block;
     }
+    for (const auto& c : clients_) r.remote_requests += c.remote_requests;
     r.elapsed = q_.now();
     r.p50_ns = merged.p50();
     r.p99_ns = merged.p99();
     r.p999_ns = merged.p999();
     r.max_ns = merged.max();
     r.mean_ns = merged.mean();
-    r.remote_requests = remote_requests_;
     r.windows = q_.windows();
     r.cross_sends = q_.cross_sends();
     if (r.elapsed.ns > 0) {
@@ -138,7 +139,7 @@ class engine {
       // under re-sharding.
       const std::uint64_t origin =
           (static_cast<std::uint64_t>(g) << 32) | c.origin_counter++;
-      ++remote_requests_;
+      ++c.remote_requests;
       const sim::vtime deliver = t + lookahead_;
       q_.send(shard_of(g), shard_of(h), deliver, origin,
               [this, h, lock, req, deliver] { arrive(h, lock, req, deliver); });
@@ -245,7 +246,6 @@ class engine {
   sim::sharded_event_queue q_;
   std::vector<group_state> groups_;
   std::vector<client_state> clients_;
-  std::uint64_t remote_requests_{0};
 };
 
 }  // namespace

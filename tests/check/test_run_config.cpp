@@ -86,6 +86,15 @@ TEST(RunConfig, MalformedJsonThrows) {
   EXPECT_THROW((void)run_config::from_json("{\"seed\": }"), std::invalid_argument);
 }
 
+TEST(RunConfig, RejectsZeroGroupSize) {
+  // group_size feeds machine_config::group_of()/groups() as a divisor; zero
+  // must be rejected at the parse boundary, not crash the first model query.
+  EXPECT_THROW((void)run_config::from_json(R"({"machine": {"group_size": 0}})"),
+               std::invalid_argument);
+  const auto rc = run_config::from_json(R"({"machine": {"group_size": 4}})");
+  EXPECT_EQ(rc.machine.group_size, 4u);
+}
+
 TEST(RunConfig, FluentBuilderSetsEveryField) {
   const auto rc = run_config{}
                       .with_nodes(6)

@@ -161,5 +161,19 @@ TEST(LogHistogram, WeightedAddCountsEverySample) {
   EXPECT_GT(h.quantile(0.95), 900'000u);
 }
 
+TEST(LogHistogram, SumSurvivesPastUint64) {
+  // v * count alone exceeds 2^64 here; a 64-bit sum would wrap and report a
+  // tiny mean. The 128-bit accumulator keeps the mean exact.
+  log_histogram h;
+  const std::uint64_t v = 1ULL << 40;
+  h.add(v, 1ULL << 25);  // v * count == 2^65
+  EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(v));
+
+  log_histogram other;
+  other.add(v, 1ULL << 25);
+  h.merge(other);
+  EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(v));
+}
+
 }  // namespace
 }  // namespace adx::sim
