@@ -51,6 +51,13 @@ target_link_libraries(bench_abl_async_policy PRIVATE adx_policy)
 # Open-loop serving on the sharded DES (tail latency per lock kind).
 adx_bench(bench_serve_openloop)
 
+# Federated ct workloads on the execution domain (real threads, one runtime
+# per NUMA group, cross-shard traffic through federation::post).
+adx_bench(bench_sharded_cs)
+adx_bench(bench_serve_ct)
+target_link_libraries(bench_sharded_cs PRIVATE adx_policy)
+target_link_libraries(bench_serve_ct PRIVATE adx_policy)
+
 # Native real-thread backend (google-benchmark).
 adx_bench(bench_native_mutex)
 target_link_libraries(bench_native_mutex PRIVATE benchmark::benchmark)

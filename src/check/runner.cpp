@@ -7,6 +7,7 @@
 #include "check/broken_lock.hpp"
 #include "locks/scheduler.hpp"
 #include "policy/runtime.hpp"
+#include "sim/event_domain.hpp"
 #include "sim/rng.hpp"
 
 namespace adx::check {
@@ -105,7 +106,9 @@ ct::task<void> configurator(ct::context& ctx, locks::reconfigurable_lock& rl,
 }
 
 check_result run_with(const check_params& p, sim::perturber& pert) {
-  ct::runtime rt(p.config.effective_machine());
+  const auto mc = p.config.effective_machine();
+  auto dom = sim::make_event_domain(mc, {.shards = 1, .seed = mc.seed});
+  ct::runtime rt(mc, dom->queue_of(0));
   rt.set_perturber(&pert);
 
   const locks::lock_cost_model cost{};
@@ -158,7 +161,8 @@ check_result run_with(const check_params& p, sim::perturber& pert) {
   art.adopt_lock(*lk, p.config.params, cost);
   art.start(rt);
 
-  const auto r = rt.run(p.max_events);
+  const auto events = dom->run(nullptr, p.max_events);
+  const auto r = rt.finish(events);
   mon.finish(r);
 
   check_result out;

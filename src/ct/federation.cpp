@@ -1,0 +1,144 @@
+#include "ct/federation.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace adx::ct {
+
+namespace {
+/// splitmix64's golden-gamma: folds the group index into the seed so every
+/// group draws an independent stream that is a pure function of (seed, g).
+constexpr std::uint64_t kSeedGamma = 0x9e3779b97f4a7c15ULL;
+}  // namespace
+
+sim::machine_config federation::group_config(const sim::machine_config& cfg,
+                                             unsigned g) {
+  sim::machine_config gc = cfg;
+  const unsigned base = g * cfg.group_size;
+  gc.nodes = std::min(cfg.group_size, cfg.nodes - base);
+  // The trimmed machine is all one group: give it the whole-node group size
+  // so group_of() is 0 everywhere and hierarchical pricing stays intra-group.
+  gc.group_size = std::max(gc.nodes, 1u);
+  gc.seed = cfg.seed ^ (kSeedGamma * (g + 1));
+  return gc;
+}
+
+federation::federation(sim::machine_config cfg, sim::event_domain& dom)
+    : cfg_(cfg), dom_(&dom) {
+  if (cfg_.wire_model == sim::interconnect_model::butterfly) {
+    throw std::invalid_argument(
+        "federation: butterfly wire model prices paths by global node id and "
+        "cannot be trimmed per group; use constant_wire or hierarchical");
+  }
+  const unsigned groups = cfg_.groups();
+  if (dom_->places() != groups) {
+    std::ostringstream msg;
+    msg << "federation: domain has " << dom_->places() << " places, machine has "
+        << groups << " groups";
+    throw std::invalid_argument(msg.str());
+  }
+  rts_.reserve(groups);
+  for (unsigned g = 0; g < groups; ++g) {
+    rts_.push_back(std::make_unique<runtime>(group_config(cfg_, g),
+                                             dom_->queue_of(g), /*home_place=*/g));
+  }
+  origin_counters_.assign(groups, 0);
+  posts_by_group_.assign(groups, 0);
+}
+
+unsigned federation::group_nodes(unsigned g) const {
+  return group_config(cfg_, g).nodes;
+}
+
+federation::fed_thread federation::fork(sim::node_id global_node,
+                                        runtime::thread_fn fn, int priority) {
+  if (global_node >= cfg_.nodes) {
+    throw std::out_of_range("federation::fork: node out of range");
+  }
+  const unsigned g = cfg_.group_of(global_node);
+  const proc_id local = global_node - g * cfg_.group_size;
+  return {g, rts_[g]->fork(local, std::move(fn), priority)};
+}
+
+void federation::post(unsigned from, unsigned to, std::function<void()> fn) {
+  const std::uint64_t origin =
+      (static_cast<std::uint64_t>(from) << 32) | origin_counters_.at(from)++;
+  ++posts_by_group_[from];
+  const sim::vtime at = dom_->queue_of(from).now() + dom_->lookahead();
+  dom_->send(from, to, at, origin, [f = std::move(fn)]() mutable { f(); });
+}
+
+void federation::post_unblock(unsigned from, fed_thread t) {
+  runtime* rt = rts_.at(t.group).get();
+  post(from, t.group, [rt, id = t.id] { rt->unblock(id); });
+}
+
+federation::run_result federation::run(exec::job_executor* ex,
+                                       std::uint64_t max_events) {
+  const std::uint64_t events = dom_->run(ex, max_events);
+  run_result r;
+  r.events = events;
+  r.end_time = dom_->now();
+  r.completed = dom_->empty();
+  for (unsigned g = 0; g < groups(); ++g) {
+    const auto gr = rts_[g]->finish(0);
+    for (auto id : gr.stuck) r.stuck.push_back({g, id});
+  }
+  r.completed = r.completed && r.stuck.empty();
+  return r;
+}
+
+federation::run_result federation::run_all(exec::job_executor* ex,
+                                           std::uint64_t max_events) {
+  auto r = run(ex, max_events);
+  for (unsigned g = 0; g < groups(); ++g) {
+    for (std::size_t t = 0; t < rts_[g]->thread_count(); ++t) {
+      if (auto err = rts_[g]->error_of(static_cast<thread_id>(t))) {
+        std::rethrow_exception(err);
+      }
+    }
+  }
+  if (!dom_->empty()) {
+    throw simulation_limit_error("federation::run_all: event budget exhausted");
+  }
+  if (!r.completed) {
+    std::ostringstream msg;
+    msg << "federation::run_all: deadlock, " << r.stuck.size()
+        << " thread(s) stuck:";
+    std::vector<thread_id> flat;
+    for (const auto& s : r.stuck) {
+      msg << ' ' << s.group << ':' << s.id;
+      flat.push_back(s.id);
+    }
+    throw deadlock_error(msg.str(), std::move(flat));
+  }
+  return r;
+}
+
+std::uint64_t federation::posts() const {
+  std::uint64_t n = 0;
+  for (auto p : posts_by_group_) n += p;
+  return n;
+}
+
+std::uint64_t federation::total_dispatches() const {
+  std::uint64_t n = 0;
+  for (const auto& rt : rts_) n += rt->dispatches();
+  return n;
+}
+
+std::uint64_t federation::total_blocks() const {
+  std::uint64_t n = 0;
+  for (const auto& rt : rts_) n += rt->blocks();
+  return n;
+}
+
+std::uint64_t federation::total_unblocks() const {
+  std::uint64_t n = 0;
+  for (const auto& rt : rts_) n += rt->unblocks();
+  return n;
+}
+
+}  // namespace adx::ct

@@ -40,6 +40,9 @@ task<void> trampoline(runtime* rt, tcb* t, runtime::thread_fn fn) {
 
 runtime::runtime(sim::machine_config cfg) : mach_(cfg), procs_(cfg.nodes) {}
 
+runtime::runtime(sim::machine_config cfg, sim::event_queue& queue, unsigned home_place)
+    : mach_(cfg, queue), home_place_(home_place), procs_(cfg.nodes) {}
+
 runtime::~runtime() = default;
 
 thread_id runtime::fork(proc_id p, thread_fn fn, int priority) {
@@ -63,19 +66,21 @@ runtime::run_result runtime::run(std::uint64_t max_events) {
   auto& q = mach_.events();
   std::uint64_t n = 0;
   while (n < max_events && q.run_one()) ++n;
+  return finish(n);
+}
 
+runtime::run_result runtime::finish(std::uint64_t events) const {
   run_result r;
   r.end_time = mach_.now();
-  r.events = n;
+  r.events = events;
   for (const auto& t : threads_) {
     if (t->state != thread_state::done) r.stuck.push_back(t->id);
   }
-  r.completed = r.stuck.empty() && q.empty();
+  r.completed = r.stuck.empty() && mach_.events().empty();
   return r;
 }
 
-runtime::run_result runtime::run_all(std::uint64_t max_events) {
-  auto r = run(max_events);
+void runtime::throw_failures(const run_result& r) const {
   for (const auto& t : threads_) {
     if (t->error) std::rethrow_exception(t->error);
   }
@@ -88,8 +93,19 @@ runtime::run_result runtime::run_all(std::uint64_t max_events) {
     for (auto id : r.stuck) {
       msg << ' ' << id << '(' << to_string(threads_[id]->state) << ')';
     }
-    throw deadlock_error(msg.str(), std::move(r.stuck));
+    throw deadlock_error(msg.str(), r.stuck);
   }
+}
+
+runtime::run_result runtime::run_all(std::uint64_t max_events) {
+  auto r = run(max_events);
+  throw_failures(r);
+  return r;
+}
+
+runtime::run_result runtime::finish_all(std::uint64_t events) const {
+  auto r = finish(events);
+  throw_failures(r);
   return r;
 }
 

@@ -104,6 +104,15 @@ class runtime {
   using thread_fn = std::function<task<void>(context&)>;
 
   explicit runtime(sim::machine_config cfg);
+
+  /// Places the runtime on an execution domain's queue: the machine borrows
+  /// `queue` (a domain shard), so this runtime's events interleave with
+  /// every other runtime on the same shard while the domain's window loop
+  /// drives them all. Drive with the domain's run(), then read results via
+  /// finish()/finish_all(). `home_place` is the domain place (NUMA group)
+  /// this runtime's nodes belong to; locks bound to a place check it.
+  runtime(sim::machine_config cfg, sim::event_queue& queue, unsigned home_place = 0);
+
   ~runtime();
   runtime(const runtime&) = delete;
   runtime& operator=(const runtime&) = delete;
@@ -112,6 +121,11 @@ class runtime {
   [[nodiscard]] const sim::machine& mach() const { return mach_; }
   [[nodiscard]] sim::vtime now() const { return mach_.now(); }
   [[nodiscard]] unsigned processors() const { return mach_.nodes(); }
+
+  /// The execution-domain place this runtime lives on (0 for standalone
+  /// runtimes). Federated workloads bind each lock to its runtime's place;
+  /// the lock grant/release paths reject threads from another place.
+  [[nodiscard]] unsigned home_place() const { return home_place_; }
 
   /// Creates a thread pinned to processor `p`; it becomes runnable
   /// immediately (dispatched through the normal ready-queue machinery).
@@ -131,6 +145,15 @@ class runtime {
   /// Like run(), but throws deadlock_error / simulation_limit_error and
   /// rethrows the first thread exception, so tests fail loudly.
   run_result run_all(std::uint64_t max_events = 500'000'000ULL);
+
+  /// Assembles a run_result without driving the queue — for runtimes driven
+  /// by an execution domain's window loop. `events` is echoed into the
+  /// result (pass the domain's processed count, or this runtime's share).
+  [[nodiscard]] run_result finish(std::uint64_t events) const;
+
+  /// Throwing variant of finish(): rethrows the first thread exception and
+  /// throws simulation_limit_error / deadlock_error exactly like run_all().
+  run_result finish_all(std::uint64_t events) const;
 
   [[nodiscard]] std::size_t thread_count() const { return threads_.size(); }
   /// Threads forked and not yet done. Daemon-style tasks (the async policy
@@ -215,11 +238,15 @@ class runtime {
   void dispatch(proc_id p);
   void schedule_dispatch(proc_id p, sim::vdur after);
 
+  /// Shared failure policy of run_all()/finish_all().
+  void throw_failures(const run_result& r) const;
+
   [[nodiscard]] bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
   /// Closes the current "run" span of `t` and marks why it ended.
   void end_run_span(tcb& t, const char* how);
 
   sim::machine mach_;
+  unsigned home_place_{0};
   std::vector<processor> procs_;
   std::vector<std::unique_ptr<tcb>> threads_;
   std::size_t live_threads_{0};

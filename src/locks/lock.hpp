@@ -13,6 +13,7 @@
 // This yields exact determinism with faithful NUMA timing.
 #pragma once
 
+#include <stdexcept>
 #include <string_view>
 
 #include "ct/context.hpp"
@@ -56,6 +57,21 @@ class lock_object {
   /// sees every state transition this lock reports into its stats.
   void attach_observer(lock_event_observer* o) { stats_.attach_observer(this, o); }
 
+  /// Binds the lock to one execution-domain place (NUMA group / DES shard).
+  /// Native lock state is plain C++ mutated inside await-free windows — that
+  /// is only atomic because one shard's event loop is single-threaded, so a
+  /// lock shared across shards would race under parallel windows. Federated
+  /// workloads bind each lock to its group; the grant and release paths then
+  /// reject threads whose runtime lives on another place. Cross-group use of
+  /// a lock must instead travel through the domain's send() (e.g. a proxy
+  /// request to a server thread on the lock's own group).
+  void bind_place(unsigned place) {
+    place_ = place;
+    place_bound_ = true;
+  }
+  [[nodiscard]] bool place_bound() const { return place_bound_; }
+  [[nodiscard]] unsigned place() const { return place_; }
+
  protected:
   lock_object(sim::node_id home, lock_cost_model cost)
       : word_(home, 0), cost_(cost) {}
@@ -73,8 +89,19 @@ class lock_object {
     }
   }
 
+  /// Shard-discipline check at the grant/release touchpoints: a bound lock
+  /// may only be operated by threads of its own place.
+  void check_place(ct::context& ctx) const {
+    if (place_bound_ && ctx.rt().home_place() != place_) {
+      throw std::logic_error(
+          "lock_object: cross-place lock operation (bind_place discipline); "
+          "route through the execution domain's send() instead");
+    }
+  }
+
   /// One test-and-set attempt (atomior): returns true if acquired.
   ct::task<bool> try_acquire(ct::context& ctx) {
+    check_place(ctx);
     co_await maybe_preempt(ctx);
     const auto old = co_await ctx.fetch_or(word_, std::uint64_t{1});
     if ((old & 1) == 0) {
@@ -102,6 +129,7 @@ class lock_object {
 
   /// Releases the word (plain write of 0). Caller handles queue handoff.
   ct::task<void> release_word(ct::context& ctx) {
+    check_place(ctx);
     owner_ = ct::invalid_thread;
     co_await ctx.write(word_, std::uint64_t{0});
   }
@@ -119,6 +147,8 @@ class lock_object {
   lock_stats stats_;
   std::int64_t waiting_{0};
   ct::thread_id owner_{ct::invalid_thread};
+  unsigned place_{0};
+  bool place_bound_{false};
 };
 
 /// RAII-style scoped critical section for simulated code:

@@ -77,6 +77,21 @@ class log_histogram {
                                    : bucket_lo(i) * 2.0;  // open-ended top
   }
 
+  /// Accumulates another histogram's samples (same geometry assumed; extra
+  /// buckets on either side are ignored). Lets per-place histograms merge
+  /// host-side in fixed place order, keeping sharded results deterministic.
+  void merge_from(const log_histogram& o) {
+    count_ += o.count_;
+    sum_ += o.sum_;
+    if (o.count_ > 0) {
+      if (o.min_seen_ < min_seen_) min_seen_ = o.min_seen_;
+      if (o.max_seen_ > max_seen_) max_seen_ = o.max_seen_;
+    }
+    const std::size_t n =
+        buckets_.size() < o.buckets_.size() ? buckets_.size() : o.buckets_.size();
+    for (std::size_t i = 0; i < n; ++i) buckets_[i] += o.buckets_[i];
+  }
+
   void reset() {
     count_ = 0;
     sum_ = 0.0;

@@ -26,7 +26,9 @@
 #include "tsp/instance.hpp"
 #include "tsp/parallel.hpp"
 #include "workload/cs_workload.hpp"
+#include "workload/ct_serve.hpp"
 #include "workload/open_loop.hpp"
+#include "workload/sharded_cs.hpp"
 
 namespace adx::perf {
 namespace {
@@ -291,6 +293,107 @@ scenario_result run_serve_tail_1024() {
   }
   const double wall_s = wall_seconds_since(t0);
   r.metrics.push_back({"requests_per_sec", "req/s", kWall, total_requests / wall_s,
+                       /*higher_better=*/true});
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Federated ct sweep: the fig1-style closed-loop community with REAL ct
+// threads, one runtime per NUMA group on the execution domain. Lock
+// handoffs, echo round-trips and policy pumps all cross shard boundaries
+// through federation::post(), and every reported figure is virtual-clock —
+// the baseline gate therefore also pins the cross-shard protocol itself
+// (elapsed times, echo quantiles and post counts are shard-invariant).
+// ---------------------------------------------------------------------------
+
+scenario_result run_ct_sharded_cs() {
+  const struct {
+    const char* tag;
+    locks::lock_kind kind;
+  } kinds[] = {{"spin", locks::lock_kind::spin},
+               {"blocking", locks::lock_kind::blocking},
+               {"adaptive", locks::lock_kind::adaptive}};
+  scenario_result r;
+  double total_acquisitions = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  exec::job_executor ex(4);
+  for (const auto& k : kinds) {
+    workload::sharded_cs_config cfg;
+    cfg.machine = sim::machine_config::hierarchical_numa(4, 6);
+    cfg.threads_per_group = 4;
+    cfg.iterations = 30;
+    cfg.remote_every = 3;
+    cfg.kind = k.kind;
+    cfg.shards = 4;
+    const auto res = run_sharded_cs(cfg, &ex);
+    total_acquisitions += static_cast<double>(res.acquisitions);
+    const std::string p = k.tag;
+    r.metrics.push_back({p + "_virtual_ms", "ms", kVirtual, res.elapsed.ms()});
+    r.metrics.push_back({p + "_echo_p99_us", "us", kVirtual, res.echo_rtt_p99_us});
+    r.metrics.push_back({p + "_acquisitions", "count", kVirtual,
+                         static_cast<double>(res.acquisitions)});
+    if (k.kind == locks::lock_kind::adaptive) {
+      r.metrics.push_back({"echoes", "count", kVirtual,
+                           static_cast<double>(res.echoes)});
+      r.metrics.push_back({"cross_posts", "count", kVirtual,
+                           static_cast<double>(res.posts)});
+      r.metrics.push_back({"windows", "count", kVirtual,
+                           static_cast<double>(res.domain.windows)});
+    }
+  }
+  const double wall_s = wall_seconds_since(t0);
+  r.metrics.push_back({"acquisitions_per_sec", "acq/s", kWall,
+                       total_acquisitions / wall_s,
+                       /*higher_better=*/true});
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// The 4096-node end-to-end: open-loop serving with real ct server threads on
+// the fat_tree_hpc4096 preset (64 groups x 64 nodes), one federated runtime
+// per group on 8 DES shards. The largest machine the repo simulates; latency
+// quantiles, served counts and cross-group post counts gate exactly.
+// ---------------------------------------------------------------------------
+
+scenario_result run_serve_ct_fat4096() {
+  const struct {
+    const char* tag;
+    locks::lock_kind kind;
+  } kinds[] = {{"spin", locks::lock_kind::spin},
+               {"blocking", locks::lock_kind::blocking},
+               {"adaptive", locks::lock_kind::adaptive}};
+  scenario_result r;
+  double total_served = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  exec::job_executor ex(4);
+  for (const auto& k : kinds) {
+    workload::ct_serve_config cfg;
+    cfg.machine = sim::machine_config::fat_tree_hpc4096();
+    cfg.servers_per_group = 2;
+    cfg.requests_per_group = 25;  // x64 groups = 1600 requests
+    cfg.mean_interarrival_us = 80;
+    cfg.remote_fraction = 0.25;
+    cfg.kind = k.kind;
+    cfg.shards = 8;
+    const auto res = run_ct_serve(cfg, &ex);
+    total_served += static_cast<double>(res.served);
+    const std::string p = std::string("fat4096_") + k.tag;
+    r.metrics.push_back({p + "_p50_us", "us", kVirtual, res.latency_p50_us});
+    r.metrics.push_back({p + "_p99_us", "us", kVirtual, res.latency_p99_us});
+    r.metrics.push_back({p + "_virtual_ms", "ms", kVirtual, res.elapsed.ms()});
+    if (k.kind == locks::lock_kind::adaptive) {
+      r.metrics.push_back({"fat4096_served", "count", kVirtual,
+                           static_cast<double>(res.served)});
+      r.metrics.push_back({"fat4096_remote", "count", kVirtual,
+                           static_cast<double>(res.remote_requests)});
+      r.metrics.push_back({"fat4096_posts", "count", kVirtual,
+                           static_cast<double>(res.posts)});
+      r.metrics.push_back({"fat4096_windows", "count", kVirtual,
+                           static_cast<double>(res.domain.windows)});
+    }
+  }
+  const double wall_s = wall_seconds_since(t0);
+  r.metrics.push_back({"requests_per_sec", "req/s", kWall, total_served / wall_s,
                        /*higher_better=*/true});
   return r;
 }
@@ -966,6 +1069,12 @@ std::vector<scenario> make_registry() {
   add("bench_serve_tail_1024",
       "open-loop serving on the 1024-node hierarchical preset, 8 DES shards",
       run_serve_tail_1024);
+  add("bench_sharded_cs",
+      "federated ct CS sweep: real threads, cross-shard echoes, 4 shards",
+      run_ct_sharded_cs);
+  add("bench_serve_ct_fat4096",
+      "ct serving on the 4096-node fat-tree preset, 64 federated runtimes",
+      run_serve_ct_fat4096);
   add("bench_table1_tsp_central", "Table 1: centralized TSP, blocking vs adaptive",
       [] { return run_tsp_scenario(tsp::variant::centralized); });
   add("bench_table2_tsp_dist", "Table 2: distributed TSP, blocking vs adaptive",

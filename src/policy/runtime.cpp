@@ -51,8 +51,52 @@ bool async_runtime::adopt_map(core::adaptive_object& obj, stripe_controller& ctl
 void async_runtime::start(ct::runtime& rt) {
   if (started_ || regs_.empty()) return;
   started_ = true;
+  rt_ = &rt;
   rt.fork(
       cfg_.proc, [this](ct::context& ctx) { return daemon(ctx); }, cfg_.priority);
+}
+
+const async_runtime::registration* async_runtime::coordinated_at(std::size_t i) const {
+  std::size_t k = 0;
+  for (const auto& r : regs_) {
+    if (r.coordinate && r.lock != nullptr) {
+      if (k == i) return &r;
+      ++k;
+    }
+  }
+  return nullptr;
+}
+
+std::size_t async_runtime::coordinated_locks() const {
+  std::size_t k = 0;
+  for (const auto& r : regs_) {
+    if (r.coordinate && r.lock != nullptr) ++k;
+  }
+  return k;
+}
+
+std::uint64_t async_runtime::coordinated_acquisitions(std::size_t i) const {
+  const auto* r = coordinated_at(i);
+  return r == nullptr ? 0 : r->lock->stats().acquisitions();
+}
+
+bool async_runtime::apply_external_demotion(std::size_t i,
+                                            const locks::waiting_policy& pol) {
+  std::size_t k = 0;
+  for (auto& r : regs_) {
+    if (!r.coordinate || r.lock == nullptr) continue;
+    if (k++ != i) continue;
+    if (r.lock->current_policy() == pol) return false;
+    const auto now = rt_ != nullptr ? rt_->now() : sim::vtime{};
+    if (!r.lock->apply_waiting_policy(pol, std::nullopt, now)) return false;
+    r.demoted = true;
+    ++demotions_;
+    r.lock->stats().on_reconfigure(now, ct::invalid_thread, 0,
+                                   locks::describe(pol), "fed-coordinator",
+                                   "[cross-shard]");
+    return true;
+  }
+  return false;
 }
 
 ct::task<void> async_runtime::daemon(ct::context& ctx) {
@@ -67,6 +111,7 @@ ct::task<void> async_runtime::daemon(ct::context& ctx) {
       co_await charge(ctx, r, delivered, reconfigs);
     }
     co_await coordinate(ctx);
+    if (tick_observer_) tick_observer_(ticks_);
     if (cfg_.max_ticks != 0 && ticks_ >= cfg_.max_ticks) break;
     // Last thread standing: the workload drained, so stop and let run()
     // finish. (Start the runtime after forking the workload.)
@@ -109,8 +154,10 @@ ct::task<void> async_runtime::coordinate(ct::context& ctx) {
   // Idle-lock demotion: a coordinated lock whose acquisition count stayed
   // flat for `idle_ticks` consecutive ticks is demoted to the cheap policy.
   // First activity afterwards re-arms it (its own policy can then promote
-  // it back from fresh observations).
-  if (cc.idle_ticks > 0) {
+  // it back from fresh observations). With an external tick observer
+  // attached the scan is skipped entirely — the federated coordinator owns
+  // idle decisions then, fed by the acquisition reports it collects.
+  if (cc.idle_ticks > 0 && !tick_observer_) {
     for (auto& r : regs_) {
       if (!r.coordinate || r.lock == nullptr) continue;
       const auto acq = r.lock->stats().acquisitions();

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -98,6 +99,31 @@ class async_runtime {
   /// objects exist and before `rt.run()`.
   void start(ct::runtime& rt);
 
+  /// Hands this runtime's tick to an external coordinator (the federated
+  /// cross-shard coordinator): the daemon invokes `fn(tick)` at the end of
+  /// every tick, after pumping, and the *local* idle-demotion scan is
+  /// disabled — idle decisions now belong to whoever observes the ticks.
+  /// The stripe-budget scan stays local (stripes are place-local state).
+  /// Call before start(); null detaches.
+  void set_tick_observer(std::function<void(std::uint64_t)> fn) {
+    tick_observer_ = std::move(fn);
+  }
+
+  // ------- external-coordination surface (federated coordinator) -------
+
+  /// Number of locks registered with `coordinate` set, in adoption order.
+  [[nodiscard]] std::size_t coordinated_locks() const;
+  /// Acquisition count of the i-th coordinated lock (native read — callers
+  /// must be on this runtime's shard or host-side after the run).
+  [[nodiscard]] std::uint64_t coordinated_acquisitions(std::size_t i) const;
+
+  /// Applies a demotion decided by an external coordinator to the i-th
+  /// coordinated lock. Runs as a plain event on this runtime's shard: no
+  /// virtual-time charge here — the cross-shard messaging latency (one
+  /// lookahead each way) stands in for the coordination cost. Returns false
+  /// if the lock already runs that policy.
+  bool apply_external_demotion(std::size_t i, const locks::waiting_policy& pol);
+
   [[nodiscard]] const runtime_config& config() const { return cfg_; }
   [[nodiscard]] std::size_t registrations() const { return regs_.size(); }
 
@@ -131,8 +157,12 @@ class async_runtime {
                         std::uint64_t delivered, std::uint64_t reconfigs);
   ct::task<void> coordinate(ct::context& ctx);
 
+  [[nodiscard]] const registration* coordinated_at(std::size_t i) const;
+
   runtime_config cfg_;
   std::vector<registration> regs_;
+  std::function<void(std::uint64_t)> tick_observer_;
+  ct::runtime* rt_ = nullptr;
   bool started_ = false;
   std::uint64_t ticks_ = 0;
   std::uint64_t pumped_ = 0;

@@ -1,0 +1,113 @@
+// The execution domain: the one interface every layer above sim uses to
+// drive a simulation, whether it runs on a single sequential event_queue or
+// on the sharded conservative-lookahead DES.
+//
+// A domain partitions the simulated machine into `places` — one per NUMA
+// group (machine_config::group_of) — and maps each place onto an executing
+// shard. Everything a workload, runtime, lock, or policy daemon does falls
+// into exactly two categories:
+//
+//   * Place-local work: scheduled directly on `queue_of(place)` (the shard's
+//     own 4-ary heap). Legal from setup code and from events already
+//     executing on the same shard. This is the hot path — zero abstraction
+//     cost beyond a pointer indirection.
+//   * Cross-place influence: `send()` — timestamped at least `lookahead()`
+//     in the future (== is the horizon, and the canonical transit time),
+//     tagged with a shard-invariant origin (e.g. group << 32 | counter),
+//     buffered per shard and merged at window barriers in (at, origin)
+//     order.
+//
+// Both implementations run the identical window grid — the same barrier
+// positions, the same delivery batches, the same adaptive-lookahead state
+// machine driven only by shard-invariant delivered-send counts — so a
+// workload that follows the discipline produces bit-identical results on the
+// sequential queue and on any shard/worker count. `queue_domain` exists
+// (rather than delivering sends inline on the single heap) precisely because
+// inline delivery would assign tie-break seqs at emission order instead of
+// barrier-merge order and silently diverge from the sharded run on
+// same-timestamp ties.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "exec/job_executor.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace adx::sim {
+
+/// Virtual-metrics snapshot of a domain run. Every field is a pure function
+/// of the logical schedule — bit-identical at every shard and worker count.
+struct domain_stats {
+  std::uint64_t windows = 0;          ///< synchronization rounds executed
+  std::uint64_t cross_sends = 0;      ///< deliveries merged at barriers
+  std::uint64_t widened_windows = 0;  ///< rounds run with widen factor > 1
+  std::uint64_t peak_widen = 1;       ///< largest widen factor reached
+  std::uint64_t slab_slots = 0;       ///< callback slots acquired, all queues
+  std::uint64_t callback_spills = 0;  ///< oversized callbacks spilled to heap
+
+  friend bool operator==(const domain_stats&, const domain_stats&) = default;
+};
+
+class event_domain {
+ public:
+  virtual ~event_domain() = default;
+
+  /// Number of places (== the machine's NUMA group count).
+  [[nodiscard]] virtual unsigned places() const = 0;
+
+  /// The conservative horizon: minimum virtual time for any influence to
+  /// cross a place boundary (machine_config::min_cross_group_latency()).
+  [[nodiscard]] virtual vdur lookahead() const = 0;
+
+  /// The queue executing `place`'s events. Hand it to the place's machine;
+  /// schedule on it only from setup code or from that shard's own events.
+  [[nodiscard]] virtual event_queue& queue_of(unsigned place) = 0;
+
+  /// Cross-place send: runs `fn` on `to`'s shard at `at`, which must be at
+  /// least `lookahead()` past the sending shard's clock (== allowed).
+  /// `origin` must be unique per delivery and must not encode a shard index.
+  virtual void send(unsigned from, unsigned to, vtime at, std::uint64_t origin,
+                    event_queue::callback fn) = 0;
+
+  /// Per-place deterministic random stream, seeded
+  /// seed ^ (0x9e3779b97f4a7c15 * (place + 1)) — a pure function of
+  /// (seed, place), so re-sharding cannot reorder any draw sequence.
+  [[nodiscard]] virtual rng& stream(unsigned place) = 0;
+
+  /// Runs the window loop until drained, or until the first barrier at which
+  /// at least `max_events` events have run (shard-invariant stopping point).
+  /// `ex` may be null for sequential execution; results are identical.
+  virtual std::uint64_t run(exec::job_executor* ex,
+                            std::uint64_t max_events = ~0ULL) = 0;
+
+  /// Latest clock across places — the simulation's end time after run().
+  [[nodiscard]] virtual vtime now() const = 0;
+  [[nodiscard]] virtual bool empty() const = 0;
+  [[nodiscard]] virtual std::uint64_t processed() const = 0;
+  [[nodiscard]] virtual domain_stats stats() const = 0;
+};
+
+/// How to build a domain for a machine.
+struct domain_options {
+  /// Executing shards; clamped to the machine's group count. 1 = the
+  /// sequential queue (queue_domain).
+  unsigned shards = 1;
+  /// Seed for the per-place streams (a workload typically passes its own).
+  std::uint64_t seed = 0x5eedULL;
+  /// Opt-in adaptive lookahead: widen the window up to `max_widen` L-sized
+  /// sub-segments after rounds with zero cross-place traffic; decay to 1 on
+  /// any delivery. L stays the correctness floor.
+  bool adaptive_lookahead = false;
+  unsigned max_widen = 8;
+};
+
+/// Builds the domain `cfg` calls for: one place per NUMA group, lookahead
+/// from the interconnect, sequential or sharded per `opt.shards`.
+[[nodiscard]] std::unique_ptr<event_domain> make_event_domain(
+    const machine_config& cfg, const domain_options& opt = {});
+
+}  // namespace adx::sim

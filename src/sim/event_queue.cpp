@@ -46,7 +46,9 @@ void event_queue::grow_slab() {
   for (std::uint32_t i = 0; i + 1 < kEventsPerChunk; ++i) {
     chunk[i].next_free = base + i + 1;
   }
-  chunk[kEventsPerChunk - 1].next_free = kNoSlot;
+  // Splice ahead of any existing freelist (reserve_slots grows while slots
+  // are still free; the hot path only grows when free_head_ == kNoSlot).
+  chunk[kEventsPerChunk - 1].next_free = free_head_;
   free_head_ = base;
 }
 
@@ -92,6 +94,12 @@ std::uint64_t event_queue::run(std::uint64_t limit) {
 std::uint64_t event_queue::run_until(vtime until) {
   std::uint64_t n = 0;
   while (!heap_.empty() && heap_.front().at <= until && run_one()) ++n;
+  return n;
+}
+
+std::uint64_t event_queue::run_until(vtime until, std::uint64_t limit) {
+  std::uint64_t n = 0;
+  while (n < limit && !heap_.empty() && heap_.front().at <= until && run_one()) ++n;
   return n;
 }
 

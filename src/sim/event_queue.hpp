@@ -56,6 +56,10 @@ class event_queue {
     const auto seq = seq_++;
     const auto key = perturber_ ? perturber_->tie_key(at, seq) : seq;
     const std::uint32_t slot = acquire_slot();
+    if constexpr (sizeof(std::decay_t<F>) > kInlineCallbackBytes ||
+                  alignof(std::decay_t<F>) > alignof(std::max_align_t)) {
+      ++spills_;
+    }
     construct_callback(slot_at(slot), std::forward<F>(fn));
     heap_push(handle{at, key, seq, slot});
   }
@@ -86,6 +90,11 @@ class event_queue {
   /// are included if due). Returns the number processed.
   std::uint64_t run_until(vtime until);
 
+  /// Bounded variant: stops after `limit` events even if more are due — the
+  /// livelock guard for window-driven runs whose events respawn at one
+  /// timestamp.
+  std::uint64_t run_until(vtime until, std::uint64_t limit);
+
   /// Attaches a schedule perturber (not owned; null detaches). Only the
   /// tie-break hook is consulted here; events already queued keep the key
   /// they were inserted with.
@@ -99,6 +108,24 @@ class event_queue {
     return chunks_.size() * kEventsPerChunk;
   }
   [[nodiscard]] std::size_t slab_free() const;
+
+  /// Grows this queue's private slab until at least `n` slots are free, so a
+  /// burst of `n` schedules performs no allocation. Each queue owns its
+  /// arena outright — under the sharded DES, shards pre-size before the run
+  /// and parallel windows never touch a shared allocator.
+  void reserve_slots(std::size_t n) {
+    while (slab_capacity() - pending() < n) grow_slab();
+  }
+
+  /// Slots ever acquired == events ever scheduled (processed() + pending()).
+  /// A pure function of the logical schedule, so it is invariant under
+  /// re-sharding — the virtual-metrics hook for the slab-locality claim.
+  [[nodiscard]] std::uint64_t slots_acquired() const { return seq_; }
+
+  /// Callbacks whose captures exceeded the inline slot and spilled to the
+  /// heap. Also shard-count-invariant; steady-state event traffic keeps
+  /// this at zero.
+  [[nodiscard]] std::uint64_t callback_spills() const { return spills_; }
 
   /// CI/test hook: busy-wait `ns` of host wall time inside every pop.
   /// Virtual-time results are unaffected (the simulated clock cannot see host
@@ -212,6 +239,7 @@ class event_queue {
   vtime now_{};
   std::uint64_t seq_{0};
   std::uint64_t processed_{0};
+  std::uint64_t spills_{0};
   perturber* perturber_{nullptr};
 };
 

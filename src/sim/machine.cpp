@@ -2,7 +2,20 @@
 
 namespace adx::sim {
 
-machine::machine(machine_config cfg) : cfg_(cfg), rng_(cfg.seed) {
+machine::machine(machine_config cfg)
+    : cfg_(cfg),
+      owned_events_(std::make_unique<event_queue>()),
+      events_(owned_events_.get()),
+      rng_(cfg.seed) {
+  init();
+}
+
+machine::machine(machine_config cfg, event_queue& queue)
+    : cfg_(cfg), events_(&queue), rng_(cfg.seed) {
+  init();
+}
+
+void machine::init() {
   if (cfg_.nodes == 0) throw std::invalid_argument("machine: nodes must be > 0");
   modules_.reserve(cfg_.nodes);
   for (node_id n = 0; n < cfg_.nodes; ++n) modules_.emplace_back(n);

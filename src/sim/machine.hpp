@@ -21,13 +21,20 @@ class machine {
  public:
   explicit machine(machine_config cfg);
 
+  /// Places the machine on an externally owned event queue (an execution
+  /// domain's shard): all timing still flows through this machine's modules
+  /// and wires, but events execute on — and the clock is read from — the
+  /// shared queue. The queue must outlive the machine.
+  machine(machine_config cfg, event_queue& queue);
+
   machine(const machine&) = delete;
   machine& operator=(const machine&) = delete;
 
   [[nodiscard]] const machine_config& config() const { return cfg_; }
   [[nodiscard]] unsigned nodes() const { return cfg_.nodes; }
-  [[nodiscard]] event_queue& events() { return events_; }
-  [[nodiscard]] vtime now() const { return events_.now(); }
+  [[nodiscard]] event_queue& events() { return *events_; }
+  [[nodiscard]] const event_queue& events() const { return *events_; }
+  [[nodiscard]] vtime now() const { return events_->now(); }
   [[nodiscard]] rng& random() { return rng_; }
 
   /// Issues one memory access from node `from` to the word homed at `home`,
@@ -54,13 +61,16 @@ class machine {
   /// pointer to the event queue for tie-break perturbation.
   void set_perturber(perturber* p) {
     perturber_ = p;
-    events_.set_perturber(p);
+    events_->set_perturber(p);
   }
   [[nodiscard]] perturber* get_perturber() const { return perturber_; }
 
  private:
+  void init();
+
   machine_config cfg_;
-  event_queue events_;
+  std::unique_ptr<event_queue> owned_events_;  ///< null when borrowing
+  event_queue* events_;
   std::vector<memory_module> modules_;
   access_counts counts_;
   rng rng_;

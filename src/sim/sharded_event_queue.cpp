@@ -9,7 +9,7 @@ bool sharded_event_queue::window(exec::job_executor* ex) {
   // sends emitted inside a window this is the same barrier as flushing at
   // window end; doing it here additionally covers sends issued from outside
   // any event (before the first window runs).
-  deliver_outboxes();
+  std::uint64_t traffic = deliver_outboxes();
 
   // The global minimum pending timestamp.
   bool any = false;
@@ -25,18 +25,34 @@ bool sharded_event_queue::window(exec::job_executor* ex) {
   // influence generated inside the window lands at >= sender_now + lookahead
   // >= tmin + lookahead, past the horizon. run_until is inclusive, so the
   // bound is horizon - 1ns (lookahead >= 1ns is enforced at construction).
-  const vtime until{(tmin + lookahead_).ns - 1};
+  //
+  // With adaptive lookahead the round covers `widen_` consecutive L-sized
+  // sub-segments, separated by delivery barriers: a send emitted in
+  // sub-segment k is timestamped >= tmin + k*lookahead, so delivering it at
+  // the barrier after sub-segment k puts it on its target heap before any
+  // sub-segment that could reach its timestamp — the conservative argument
+  // applies inductively per sub-segment, and L stays the correctness floor.
+  const std::uint64_t w = widen_;
+  for (std::uint64_t k = 1; k <= w; ++k) {
+    const vtime until{(tmin + lookahead_ * static_cast<std::int64_t>(k)).ns - 1};
+    if (ex != nullptr) {
+      ex->for_each(shards_.size(),
+                   [&](std::size_t i) { shards_[i]->q.run_until(until); });
+    } else {
+      for (auto& s : shards_) s->q.run_until(until);
+    }
+    if (k < w) traffic += deliver_outboxes();
+  }
   ++windows_;
-  if (ex != nullptr) {
-    ex->for_each(shards_.size(),
-                 [&](std::size_t i) { shards_[i]->q.run_until(until); });
-  } else {
-    for (auto& s : shards_) s->q.run_until(until);
+  if (w > 1) ++widened_windows_;
+  if (adaptive_) {
+    widen_ = traffic == 0 ? std::min<std::uint64_t>(widen_ * 2, max_widen_) : 1;
+    peak_widen_ = std::max(peak_widen_, w);
   }
   return true;
 }
 
-void sharded_event_queue::deliver_outboxes() {
+std::uint64_t sharded_event_queue::deliver_outboxes() {
   // Merge every outbox in ascending (at, origin) order — a total order as
   // long as origins are unique per delivery, and independent of both the
   // worker schedule (outboxes are complete at the barrier) and the shard
@@ -48,7 +64,7 @@ void sharded_event_queue::deliver_outboxes() {
     for (auto& p : s->outbox) all.push_back(std::move(p));
     s->outbox.clear();
   }
-  if (all.empty()) return;
+  if (all.empty()) return 0;
   std::stable_sort(all.begin(), all.end(), [](const pending_send& a, const pending_send& b) {
     if (a.at != b.at) return a.at < b.at;
     return a.origin < b.origin;
@@ -57,23 +73,25 @@ void sharded_event_queue::deliver_outboxes() {
     shards_[p.to]->q.schedule_at(p.at, std::move(p.fn));
   }
   cross_sends_ += all.size();
+  return all.size();
 }
 
-std::uint64_t sharded_event_queue::run(exec::job_executor& ex) {
+std::uint64_t sharded_event_queue::run_budgeted(exec::job_executor* ex,
+                                               std::uint64_t max_events) {
   const auto before = processed();
   // A single shard has no concurrency to exploit; skip the fan-out so the
   // degenerate case stays the plain sequential loop.
-  exec::job_executor* driver = shards_.size() > 1 && ex.jobs() > 1 ? &ex : nullptr;
-  while (window(driver)) {
+  exec::job_executor* driver =
+      ex != nullptr && shards_.size() > 1 && ex->jobs() > 1 ? ex : nullptr;
+  while (processed() - before < max_events && window(driver)) {
   }
   return processed() - before;
 }
 
-std::uint64_t sharded_event_queue::run() {
-  const auto before = processed();
-  while (window(nullptr)) {
-  }
-  return processed() - before;
+std::uint64_t sharded_event_queue::run(exec::job_executor& ex) {
+  return run_budgeted(&ex, ~0ULL);
 }
+
+std::uint64_t sharded_event_queue::run() { return run_budgeted(nullptr, ~0ULL); }
 
 }  // namespace adx::sim

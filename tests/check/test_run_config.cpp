@@ -143,6 +143,24 @@ TEST(RunConfig, ShardsRoundTripAndDefaultOmission) {
   EXPECT_EQ(back.shards, 8u);
 }
 
+TEST(RunConfig, AdaptiveLookaheadRoundTripAndDefaultOmission) {
+  const auto plain = run_config{}.to_json();
+  EXPECT_EQ(plain.find("\"adaptive_lookahead\""), std::string::npos) << plain;
+
+  const auto rc = run_config{}.with_shards(4).with_adaptive_lookahead();
+  const auto text = rc.to_json();
+  EXPECT_NE(text.find("\"adaptive_lookahead\":true"), std::string::npos) << text;
+  const auto back = run_config::from_json(text);
+  EXPECT_EQ(back, rc);
+
+  // The domain options mirror the config's execution knobs.
+  const auto opt = rc.domain_options();
+  EXPECT_EQ(opt.shards, 4u);
+  EXPECT_TRUE(opt.adaptive_lookahead);
+  EXPECT_EQ(opt.seed, rc.machine.seed);
+  EXPECT_EQ(run_config{}.with_seed(9).domain_options().seed, 9u);
+}
+
 TEST(RunConfig, HierarchicalMachineRoundTripsThroughJson) {
   // Group keys are emitted only under the hierarchical wire model.
   const auto plain = run_config{}.to_json();
