@@ -11,7 +11,10 @@
 //
 // Virtual-time results are bit-identical for every --shards and --jobs
 // value; those knobs only change wall-clock cost.
+#include <memory>
+
 #include "bench_common.hpp"
+#include "telemetry/client.hpp"
 #include "workload/ct_serve.hpp"
 
 int main(int argc, char** argv) {
@@ -31,8 +34,28 @@ int main(int argc, char** argv) {
           .u64("shards", 8, "DES shards (virtual results identical for any value)")
           .u64("seed", 42, "run seed (arrival processes + domain streams)")
           .flag("adaptive-lookahead",
-                "widen sync windows over quiet rounds (virtual results identical)");
+                "widen sync windows over quiet rounds (virtual results identical)")
+          .str("telemetry", "",
+               "stream per-kind latency histograms and live adaptation events "
+               "to this endpoint (unix:PATH or tcp:HOST:PORT)")
+          .str("telemetry-run", "bench_serve_ct", "run id tagging this stream")
+          .str("telemetry-dump", "", "also write the telemetry frames to this file");
   opt.parse(argc, argv);
+
+  // When attached, every adaptation decision inside the adaptive cells
+  // (lock_stats::on_reconfigure) streams live — this bench is the
+  // EXPERIMENTS.md "watch a ct_serve burst trigger adaptation" walkthrough.
+  std::unique_ptr<telemetry::client> tele;
+  if (!opt.get_str("telemetry").empty() || !opt.get_str("telemetry-dump").empty()) {
+    telemetry::client_options copt;
+    copt.endpoint = opt.get_str("telemetry");
+    copt.dump_path = opt.get_str("telemetry-dump");
+    copt.run_id = opt.get_str("telemetry-run");
+    copt.producer = "bench_serve_ct";
+    std::string terr;
+    tele = telemetry::client::open(copt, &terr);
+    if (!tele) std::fprintf(stderr, "telemetry disabled: %s\n", terr.c_str());
+  }
 
   workload::ct_serve_config base;
   const auto groups = static_cast<unsigned>(opt.get_u64("groups"));
@@ -72,10 +95,25 @@ int main(int argc, char** argv) {
 
   table t({"lock", "p50", "p99", "max", "served", "remote", "acquisitions",
            "posts", "elapsed-ms"});
+  std::uint64_t kinds_done = 0;
+  obs::metrics m;  // cumulative across kinds: snapshots are latest-wins
   for (const auto kind : kinds) {
     auto cfg = base;
     cfg.kind = kind;
     const auto r = run_ct_serve(cfg, &ex);
+    if (tele) {
+      const std::string prefix = std::string("serve.") + locks::to_string(kind);
+      m.get_counter(prefix + ".served").set(r.served);
+      m.get_counter(prefix + ".remote").set(r.remote_requests);
+      m.get_counter(prefix + ".acquisitions").set(r.acquisitions);
+      m.get_counter(prefix + ".posts").set(r.posts);
+      m.set_histogram(prefix + ".latency_us", r.latency);
+      tele->publish_metrics(m, r.elapsed.ns);
+      tele->publish_result(locks::to_string(kind),
+                           !r.completed || r.served != r.generated, "");
+      tele->publish_progress(++kinds_done, std::size(kinds),
+                             locks::to_string(kind));
+    }
     if (!r.completed || r.served != r.generated) {
       std::fprintf(stderr, "lock %s: served %llu of %llu requests\n",
                    locks::to_string(kind),

@@ -6,7 +6,7 @@ set(ADX_BENCH_DIR ${CMAKE_CURRENT_LIST_DIR})
 function(adx_bench name)
   add_executable(${name} ${ADX_BENCH_DIR}/${name}.cpp)
   target_link_libraries(${name} PRIVATE
-    adx_sim adx_obs adx_ct adx_core adx_locks adx_tsp adx_workload adx_apps
+    adx_sim adx_obs adx_telemetry adx_ct adx_core adx_locks adx_tsp adx_workload adx_apps
     adx_native adx_exec)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -9,9 +9,11 @@
 // Every run in the sweep is an independent simulation, so the whole grid
 // fans out across host cores (--jobs); results are aggregated by job index,
 // making stdout byte-identical for any worker count.
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -25,6 +27,7 @@
 #include "objects/objects.hpp"
 #include "obs/report_sink.hpp"
 #include "policy/registry.hpp"
+#include "telemetry/client.hpp"
 
 namespace {
 
@@ -107,6 +110,13 @@ int main(int argc, char** argv) {
           .str("config", "", "replay one run from a run_config JSON file ('-' = stdin)")
           .str("fixture", "", "fixture for --config replay (default mutex)")
           .str("format", "table", "report format: table|csv|json")
+          .str("telemetry", "",
+               "stream live telemetry to this endpoint (unix:PATH or "
+               "tcp:HOST:PORT); results are unaffected")
+          .str("telemetry-run", "adx-check", "run id tagging this sweep's stream")
+          .str("telemetry-dump", "",
+               "also write the telemetry frame stream to this file (byte-equal "
+               "to what the server receives)")
           .flag("no-shrink", "skip minimizing failing perturbation journals")
           .flag("shrink-all",
                 "shrink every failing run (default: only the first failure per "
@@ -122,6 +132,25 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // Telemetry is opt-in and strictly observational: with neither flag set
+    // no socket is opened, no thread started, nothing allocated — and every
+    // simulated result below is bit-identical either way.
+    std::unique_ptr<telemetry::client> tele;
+    if (!opt.get_str("telemetry").empty() || !opt.get_str("telemetry-dump").empty()) {
+      telemetry::client_options copt;
+      copt.endpoint = opt.get_str("telemetry");
+      copt.dump_path = opt.get_str("telemetry-dump");
+      copt.run_id = opt.get_str("telemetry-run");
+      copt.producer = "adx-check";
+      std::string terr;
+      tele = telemetry::client::open(copt, &terr);
+      if (!tele) {
+        std::cerr << "adx-check: telemetry disabled: " << terr << '\n';
+      } else if (!terr.empty()) {
+        std::cerr << "adx-check: telemetry degraded: " << terr << '\n';
+      }
+    }
+
     // ------- single-run replay mode -------
     if (!opt.get_str("config").empty()) {
       std::string text;
@@ -151,6 +180,11 @@ int main(int argc, char** argv) {
         }
         std::cout << (r.failed() ? "FAIL" : "OK") << " object=" << p.config.object
                   << " seed=" << p.config.seed << '\n';
+        if (tele) {
+          tele->publish_result("replay object=" + p.config.object + " seed=" +
+                                   std::to_string(p.config.seed),
+                               r.failed(), "");
+        }
         return r.failed() ? 1 : 0;
       }
       check::check_params p;
@@ -166,6 +200,11 @@ int main(int argc, char** argv) {
       std::cout << (r.failed() ? "FAIL" : "OK") << " fixture=" << to_string(p.fix)
                 << " lock=" << locks::to_string(p.config.lock)
                 << " seed=" << p.config.seed << '\n';
+      if (tele) {
+        tele->publish_result("replay fixture=" + std::string(to_string(p.fix)) +
+                                 " seed=" + std::to_string(p.config.seed),
+                             r.failed(), "");
+      }
       return r.failed() ? 1 : 0;
     }
 
@@ -282,10 +321,54 @@ int main(int argc, char** argv) {
     exec::job_executor ex(exec::resolve_jobs(opt.get_u64("jobs")));
     const std::uint64_t lock_runs = cells.size() * seeds;
     const std::uint64_t total_runs = lock_runs + ocells.size() * seeds;
-    const auto results = ex.map(total_runs, [&](std::size_t i) {
-      if (i < lock_runs) return check::run_check(params_for(i / seeds, i % seeds));
+
+    // Human-readable cell label for a job's telemetry events.
+    const auto label_for = [&](std::size_t i) {
+      if (i < lock_runs) {
+        const auto& c = cells[i / seeds];
+        std::string l = std::string(to_string(c.fix)) + "/" +
+                        locks::to_string(c.kind);
+        if (!c.policy.empty()) l += "/" + c.policy;
+        l += "/" + c.pname + "/seed" + std::to_string(seed_base + i % seeds);
+        return l;
+      }
       const auto j = i - lock_runs;
-      return check::run_object_check(oparams_for(j / seeds, j % seeds));
+      const auto& c = ocells[j / seeds];
+      return std::string("object:") + objects::to_string(c.kind) + "/" + c.pname +
+             "/seed" + std::to_string(seed_base + j % seeds);
+    };
+    // Live per-job reporting: an instant on the merged timeline (at the
+    // job's virtual end time) plus a progress frame in completion order.
+    // Publishing happens on the worker threads — lock-free SPSC pushes —
+    // and touches nothing the simulation reads, so results stay identical.
+    std::atomic<std::uint64_t> jobs_done{0};
+    const auto publish_job = [&](std::size_t i, const check::check_result& r) {
+      if (!tele) return;
+      telemetry::trace_event_msg ev;
+      ev.name = label_for(i);
+      ev.cat = "check";
+      ev.ph = static_cast<std::uint8_t>(obs::phase::instant);
+      ev.ts_ns = r.end_time.ns;
+      ev.tid = static_cast<std::uint32_t>(i);
+      ev.a1_key = "violations";
+      ev.a1_value = static_cast<std::int64_t>(r.violations.size());
+      ev.a2_key = "events";
+      ev.a2_value = static_cast<std::int64_t>(r.events);
+      tele->publish(telemetry::message{std::move(ev)});
+      const auto done = jobs_done.fetch_add(1, std::memory_order_relaxed) + 1;
+      tele->publish_progress(done, total_runs, label_for(i));
+    };
+
+    const auto results = ex.map(total_runs, [&](std::size_t i) {
+      if (i < lock_runs) {
+        auto r = check::run_check(params_for(i / seeds, i % seeds));
+        publish_job(i, r);
+        return r;
+      }
+      const auto j = i - lock_runs;
+      auto r = check::run_object_check(oparams_for(j / seeds, j % seeds));
+      publish_job(i, r);
+      return r;
     });
 
     // Deterministic aggregation, in job-index order.
@@ -364,6 +447,35 @@ int main(int argc, char** argv) {
     table.note(std::to_string(total_runs) + " runs, " +
                std::to_string(failures.size()) + " failing");
     table.emit(*fmt);
+
+    if (tele) {
+      for (const auto& f : failures) {
+        const auto& fcfg = f.object ? f.oparams.config : f.params.config;
+        std::string what;
+        for (const auto& v : f.result.violations) {
+          if (!what.empty()) what += "; ";
+          what += check::to_string(v);
+        }
+        tele->publish_result(
+            (f.object ? "object=" + fcfg.object
+                      : "fixture=" + std::string(to_string(f.params.fix))) +
+                " lock=" + locks::to_string(fcfg.lock) +
+                " seed=" + std::to_string(fcfg.seed),
+            true, what);
+      }
+      obs::metrics summary;
+      summary.get_counter("check.runs").set(total_runs);
+      summary.get_counter("check.failures").set(failures.size());
+      sim::vtime last{};
+      for (const auto& r : results) {
+        if (r.end_time.ns > last.ns) last = r.end_time;
+      }
+      tele->publish_metrics(summary, last.ns);
+      tele->publish_result("sweep", !failures.empty(),
+                           std::to_string(total_runs) + " runs, " +
+                               std::to_string(failures.size()) + " failing");
+      tele->flush();
+    }
 
     for (const auto& f : failures) {
       const auto& fcfg = f.object ? f.oparams.config : f.params.config;

@@ -241,7 +241,7 @@ class runtime {
   /// Shared failure policy of run_all()/finish_all().
   void throw_failures(const run_result& r) const;
 
-  [[nodiscard]] bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
+  [[nodiscard]] bool tracing() const { return tracer_ != nullptr && tracer_->recording(); }
   /// Closes the current "run" span of `t` and marks why it ended.
   void end_run_span(tcb& t, const char* how);
 

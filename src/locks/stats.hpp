@@ -21,6 +21,7 @@
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
+#include "telemetry/hook.hpp"
 
 namespace adx::locks {
 
@@ -93,6 +94,15 @@ class lock_stats {
                       std::string_view sensors = {}) {
     ++reconfigures_;
     if (observer_) observer_->on_reconfigure(*owner_, at, tid, decision);
+    // Live telemetry: every adaptation decision in the process funnels
+    // through here (engine decisions, async pumps, coordinator and federated
+    // demotions), so this single hook streams them all. One relaxed load
+    // when telemetry is off.
+    if (telemetry::enabled()) {
+      telemetry::publish_adapt_event(at.ns,
+                                     trace_name_.empty() ? "lock" : trace_name_,
+                                     policy_name, decision, sensors, sensor_value);
+    }
     if (tracing()) {
       if (!policy_name.empty()) {
         decision += " policy=";
@@ -203,7 +213,7 @@ class lock_stats {
   }
 
  private:
-  [[nodiscard]] bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
+  [[nodiscard]] bool tracing() const { return tracer_ != nullptr && tracer_->recording(); }
 
   std::uint64_t requests_{0};
   std::uint64_t acquisitions_{0};

@@ -1,5 +1,9 @@
 #include "native/policy_daemon.hpp"
 
+#include <chrono>
+
+#include "telemetry/hook.hpp"
+
 namespace adx::native {
 
 void policy_daemon::watch(adaptive_mutex& m) {
@@ -52,6 +56,14 @@ void policy_daemon::run() {
             r.mu->spin_budget() != r.mu->params().spin_cap) {
           r.mu->apply_sample(0);
           demotions_.fetch_add(1, std::memory_order_relaxed);
+          if (telemetry::enabled()) {
+            // Native side runs on host time (no virtual clock to observe).
+            const auto ts = std::chrono::steady_clock::now().time_since_epoch();
+            telemetry::publish_adapt_event(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(ts).count(),
+                "native.adaptive_mutex", "daemon-coordinator", "demote-to-spin",
+                "idle-streak", static_cast<std::int64_t>(r.idle_streak));
+          }
         }
       }
     }

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <utility>
 #include <vector>
 
 namespace adx::obs {
@@ -63,6 +64,33 @@ class log_histogram {
 
   [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+
+  /// Bucket geometry, exposed so a histogram can be reconstructed on the
+  /// other side of a wire (telemetry): construct with the same
+  /// (min_value, sub_per_octave, octaves) and restore() the state.
+  [[nodiscard]] double min_value() const { return min_value_; }
+  [[nodiscard]] unsigned sub_per_octave() const {
+    return static_cast<unsigned>(sub_);
+  }
+
+  /// Installs wire-transferred state verbatim (sparse non-zero buckets).
+  /// Geometry is NOT restored here — the receiver must have constructed this
+  /// histogram with the sender's min_value/sub_per_octave/bucket count for
+  /// percentiles to land in the same buckets. Out-of-range indices are
+  /// dropped rather than trusted (the wire is not an invariant).
+  void restore(std::uint64_t count, double sum, double mn, double mx,
+               const std::vector<std::pair<std::uint32_t, std::uint64_t>>& sparse) {
+    reset();
+    count_ = count;
+    sum_ = sum;
+    if (count > 0) {
+      min_seen_ = mn;
+      max_seen_ = mx;
+    }
+    for (const auto& [i, n] : sparse) {
+      if (i < buckets_.size()) buckets_[i] += n;
+    }
+  }
 
   /// Lower bound of bucket `i` (bucket 0 holds everything below min_value_).
   [[nodiscard]] double bucket_lo(std::size_t i) const {

@@ -21,12 +21,32 @@
 
 namespace adx::obs {
 
+/// Streaming hook: a sink attached to a tracer receives every recorded event
+/// as it happens, before (and independent of) in-memory storage. This is how
+/// the telemetry subsystem taps a tracer for live export — a sink-only
+/// tracer (enabled() false, sink attached) streams without storing, so an
+/// unbounded run never grows the event vector.
+class trace_sink {
+ public:
+  virtual ~trace_sink() = default;
+  virtual void on_trace_event(const event& e) = 0;
+};
+
 class tracer {
  public:
   tracer() = default;
 
   void enable(bool on = true) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Attaches a streaming sink (not owned; null detaches).
+  void attach_sink(trace_sink* s) { sink_ = s; }
+  [[nodiscard]] trace_sink* sink() const { return sink_; }
+
+  /// True when record methods do anything at all — stored, streamed, or
+  /// both. Instrumentation call sites guard on this (it preserves the
+  /// zero-alloc disabled path: one branch, no event is built).
+  [[nodiscard]] bool recording() const { return enabled_ || sink_ != nullptr; }
 
   /// Caps stored events; further records are counted as dropped rather than
   /// growing without bound on long runs.
@@ -37,24 +57,24 @@ class tracer {
   void complete(const std::string& name, const char* cat, sim::vtime ts,
                 sim::vdur dur, std::uint32_t pid, std::uint32_t tid,
                 annot a1 = {}, annot a2 = {}) {
-    if (!enabled_) return;
-    push({name, cat, phase::complete, ts, dur, pid, tid, a1, a2, nullptr, {}});
+    if (!recording()) return;
+    record({name, cat, phase::complete, ts, dur, pid, tid, a1, a2, nullptr, {}});
   }
 
   /// A point event, optionally carrying a string annotation (detail).
   void instant(const std::string& name, const char* cat, sim::vtime ts,
                std::uint32_t pid, std::uint32_t tid, annot a1 = {}, annot a2 = {},
                const char* detail_key = nullptr, std::string detail = {}) {
-    if (!enabled_) return;
-    push({name, cat, phase::instant, ts, {}, pid, tid, a1, a2, detail_key,
-          std::move(detail)});
+    if (!recording()) return;
+    record({name, cat, phase::instant, ts, {}, pid, tid, a1, a2, detail_key,
+            std::move(detail)});
   }
 
   /// A counter sample; rendered by Perfetto as a value track.
   void counter(const std::string& name, const char* cat, sim::vtime ts,
                std::uint32_t pid, std::int64_t value) {
-    if (!enabled_) return;
-    push({name, cat, phase::counter, ts, {}, pid, 0, {"value", value}, {}, nullptr, {}});
+    if (!recording()) return;
+    record({name, cat, phase::counter, ts, {}, pid, 0, {"value", value}, {}, nullptr, {}});
   }
 
   [[nodiscard]] const std::vector<event>& events() const { return events_; }
@@ -74,6 +94,11 @@ class tracer {
   [[nodiscard]] std::string csv() const;
 
  private:
+  void record(event e) {
+    if (sink_ != nullptr) sink_->on_trace_event(e);
+    if (enabled_) push(std::move(e));
+  }
+
   void push(event e) {
     if (events_.size() >= max_events_) {
       ++dropped_;
@@ -83,6 +108,7 @@ class tracer {
   }
 
   bool enabled_{false};
+  trace_sink* sink_{nullptr};
   std::vector<event> events_;
   std::size_t max_events_{8'000'000};
   std::uint64_t dropped_{0};

@@ -9,8 +9,10 @@
 //
 // Exit codes: 0 success, 1 regression (or virtual divergence) against the
 // baseline, 2 usage error.
+#include <atomic>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -21,6 +23,7 @@
 #include "perf/bench_report.hpp"
 #include "perf/scenario.hpp"
 #include "sim/event_queue.hpp"
+#include "telemetry/client.hpp"
 
 namespace {
 
@@ -79,6 +82,11 @@ int main(int argc, char** argv) {
                "wall-metric tolerance: global fraction, then name=frac overrides "
                "(e.g. 0.25,wall_ns=0.5); requires --compare")
           .str("note", "", "free-text provenance recorded in the report")
+          .str("telemetry", "",
+               "stream scenario progress/results to this endpoint (unix:PATH "
+               "or tcp:HOST:PORT) instead of stderr")
+          .str("telemetry-run", "adx-bench", "run id tagging this stream")
+          .str("telemetry-dump", "", "also write the telemetry frames to this file")
           .u64("slow-pop-ns", 0,
                "debug: busy-wait N ns of host time in every event-queue pop "
                "(gate self-test; virtual results unchanged)")
@@ -149,11 +157,33 @@ int main(int argc, char** argv) {
   report.warmup = static_cast<unsigned>(opt.get_u64("warmup"));
   report.note = opt.get_str("note");
 
+  // With telemetry attached, progress/results go to the aggregation server
+  // as structured frames instead of stderr chatter — the dashboard shows
+  // them merged with every other producer's.
+  std::unique_ptr<telemetry::client> tele;
+  if (!opt.get_str("telemetry").empty() || !opt.get_str("telemetry-dump").empty()) {
+    telemetry::client_options copt;
+    copt.endpoint = opt.get_str("telemetry");
+    copt.dump_path = opt.get_str("telemetry-dump");
+    copt.run_id = opt.get_str("telemetry-run");
+    copt.producer = "adx-bench";
+    std::string terr;
+    tele = telemetry::client::open(copt, &terr);
+    if (!tele) std::cerr << "adx-bench: telemetry disabled: " << terr << '\n';
+  }
+
   exec::job_executor ex(exec::resolve_jobs(opt.get_u64("jobs")));
   const bool parallel = ex.jobs() > 1 && to_run.size() > 1;
   std::mutex progress_mu;
   perf::scenario_progress progress;
-  if (parallel) {
+  std::atomic<std::uint64_t> scenarios_done{0};
+  if (tele) {
+    progress.finished = [&](const perf::scenario& s, const perf::scenario_outcome& o) {
+      tele->publish_result(s.name, !o.ok(), o.error);
+      tele->publish_progress(scenarios_done.fetch_add(1, std::memory_order_relaxed) + 1,
+                             to_run.size(), s.name);
+    };
+  } else if (parallel) {
     std::cerr << "adx-bench: running " << to_run.size() << " scenarios across "
               << ex.jobs() << " workers\n";
     progress.finished = [&](const perf::scenario& s, const perf::scenario_outcome& o) {
@@ -183,6 +213,11 @@ int main(int argc, char** argv) {
   write_file(opt.get_str("out"), report.to_json());
   std::cerr << "adx-bench: wrote " << opt.get_str("out") << " (" << report.scenarios.size()
             << " scenarios, " << report.reps << " reps)\n";
+  if (tele) {
+    tele->publish_result("bench", false,
+                         std::to_string(report.scenarios.size()) + " scenarios");
+    tele->flush();
+  }
 
   if (!comparing) return 0;
 

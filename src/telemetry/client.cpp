@@ -1,0 +1,179 @@
+#include "telemetry/client.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "telemetry/hook.hpp"
+#include "telemetry/sockets.hpp"
+
+namespace adx::telemetry {
+namespace {
+
+/// Process-global hook target (see hook.hpp). Written by client open/close,
+/// read on every instrumented adaptation decision.
+std::atomic<client*> g_active{nullptr};
+
+/// Thread-local channel cache: one lookup per (thread, client) pair, then
+/// publishing is a pure SPSC push. Keyed by the client's generation id, not
+/// its address — a new client can be allocated where a destroyed one lived,
+/// and an address match would hand out a dangling channel.
+struct tl_slot {
+  std::uint64_t owner_id{0};  ///< 0 = empty; generation ids start at 1
+  void* channel{nullptr};
+};
+thread_local tl_slot t_slot;
+
+std::atomic<std::uint64_t> g_next_client_id{1};
+
+}  // namespace
+
+client* active() { return g_active.load(std::memory_order_acquire); }
+
+bool enabled() { return active() != nullptr; }
+
+void publish_adapt_event(std::int64_t ts_ns, std::string_view object,
+                         std::string_view policy, std::string_view decision,
+                         std::string_view sensors, std::int64_t sensor_value) {
+  client* c = active();
+  if (c == nullptr) return;
+  adapt_msg m;
+  m.ts_ns = ts_ns;
+  m.object = std::string(object);
+  m.policy = std::string(policy);
+  m.decision = std::string(decision);
+  m.sensors = std::string(sensors);
+  m.sensor_value = sensor_value;
+  c->publish_adapt(std::move(m));
+}
+
+std::unique_ptr<client> client::open(const client_options& opt, std::string* err) {
+  auto c = std::unique_ptr<client>(new client(opt));
+  c->id_ = g_next_client_id.fetch_add(1, std::memory_order_relaxed);
+
+  std::string sock_err;
+  if (!opt.endpoint.empty()) {
+    std::string parse_err;
+    const auto ep = parse_endpoint(opt.endpoint, &parse_err);
+    if (!ep) {
+      sock_err = parse_err;
+    } else {
+      c->fd_ = connect_endpoint(*ep, &sock_err);
+    }
+  }
+  if (!opt.dump_path.empty()) {
+    c->dump_ = std::fopen(opt.dump_path.c_str(), "wb");
+    if (c->dump_ == nullptr && err != nullptr) {
+      *err = "cannot open dump file " + opt.dump_path;
+    }
+  }
+  if (c->fd_ < 0 && c->dump_ == nullptr) {
+    if (err != nullptr && !sock_err.empty()) *err = sock_err;
+    return nullptr;
+  }
+  if (c->fd_ < 0 && !opt.endpoint.empty() && err != nullptr) {
+    // Degraded open: dump works, socket doesn't. Report but proceed.
+    *err = sock_err;
+  }
+
+  // hello goes out synchronously, before the sender exists, so it is always
+  // the first frame of both the stream and the dump.
+  c->write_frame(encode_frame(message{hello_msg{
+      kProtocolVersion, c->opt_.run_id, c->opt_.producer}}));
+
+  c->sender_ = std::thread([p = c.get()] { p->sender_loop(); });
+
+  client* expected = nullptr;
+  g_active.compare_exchange_strong(expected, c.get(), std::memory_order_release,
+                                   std::memory_order_relaxed);
+  return c;
+}
+
+client::~client() {
+  stop_.store(true, std::memory_order_release);
+  if (sender_.joinable()) sender_.join();  // sender drains rings before exit
+
+  client* self = this;
+  g_active.compare_exchange_strong(self, nullptr, std::memory_order_release,
+                                   std::memory_order_relaxed);
+
+  // bye is always the last frame; it carries the producer-side drop count so
+  // the server can report lossy streams.
+  write_frame(encode_frame(message{bye_msg{dropped()}}));
+
+  if (dump_ != nullptr) std::fclose(dump_);
+  close_fd(fd_);
+}
+
+void client::enqueue(std::string frame) {
+  channel* ch = channel_for_this_thread();
+  if (ch->ring.push(std::move(frame))) {
+    enqueued_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+client::channel* client::channel_for_this_thread() {
+  if (t_slot.owner_id == id_) return static_cast<channel*>(t_slot.channel);
+  std::lock_guard<std::mutex> lk(channels_mu_);
+  channels_.push_back(std::make_unique<channel>(opt_.ring_capacity));
+  t_slot.owner_id = id_;
+  t_slot.channel = channels_.back().get();
+  return channels_.back().get();
+}
+
+void client::drain_once() {
+  // Snapshot the channel set under the lock; the rings themselves are
+  // drained lock-free. New channels registered mid-drain are picked up next
+  // cycle.
+  std::vector<channel*> chans;
+  {
+    std::lock_guard<std::mutex> lk(channels_mu_);
+    chans.reserve(channels_.size());
+    for (const auto& c : channels_) chans.push_back(c.get());
+  }
+  std::string frame;
+  for (channel* ch : chans) {
+    while (ch->ring.pop(frame)) {
+      write_frame(frame);
+      written_.fetch_add(1, std::memory_order_release);
+    }
+  }
+}
+
+void client::sender_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    drain_once();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  drain_once();  // final drain: everything enqueued before stop goes out
+}
+
+void client::write_frame(const std::string& frame) {
+  if (dump_ != nullptr) {
+    std::fwrite(frame.data(), 1, frame.size(), dump_);
+  }
+  if (fd_ >= 0 && socket_dead_.load(std::memory_order_relaxed) == 0) {
+    if (!send_all(fd_, frame, opt_.send_timeout_ms)) {
+      // Server gone or stalled: from here on the socket path drops frames.
+      // The dump keeps receiving them, and the run is never disturbed.
+      socket_dead_.store(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void client::flush() {
+  const std::uint64_t target = enqueued_.load(std::memory_order_acquire);
+  while (written_.load(std::memory_order_acquire) < target &&
+         !stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (dump_ != nullptr) std::fflush(dump_);
+}
+
+std::uint64_t client::dropped() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lk(channels_mu_);
+  for (const auto& c : channels_) total += c->ring.dropped();
+  return total;
+}
+
+}  // namespace adx::telemetry

@@ -1,0 +1,136 @@
+// Producer-side telemetry client.
+//
+// Embeds in a sim or native process and ships frames to an adx-telemetryd
+// aggregation server (and/or a local dump file) without ever blocking the
+// threads doing real work:
+//
+//   run threads --push--> per-thread SPSC frame_rings --drain--> sender
+//   thread --write--> socket and/or dump file
+//
+// Each publishing thread gets its own SPSC ring (registered once under a
+// mutex, cached thread-local afterwards), so the publish path is lock-free:
+// encode the frame, push, done. A single background sender thread drains all
+// rings and performs the only I/O. Ring full means the frame is dropped and
+// counted — telemetry never applies backpressure to a run.
+//
+// The sender writes every frame to the dump file and the socket in the same
+// drain order, so the dump is byte-for-byte the stream the server saw — the
+// property the CI loopback smoke test checks (merged server export equals
+// merged post-hoc dumps).
+//
+// Degradation: if the server disappears mid-run (ECONNRESET/EPIPE) or stalls
+// past the send timeout, the connection is marked dead and frames are
+// silently dropped from the socket path (the dump, if any, keeps going).
+// Results are unaffected: telemetry observes virtual time, it never advances
+// it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/tracer.hpp"
+#include "telemetry/ring.hpp"
+#include "telemetry/wire.hpp"
+
+namespace adx::telemetry {
+
+struct client_options {
+  std::string endpoint;     ///< "unix:PATH" / "tcp:HOST:PORT"; empty = no socket
+  std::string dump_path;    ///< write the frame stream here too; empty = none
+  std::string run_id;       ///< timeline key on the server
+  std::string producer;     ///< human label ("adx-check", "bench_serve_ct", ...)
+  std::size_t ring_capacity{2048};  ///< per-thread ring slots (power of two)
+  int send_timeout_ms{2000};        ///< sender-side stall budget per frame
+};
+
+class client : public obs::trace_sink {
+ public:
+  /// Opens the socket and/or dump per `opt` and starts the sender thread.
+  /// Returns null if neither destination could be opened (socket connect
+  /// failed AND no dump requested); `err` explains. A failed socket with a
+  /// working dump still returns a client (degraded but useful). Registers
+  /// the new client as the process-global hook target.
+  [[nodiscard]] static std::unique_ptr<client> open(const client_options& opt,
+                                                    std::string* err = nullptr);
+
+  /// Flushes rings, sends bye, joins the sender, closes everything, and
+  /// clears the process-global hook registration.
+  ~client() override;
+
+  client(const client&) = delete;
+  client& operator=(const client&) = delete;
+
+  // ------- publish API (any thread; lock-free after first use per thread)
+
+  void publish(const message& m) { enqueue(encode_frame(m)); }
+
+  void publish_trace_event(const obs::event& e) { publish(message{to_wire(e)}); }
+  void publish_metrics(const obs::metrics& m, std::int64_t ts_ns) {
+    publish(message{snapshot_metrics(m, ts_ns)});
+  }
+  void publish_adapt(adapt_msg m) { publish(message{std::move(m)}); }
+  void publish_progress(std::uint64_t done, std::uint64_t total, std::string label) {
+    publish(message{progress_msg{done, total, std::move(label)}});
+  }
+  void publish_result(std::string label, bool failed, std::string detail) {
+    publish(message{result_msg{std::move(label),
+                               static_cast<std::uint8_t>(failed ? 1 : 0),
+                               std::move(detail)}});
+  }
+
+  /// obs::trace_sink: attach this client to a tracer via attach_sink() and
+  /// every recorded event streams live.
+  void on_trace_event(const obs::event& e) override { publish_trace_event(e); }
+
+  /// Blocks until every frame published before the call has been written to
+  /// the socket/dump (or dropped). For tests and orderly shutdown points.
+  void flush();
+
+  [[nodiscard]] const std::string& run_id() const { return opt_.run_id; }
+  /// Frames dropped because a ring was full (socket-death drops are separate
+  /// and intentionally uncounted here: the dump still got those frames).
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// True while the socket path is up (false after EPIPE/ECONNRESET/stall).
+  [[nodiscard]] bool socket_alive() const {
+    return socket_dead_.load(std::memory_order_relaxed) == 0 && fd_ >= 0;
+  }
+
+ private:
+  explicit client(client_options opt) : opt_(std::move(opt)) {}
+
+  struct channel {
+    explicit channel(std::size_t cap) : ring(cap) {}
+    frame_ring ring;
+  };
+
+  void enqueue(std::string frame);
+  [[nodiscard]] channel* channel_for_this_thread();
+  void sender_loop();
+  /// Writes one frame to dump then socket (drop-on-dead for the socket).
+  void write_frame(const std::string& frame);
+  void drain_once();
+
+  client_options opt_;
+  /// Process-unique generation id keying the thread-local channel cache
+  /// (never reused, unlike this object's address).
+  std::uint64_t id_{0};
+  int fd_{-1};
+  std::FILE* dump_{nullptr};
+
+  mutable std::mutex channels_mu_;  ///< guards channels_ growth (registration only)
+  std::vector<std::unique_ptr<channel>> channels_;
+
+  std::thread sender_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint32_t> socket_dead_{0};
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> written_{0};
+};
+
+}  // namespace adx::telemetry

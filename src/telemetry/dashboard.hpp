@@ -1,0 +1,26 @@
+// Terminal dashboard over a timeline snapshot.
+//
+// Pure formatting: snapshot in, text out — trivially testable, and the
+// refresh loop in adx-telemetryd just clears the screen and reprints. Shows
+// per-run progress and adaptation counters, lock-kind occupancy (which
+// configuration each adaptive object currently holds), and p50/p99 from
+// the merged latency histograms.
+#pragma once
+
+#include <string>
+
+#include "telemetry/timeline.hpp"
+
+namespace adx::telemetry {
+
+struct dashboard_options {
+  std::size_t max_histograms{12};  ///< cap the latency table (busiest first)
+  bool color{false};               ///< ANSI color (off for tests / pipes)
+};
+
+/// Renders `snap` as a fixed-width text panel (no ANSI clear codes; callers
+/// prepend those for live refresh).
+[[nodiscard]] std::string render_dashboard(const timeline::snapshot_data& snap,
+                                           const dashboard_options& opt = {});
+
+}  // namespace adx::telemetry

@@ -1,0 +1,32 @@
+// The minimal hook instrumented code includes to publish adaptation events.
+//
+// Deliberately tiny — no sockets, no wire types, no heavy headers — so
+// src/locks can depend on it without pulling the telemetry stack into every
+// translation unit that touches a lock. When no client is active (the
+// default), publish_adapt_event is one relaxed atomic load and a branch; no
+// allocation, no formatting, nothing. Client activation is process-global:
+// exactly one live client publishes at a time (enforced in client.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace adx::telemetry {
+
+class client;
+
+/// The process-global active client, or null when telemetry is off.
+[[nodiscard]] client* active();
+
+/// True when an active client will actually consume published events. Use to
+/// skip building arguments that are expensive to format.
+[[nodiscard]] bool enabled();
+
+/// Publishes one adaptation decision (policy `policy` applied `decision` to
+/// `object` after observing `sensor_value`, full vector in `sensors`) at
+/// virtual/host time `ts_ns`. No-op when no client is active.
+void publish_adapt_event(std::int64_t ts_ns, std::string_view object,
+                         std::string_view policy, std::string_view decision,
+                         std::string_view sensors, std::int64_t sensor_value);
+
+}  // namespace adx::telemetry

@@ -1,0 +1,74 @@
+// Lock-free SPSC ring of encoded frames (the snapshot_ring pattern from
+// src/native, generalized to variable-length payloads).
+//
+// One producer thread (a run thread publishing telemetry) pushes encoded
+// frames; one consumer (the client's sender thread) drains them. Full ring
+// means drop-and-count, never block: telemetry backpressure must not stall
+// a run. Slots hold std::string frames; push/pop move them, so steady state
+// recycles slot capacity instead of allocating per frame.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace adx::telemetry {
+
+class frame_ring {
+ public:
+  explicit frame_ring(std::size_t capacity_pow2 = 1024)
+      : slots_(round_up_pow2(capacity_pow2)), mask_(slots_.size() - 1) {}
+
+  frame_ring(const frame_ring&) = delete;
+  frame_ring& operator=(const frame_ring&) = delete;
+
+  /// Producer side. Returns false (and counts a drop) when the ring is full.
+  bool push(std::string frame) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head >= slots_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[tail & mask_] = std::move(frame);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool pop(std::string& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  [[nodiscard]] static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p < 2 ? 2 : p;
+  }
+
+  std::vector<std::string> slots_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace adx::telemetry

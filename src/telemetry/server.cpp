@@ -1,0 +1,96 @@
+#include "telemetry/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "telemetry/sockets.hpp"
+
+namespace adx::telemetry {
+
+std::unique_ptr<server> server::start(const endpoint& ep, timeline& tl,
+                                      std::string* err) {
+  const int fd = listen_endpoint(ep, err);
+  if (fd < 0) return nullptr;
+  auto s = std::unique_ptr<server>(new server(tl, fd));
+  s->acceptor_ = std::thread([p = s.get()] { p->accept_loop(); });
+  return s;
+}
+
+void server::stop() {
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  stop_.store(true, std::memory_order_release);
+  if (acceptor_.joinable()) acceptor_.join();
+  close_fd(listen_fd_);
+  listen_fd_ = -1;
+
+  // Wake blocked readers; they observe EOF/error and finish their streams.
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    readers.swap(readers_);
+  }
+  for (auto& t : readers) {
+    if (t.joinable()) t.join();
+  }
+  std::lock_guard<std::mutex> lk(conns_mu_);
+  for (const int fd : conn_fds_) close_fd(fd);
+  conn_fds_.clear();
+}
+
+void server::accept_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, 100);
+    if (r <= 0) continue;  // timeout (recheck stop) or EINTR
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    conn_fds_.push_back(fd);
+    readers_.emplace_back([this, fd] { read_connection(fd); });
+  }
+}
+
+void server::read_connection(int fd) {
+  stream_state st;
+  frame_reader reader;
+  char buf[65536];
+  bool poisoned = false;
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // producer gone (clean close, reset, or our shutdown)
+    }
+    if (poisoned) continue;  // drain the socket but ignore the stream
+    reader.feed(buf, static_cast<std::size_t>(n));
+    message m;
+    for (;;) {
+      const auto status = reader.next(m);
+      if (status == frame_reader::status::need_more) break;
+      if (status == frame_reader::status::error) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        poisoned = true;
+        break;
+      }
+      std::string err;
+      if (!tl_.apply(st, m, &err)) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        poisoned = true;
+        break;
+      }
+    }
+  }
+  // EOF without a bye (or after poisoning): the run still terminates.
+  tl_.stream_closed(st);
+}
+
+}  // namespace adx::telemetry

@@ -1,0 +1,64 @@
+// The aggregation server behind adx-telemetryd.
+//
+// One listener thread accepts producers; each connection gets its own
+// reader thread (the per-connection subclient pattern) that decodes frames
+// and applies them to the shared timeline. A malformed stream poisons only
+// its own connection; a producer that vanishes mid-stream just marks its
+// run done. The server owns no export or rendering policy — that lives in
+// the timeline and the dashboard.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/timeline.hpp"
+#include "telemetry/wire.hpp"
+
+namespace adx::telemetry {
+
+class server {
+ public:
+  /// Binds `ep` and starts accepting. Returns null with `err` on failure.
+  /// `tl` must outlive the server.
+  [[nodiscard]] static std::unique_ptr<server> start(const endpoint& ep, timeline& tl,
+                                                     std::string* err = nullptr);
+
+  ~server() { stop(); }
+  server(const server&) = delete;
+  server& operator=(const server&) = delete;
+
+  /// Stops accepting, wakes and joins every connection reader. Idempotent.
+  void stop();
+
+  [[nodiscard]] std::size_t connections_accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  /// Streams that ended in a protocol error (decode failure, bad framing).
+  [[nodiscard]] std::size_t protocol_errors() const {
+    return errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  server(timeline& tl, int listen_fd) : tl_(tl), listen_fd_(listen_fd) {}
+
+  void accept_loop();
+  void read_connection(int fd);
+
+  timeline& tl_;
+  int listen_fd_{-1};
+  std::thread acceptor_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> accepted_{0};
+  std::atomic<std::size_t> errors_{0};
+
+  std::mutex conns_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> readers_;
+  bool stopped_{false};
+};
+
+}  // namespace adx::telemetry

@@ -1,0 +1,156 @@
+#include "telemetry/sockets.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace adx::telemetry {
+namespace {
+
+void set_err(std::string* err, const char* what) {
+  if (err != nullptr) *err = std::string(what) + ": " + std::strerror(errno);
+}
+
+int connect_unix(const std::string& path, std::string* err) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (err != nullptr) *err = "unix socket path too long: " + path;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_err(err, "socket");
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    set_err(err, "connect");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port, std::string* err) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string node = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, node.c_str(), &addr.sin_addr) != 1) {
+    if (err != nullptr) *err = "cannot parse IPv4 address: " + host;
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_err(err, "socket");
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    set_err(err, "connect");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int listen_unix(const std::string& path, std::string* err) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (err != nullptr) *err = "unix socket path too long: " + path;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());  // stale socket from a previous server
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_err(err, "socket");
+    return -1;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    set_err(err, "bind/listen");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int listen_tcp(const std::string& host, std::uint16_t port, std::string* err) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string node = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, node.c_str(), &addr.sin_addr) != 1) {
+    if (err != nullptr) *err = "cannot parse IPv4 address: " + host;
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_err(err, "socket");
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    set_err(err, "bind/listen");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+int connect_endpoint(const endpoint& ep, std::string* err) {
+  return ep.k == endpoint::kind::unix_domain ? connect_unix(ep.path, err)
+                                             : connect_tcp(ep.host, ep.port, err);
+}
+
+int listen_endpoint(const endpoint& ep, std::string* err) {
+  return ep.k == endpoint::kind::unix_domain ? listen_unix(ep.path, err)
+                                             : listen_tcp(ep.host, ep.port, err);
+}
+
+bool send_all(int fd, const std::string& data, int timeout_ms, std::string* err) {
+  std::size_t off = 0;
+  int waited_ms = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      waited_ms = 0;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (waited_ms >= timeout_ms) {
+        if (err != nullptr) *err = "send timed out (receiver stalled)";
+        return false;
+      }
+      pollfd pfd{fd, POLLOUT, 0};
+      const int step = timeout_ms - waited_ms < 50 ? timeout_ms - waited_ms : 50;
+      (void)::poll(&pfd, 1, step);
+      waited_ms += step;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    set_err(err, "send");
+    return false;
+  }
+  return true;
+}
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace adx::telemetry

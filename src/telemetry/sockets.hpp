@@ -1,0 +1,31 @@
+// Thin POSIX socket helpers shared by the telemetry client and server:
+// connect/listen on a parsed endpoint, and a bounded best-effort send that
+// never raises SIGPIPE. Everything returns -1/false on failure and reports
+// errno text through the optional err string — telemetry must degrade, not
+// throw, when the other side is missing.
+#pragma once
+
+#include <string>
+
+#include "telemetry/wire.hpp"
+
+namespace adx::telemetry {
+
+/// Connects to `ep` (blocking connect, bounded by the OS default timeout).
+/// Returns the fd, or -1 with `err` set.
+[[nodiscard]] int connect_endpoint(const endpoint& ep, std::string* err = nullptr);
+
+/// Binds + listens on `ep`. For unix endpoints a stale socket file is
+/// unlinked first. Returns the listening fd, or -1 with `err` set.
+[[nodiscard]] int listen_endpoint(const endpoint& ep, std::string* err = nullptr);
+
+/// Writes all of `data`, waiting up to `timeout_ms` total for the socket to
+/// accept it. Returns false on error or timeout (EPIPE/ECONNRESET included);
+/// never raises SIGPIPE. A false return means the connection is dead to us —
+/// callers drop subsequent frames.
+[[nodiscard]] bool send_all(int fd, const std::string& data, int timeout_ms,
+                            std::string* err = nullptr);
+
+void close_fd(int fd);
+
+}  // namespace adx::telemetry

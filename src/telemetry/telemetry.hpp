@@ -1,0 +1,24 @@
+// Umbrella header for the live telemetry subsystem.
+//
+//   producer process                         adx-telemetryd
+//   ----------------                         --------------
+//   obs::tracer --sink--> telemetry::client  telemetry::server
+//   lock_stats  --hook-->   | SPSC rings       | per-connection readers
+//   sweeps      --api--->   | sender thread    v
+//                           +--- frames ---> telemetry::timeline
+//                           \--> dump file     | merge by (ts, run, seq)
+//                                              v
+//                                  dashboard / Chrome-trace export
+//
+// Everything is strictly host-side: publishing observes virtual time but
+// never advances it, so telemetry on/off cannot change simulated results.
+#pragma once
+
+#include "telemetry/client.hpp"     // IWYU pragma: export
+#include "telemetry/dashboard.hpp"  // IWYU pragma: export
+#include "telemetry/hook.hpp"       // IWYU pragma: export
+#include "telemetry/ring.hpp"       // IWYU pragma: export
+#include "telemetry/server.hpp"     // IWYU pragma: export
+#include "telemetry/sockets.hpp"    // IWYU pragma: export
+#include "telemetry/timeline.hpp"   // IWYU pragma: export
+#include "telemetry/wire.hpp"       // IWYU pragma: export

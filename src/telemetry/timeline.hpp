@@ -1,0 +1,110 @@
+// The merged fleet timeline: every producer's stream lands here, keyed by
+// run id, and comes back out as one Chrome-trace JSON document or a
+// dashboard snapshot.
+//
+// Both the live server (one stream per connection) and the offline merge
+// tool (one stream per dump file) feed frames through the same apply()
+// path, so a merged live export and a merged post-hoc export of the same
+// streams are byte-identical — the CI loopback smoke test's invariant.
+//
+// Determinism: within a run, events keep their stream arrival order (a
+// per-run sequence number assigned at apply time; a producer's dump order
+// equals its socket order by construction). Across runs, the export sorts
+// by (ts_ns, run_id, seq) — a total order independent of how connections
+// interleaved in real time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "obs/log_histogram.hpp"
+#include "telemetry/wire.hpp"
+
+namespace adx::telemetry {
+
+/// Per-stream cursor: tracks which run a connection/file feeds and enforces
+/// hello-first framing.
+struct stream_state {
+  std::string run_id;
+  bool greeted{false};
+};
+
+class timeline {
+ public:
+  /// Applies one decoded message from the stream tracked by `st`. Returns
+  /// false (with `err` set) on protocol violations: no hello first, double
+  /// hello, unsupported version.
+  bool apply(stream_state& st, const message& m, std::string* err = nullptr);
+
+  /// A stream ended without a bye frame (connection dropped / truncated
+  /// dump). Marks the run done so --runs accounting still terminates.
+  void stream_closed(stream_state& st);
+
+  /// Merged Chrome trace-event JSON over every run (tracer-compatible
+  /// format; each event's args lead with "run":"<id>").
+  [[nodiscard]] std::string chrome_json() const;
+
+  [[nodiscard]] std::size_t runs_seen() const;
+  [[nodiscard]] std::size_t runs_done() const;
+
+  // ------- dashboard snapshot -------
+
+  struct run_summary {
+    std::string run_id;
+    std::string producer;
+    bool done{false};
+    std::uint64_t dropped{0};
+    std::uint64_t events{0};
+    progress_msg progress;
+    std::uint64_t results{0};
+    std::uint64_t failures{0};
+    std::uint64_t adapt_total{0};
+    /// decision string -> how many times it landed (lock-kind occupancy:
+    /// the decisions are the configurations adaptive locks switched to).
+    std::map<std::string, std::uint64_t> decision_counts;
+    /// object -> its most recent decision (current configuration).
+    std::map<std::string, std::string> object_state;
+    std::string last_adapt;  ///< "object: decision" of the newest event
+  };
+
+  struct snapshot_data {
+    std::vector<run_summary> runs;  ///< sorted by run_id
+    /// Histograms merged across every run's latest metrics snapshot
+    /// (name -> reconstructed histogram; exact p50/p99 queries).
+    std::map<std::string, obs::log_histogram> merged_histograms;
+  };
+
+  [[nodiscard]] snapshot_data snapshot() const;
+
+ private:
+  struct item {
+    std::uint64_t seq{0};
+    std::variant<trace_event_msg, adapt_msg> ev;
+  };
+
+  struct run_data {
+    std::string producer;
+    bool done{false};
+    std::uint64_t dropped{0};
+    std::uint64_t next_seq{0};
+    std::vector<item> items;
+    metrics_msg latest_metrics;
+    bool has_metrics{false};
+    progress_msg progress;
+    std::uint64_t results{0};
+    std::uint64_t failures{0};
+    std::uint64_t adapt_total{0};
+    std::map<std::string, std::uint64_t> decision_counts;
+    std::map<std::string, std::string> object_state;
+    std::string last_adapt;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, run_data> runs_;
+};
+
+}  // namespace adx::telemetry

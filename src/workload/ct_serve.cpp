@@ -153,6 +153,7 @@ ct_serve_result run_ct_serve(const ct_serve_config& cfg, exec::job_executor* ex)
   res.latency_p50_us = all.percentile(50.0);
   res.latency_p99_us = all.percentile(99.0);
   res.latency_max_us = all.max();
+  res.latency = std::move(all);
   res.posts = fed.posts();
   res.domain = dom->stats();
   const double secs = static_cast<double>(res.elapsed.ns) / 1e9;

@@ -29,6 +29,7 @@
 
 #include "exec/job_executor.hpp"
 #include "locks/factory.hpp"
+#include "obs/log_histogram.hpp"
 #include "sim/event_domain.hpp"
 #include "sim/machine_config.hpp"
 
@@ -68,6 +69,10 @@ struct ct_serve_result {
   double latency_p50_us{0.0};
   double latency_p99_us{0.0};
   double latency_max_us{0.0};
+  /// The full merged latency histogram the percentiles above were read from
+  /// (group-order merge; deterministic). Telemetry producers stream it so
+  /// the aggregation dashboard can compute exact fleet-wide percentiles.
+  obs::log_histogram latency{0.001};
   std::uint64_t acquisitions{0};
   std::uint64_t blocks{0};
   std::uint64_t posts{0};
